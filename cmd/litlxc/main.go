@@ -1,0 +1,131 @@
+// Command litlxc is the LITL-X driver: it reads a script combining the
+// structured-hints language (fact/hint/rule, Section 4.1) with kernel
+// declarations (loop nests, Section 3.3), runs the continuous compiler
+// over every kernel, and prints the resulting plans — the per-level
+// analysis of the static phase and the completed schedule of the
+// dynamic phase.
+//
+// Usage:
+//
+//	litlxc [-workers N] [-explain] file.lx
+//	litlxc -demo            # run the built-in pNeocortex demo script
+//
+// Script statements (one per line, # comments):
+//
+//	fact <name> <number>
+//	hint <name> target=... category=... priority=N key=value ...
+//	rule <hint> when <fact> <op> <number> set <key>=<value>
+//	kernel <name> trips=... ops=name:res:lat,... deps=f-t@d0:d1,...
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/hints"
+	"repro/internal/litlx"
+	"repro/internal/loopir"
+	"repro/internal/monitor"
+)
+
+const demoScript = `
+# pNeocortex demo: Fig. 3's flow in miniature.
+fact columns 64
+hint kernelmap target=compiler category=computation-pattern priority=80 strategy=factoring chunk=2
+rule kernelmap when iter.cv > 0.8 set strategy=self
+kernel neuron-update trips=64,8 ops=load:mem:3,integrate:fpu:5,threshold:alu:1,store:mem:1 deps=0-1@0:0,1-2@0:0,2-3@0:0,1-1@0:1
+kernel synapse-gather trips=128,4 ops=load:mem:4,acc:fpu:3,store:mem:1 deps=0-1@0:0,1-2@0:0
+`
+
+func main() {
+	workers := flag.Int("workers", 8, "thread count for dynamic completion")
+	explain := flag.Bool("explain", false, "print per-level static analysis")
+	demo := flag.Bool("demo", false, "run the built-in demo script")
+	flag.Parse()
+
+	var text string
+	switch {
+	case *demo:
+		text = demoScript
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		text = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: litlxc [-workers N] [-explain] file.lx | litlxc -demo")
+		os.Exit(2)
+	}
+
+	db := hints.NewDB()
+	var nests []*loopir.Nest
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	var hintLines []string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "kernel ") {
+			n, err := litlx.ParseKernel(line)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: %w", lineNo, err))
+			}
+			nests = append(nests, n)
+			continue
+		}
+		hintLines = append(hintLines, line)
+	}
+	if err := hints.ParseScriptString(strings.Join(hintLines, "\n"), db); err != nil {
+		fatal(err)
+	}
+	if len(nests) == 0 {
+		fatal(fmt.Errorf("no kernels in script"))
+	}
+
+	mon := monitor.New()
+	comp := compiler.New(db, loopir.DefaultResources(), mon)
+	prog := &compiler.Program{Name: "litlx-script", Nests: nests}
+
+	pps, err := comp.StaticCompile(prog)
+	if err != nil {
+		fatal(err)
+	}
+	for _, pp := range pps {
+		fmt.Printf("kernel %s (depth %d)\n", pp.Nest.Name, pp.Nest.Depth())
+		if *explain {
+			for _, li := range pp.Levels {
+				if li.Legal {
+					fmt.Printf("  level %d: legal, MII=%d\n", li.Level, li.MII)
+				} else {
+					fmt.Printf("  level %d: illegal (%s)\n", li.Level, li.Reason)
+				}
+			}
+			if pp.ForcedLevel >= 0 {
+				fmt.Printf("  pragma forces level %d\n", pp.ForcedLevel)
+			}
+		}
+		fp, err := comp.DynamicComplete(pp, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  plan: level=%d II=%d span=%d stages=%d threads=%d strategy=%s predicted=%d cycles\n",
+			fp.Level, fp.Schedule.II, fp.Schedule.Span, fp.Schedule.Stages,
+			fp.Threads, fp.Strategy, fp.PredictedCycles)
+		serial := fp.Nest.SerialCycles()
+		fmt.Printf("  model speedup vs serial: %.2fx (serial %d cycles)\n\n",
+			float64(serial)/float64(fp.PredictedCycles), serial)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "litlxc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package htvm is a reproduction of "Hierarchical Multithreading:
+// Programming Model and System Software" (Gao, Sterling, Stevens,
+// Hereld, Zhu — IPDPS 2006): the HTVM three-level thread hierarchy
+// (LGT/SGT/TGT), the LITL-X latency-tolerance constructs (parcels,
+// futures, percolation, dataflow synchronization, atomic blocks), the
+// continuous compiler with SSP loop scheduling, the structured-hints
+// knowledge database, the runtime monitor, the four adaptivity
+// controllers, and a Cyclops-64-like simulator substrate — plus the two
+// driving applications (neocortex simulation, molecular dynamics).
+//
+// The implementation lives under internal/; see README.md for the map,
+// DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results. Entry points:
+//
+//	internal/litlx    — the one-object API most programs want
+//	cmd/htvmbench     — regenerates every experiment table
+//	cmd/litlxc        — the LITL-X script compiler/driver
+//	cmd/c64sim        — the standalone machine simulator
+//	examples/         — five runnable walkthroughs
+package htvm

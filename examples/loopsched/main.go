@@ -1,0 +1,66 @@
+// Loop-scheduling example: Section 3.3's scheduling landscape on one
+// screen — every strategy against three iteration-cost distributions,
+// using the deterministic makespan evaluator.
+//
+//	go run ./examples/loopsched [-n N] [-workers N] [-overhead F]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "loop iterations")
+	workers := flag.Int("workers", 8, "workers")
+	overhead := flag.Float64("overhead", 3, "per-dispatch overhead")
+	flag.Parse()
+
+	r := stats.NewRNG(17)
+	dists := []struct {
+		name  string
+		costs []float64
+	}{
+		{"uniform", make([]float64, *n)},
+		{"increasing", make([]float64, *n)},
+		{"lognormal", make([]float64, *n)},
+	}
+	for i := 0; i < *n; i++ {
+		dists[0].costs[i] = 10
+		dists[1].costs[i] = float64(i) / float64(*n) * 20
+		dists[2].costs[i] = 10 * r.LogNormal(0, 0.83)
+	}
+
+	strategies := []struct {
+		name string
+		fac  sched.Factory
+	}{
+		{"static-block", sched.StaticBlock()},
+		{"self-sched", sched.SelfSched(1)},
+		{"chunked/32", sched.SelfSched(32)},
+		{"gss", sched.GSS(1)},
+		{"factoring", sched.Factoring(1)},
+		{"trapezoid", sched.Trapezoid(0, 0)},
+	}
+
+	tab := stats.NewTable(
+		fmt.Sprintf("makespans: n=%d workers=%d overhead=%.1f", *n, *workers, *overhead),
+		"strategy", "uniform", "increasing", "lognormal", "chunks(logn)")
+	for _, s := range strategies {
+		var cells []interface{}
+		cells = append(cells, s.name)
+		var lastChunks int
+		for _, d := range dists {
+			res := sched.Evaluate(d.costs, *workers, s.fac, *overhead)
+			cells = append(cells, res.Makespan)
+			lastChunks = res.Chunks
+		}
+		cells = append(cells, lastChunks)
+		tab.AddRow(cells...)
+	}
+	fmt.Println(tab.String())
+	fmt.Println("static wins only the uniform column; the dynamic family absorbs skew.")
+}

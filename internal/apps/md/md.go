@@ -1,0 +1,424 @@
+// Package md implements the paper's second driving application
+// (Section 5.2): fine-grain molecular dynamics of "relatively modest
+// sized molecules, a single protein or protein complex in water with
+// multiple ion species". The paper's production code and inputs are not
+// available, so the builder synthesizes an equivalent system — a dense
+// protein cluster solvated in a water box with dissolved ion pairs —
+// that preserves the property the experiments need: spatially
+// non-uniform density, which makes per-cell work imbalanced and gives
+// dynamic/hierarchical scheduling something to win on.
+//
+// Physics: Lennard-Jones plus cutoff Coulomb with minimum-image
+// periodic boundaries, cell lists, velocity-Verlet integration. Force
+// evaluation is target-sided (each particle accumulates from its
+// neighbor cells in a fixed order), so parallel execution is race-free
+// and bit-deterministic regardless of worker interleaving.
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Species labels a particle type.
+type Species uint8
+
+// Particle species.
+const (
+	Protein Species = iota
+	Water
+	IonPos
+	IonNeg
+)
+
+// Params describes the simulated system.
+type Params struct {
+	NProtein int
+	NWater   int
+	NIons    int // ion pairs (one + and one - each)
+
+	Box    float64 // cubic box edge
+	Cutoff float64 // interaction cutoff
+	Dt     float64 // timestep
+
+	Epsilon  float64 // LJ well depth
+	Sigma    float64 // LJ diameter
+	CoulombK float64 // Coulomb prefactor
+
+	Seed uint64
+}
+
+// DefaultParams returns a small solvated-protein system: 64 protein
+// beads in a cluster, 400 waters, 8 ion pairs, in a box tuned to
+// liquid-ish density.
+func DefaultParams() Params {
+	return Params{
+		NProtein: 64, NWater: 400, NIons: 8,
+		Box: 12, Cutoff: 2.5, Dt: 0.002,
+		Epsilon: 1, Sigma: 1, CoulombK: 1,
+		Seed: 7,
+	}
+}
+
+// Scale multiplies the water count (and box volume to keep density),
+// the knob the experiments use for problem size.
+func (p Params) Scale(f int) Params {
+	if f <= 1 {
+		return p
+	}
+	p.NWater *= f
+	p.Box *= math.Cbrt(float64(f))
+	return p
+}
+
+// System is the particle state plus cell-list machinery.
+type System struct {
+	P Params
+	N int
+
+	X, Y, Z    []float64 // positions
+	VX, VY, VZ []float64
+	FX, FY, FZ []float64
+	Charge     []float64
+	Mass       []float64
+	Kind       []Species
+
+	cells    int // cells per dimension
+	cellSize float64
+	cellOf   []int32
+	cellList [][]int32 // particle ids per cell
+	steps    int
+}
+
+// Build synthesizes the system and computes initial forces.
+func Build(p Params) *System {
+	n := p.NProtein + p.NWater + 2*p.NIons
+	s := &System{
+		P: p, N: n,
+		X: make([]float64, n), Y: make([]float64, n), Z: make([]float64, n),
+		VX: make([]float64, n), VY: make([]float64, n), VZ: make([]float64, n),
+		FX: make([]float64, n), FY: make([]float64, n), FZ: make([]float64, n),
+		Charge: make([]float64, n), Mass: make([]float64, n),
+		Kind: make([]Species, n),
+	}
+	r := stats.NewRNG(p.Seed)
+	idx := 0
+	// minSep keeps initial pairs off the steep LJ wall.
+	minSep := 0.9 * p.Sigma
+	minSep2 := minSep * minSep
+	tooClose := func(x, y, z float64) bool {
+		for j := 0; j < idx; j++ {
+			dx := minImage(x-s.X[j], p.Box)
+			dy := minImage(y-s.Y[j], p.Box)
+			dz := minImage(z-s.Z[j], p.Box)
+			if dx*dx+dy*dy+dz*dz < minSep2 {
+				return true
+			}
+		}
+		return false
+	}
+	// place draws candidates from gen until one clears minSep (widening
+	// acceptance is the caller's concern: gen gets the attempt number).
+	place := func(gen func(try int) (x, y, z float64)) {
+		for try := 0; ; try++ {
+			x, y, z := gen(try)
+			x, y, z = wrap(x, p.Box), wrap(y, p.Box), wrap(z, p.Box)
+			if !tooClose(x, y, z) {
+				s.X[idx], s.Y[idx], s.Z[idx] = x, y, z
+				return
+			}
+		}
+	}
+
+	// Protein: a compact random cluster around the box center; the
+	// cluster radius grows as rejections accumulate so placement always
+	// terminates.
+	c := p.Box / 2
+	for i := 0; i < p.NProtein; i++ {
+		place(func(try int) (float64, float64, float64) {
+			spread := p.Sigma * (1.2 + 0.1*float64(try))
+			return c + r.NormFloat64()*spread,
+				c + r.NormFloat64()*spread,
+				c + r.NormFloat64()*spread
+		})
+		s.Kind[idx] = Protein
+		s.Mass[idx] = 2
+		if i%8 == 0 {
+			s.Charge[idx] = -0.5 // scattered charged residues
+		}
+		idx++
+	}
+	// Water: jittered lattice filling the box (skipping the core),
+	// falling back to rejection-sampled scatter when the lattice fills.
+	side := int(math.Ceil(math.Cbrt(float64(p.NWater * 2))))
+	spacing := p.Box / float64(side)
+	placed := 0
+	protRadius2 := 9 * p.Sigma * p.Sigma
+	for gx := 0; gx < side && placed < p.NWater; gx++ {
+		for gy := 0; gy < side && placed < p.NWater; gy++ {
+			for gz := 0; gz < side && placed < p.NWater; gz++ {
+				x := (float64(gx) + 0.5) * spacing
+				y := (float64(gy) + 0.5) * spacing
+				z := (float64(gz) + 0.5) * spacing
+				dx, dy, dz := x-c, y-c, z-c
+				if dx*dx+dy*dy+dz*dz < protRadius2 {
+					continue // leave room for the protein
+				}
+				if tooClose(x, y, z) {
+					continue
+				}
+				s.X[idx], s.Y[idx], s.Z[idx] = x, y, z
+				s.Kind[idx] = Water
+				s.Mass[idx] = 1
+				idx++
+				placed++
+			}
+		}
+	}
+	for ; placed < p.NWater; placed++ {
+		place(func(try int) (float64, float64, float64) {
+			return r.Float64() * p.Box, r.Float64() * p.Box, r.Float64() * p.Box
+		})
+		s.Kind[idx] = Water
+		s.Mass[idx] = 1
+		idx++
+	}
+	// Ions: random positions, alternating charge.
+	for i := 0; i < 2*p.NIons; i++ {
+		place(func(try int) (float64, float64, float64) {
+			return r.Float64() * p.Box, r.Float64() * p.Box, r.Float64() * p.Box
+		})
+		if i%2 == 0 {
+			s.Kind[idx], s.Charge[idx] = IonPos, 1
+		} else {
+			s.Kind[idx], s.Charge[idx] = IonNeg, -1
+		}
+		s.Mass[idx] = 1.5
+		idx++
+	}
+	// Small random initial velocities (deterministic).
+	for i := 0; i < n; i++ {
+		s.VX[i] = r.NormFloat64() * 0.05
+		s.VY[i] = r.NormFloat64() * 0.05
+		s.VZ[i] = r.NormFloat64() * 0.05
+	}
+	s.initCells()
+	s.RebuildCells()
+	s.ComputeForcesRange(0, s.Cells())
+	return s
+}
+
+func wrap(x, box float64) float64 {
+	x = math.Mod(x, box)
+	if x < 0 {
+		x += box
+	}
+	return x
+}
+
+// initCells sizes the cell grid so each cell edge >= cutoff.
+func (s *System) initCells() {
+	s.cells = int(s.P.Box / s.P.Cutoff)
+	if s.cells < 3 {
+		s.cells = 3
+	}
+	s.cellSize = s.P.Box / float64(s.cells)
+	s.cellOf = make([]int32, s.N)
+	s.cellList = make([][]int32, s.cells*s.cells*s.cells)
+}
+
+// Cells returns the number of cells (the parallel loop domain of the
+// force phase).
+func (s *System) Cells() int { return len(s.cellList) }
+
+// cellIndex maps a position to its cell.
+func (s *System) cellIndex(x, y, z float64) int {
+	cx := int(x / s.cellSize)
+	cy := int(y / s.cellSize)
+	cz := int(z / s.cellSize)
+	if cx >= s.cells {
+		cx = s.cells - 1
+	}
+	if cy >= s.cells {
+		cy = s.cells - 1
+	}
+	if cz >= s.cells {
+		cz = s.cells - 1
+	}
+	return (cx*s.cells+cy)*s.cells + cz
+}
+
+// RebuildCells re-bins all particles. Called once per step before the
+// force phase.
+func (s *System) RebuildCells() {
+	for i := range s.cellList {
+		s.cellList[i] = s.cellList[i][:0]
+	}
+	for i := 0; i < s.N; i++ {
+		ci := s.cellIndex(s.X[i], s.Y[i], s.Z[i])
+		s.cellOf[i] = int32(ci)
+		s.cellList[ci] = append(s.cellList[ci], int32(i))
+	}
+}
+
+// CellOccupancy returns per-cell particle counts — the imbalance
+// profile the scheduling experiments feed to Evaluate.
+func (s *System) CellOccupancy() []int {
+	out := make([]int, len(s.cellList))
+	for i, l := range s.cellList {
+		out[i] = len(l)
+	}
+	return out
+}
+
+// pairForce returns the scalar force magnitude over distance (f/r) and
+// the potential energy for a pair at squared distance r2.
+func (s *System) pairForce(r2 float64, qi, qj float64) (fOverR, pe float64) {
+	p := s.P
+	sr2 := p.Sigma * p.Sigma / r2
+	sr6 := sr2 * sr2 * sr2
+	sr12 := sr6 * sr6
+	// Lennard-Jones.
+	fOverR = 24 * p.Epsilon * (2*sr12 - sr6) / r2
+	pe = 4 * p.Epsilon * (sr12 - sr6)
+	// Cutoff Coulomb.
+	if qi != 0 && qj != 0 {
+		r := math.Sqrt(r2)
+		fOverR += p.CoulombK * qi * qj / (r2 * r)
+		pe += p.CoulombK * qi * qj / r
+	}
+	return fOverR, pe
+}
+
+// minImage returns the minimum-image displacement component.
+func minImage(d, box float64) float64 {
+	if d > box/2 {
+		return d - box
+	}
+	if d < -box/2 {
+		return d + box
+	}
+	return d
+}
+
+// ComputeForcesRange evaluates forces for all particles in cells
+// [cLo, cHi): each particle scans its 27 neighbor cells in fixed order
+// and accumulates its own force. Pairs are evaluated from both sides,
+// which doubles arithmetic but removes all write sharing — the
+// standard trade for deterministic parallel MD. Returns the potential
+// energy contribution (half of each pair's, so the global sum is
+// correct).
+func (s *System) ComputeForcesRange(cLo, cHi int) float64 {
+	box := s.P.Box
+	rc2 := s.P.Cutoff * s.P.Cutoff
+	var pe float64
+	for ci := cLo; ci < cHi; ci++ {
+		cx := ci / (s.cells * s.cells)
+		cy := ci / s.cells % s.cells
+		cz := ci % s.cells
+		for _, ip := range s.cellList[ci] {
+			i := int(ip)
+			var fx, fy, fz float64
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for dz := -1; dz <= 1; dz++ {
+						nx := (cx + dx + s.cells) % s.cells
+						ny := (cy + dy + s.cells) % s.cells
+						nz := (cz + dz + s.cells) % s.cells
+						nc := (nx*s.cells+ny)*s.cells + nz
+						for _, jp := range s.cellList[nc] {
+							j := int(jp)
+							if j == i {
+								continue
+							}
+							ddx := minImage(s.X[i]-s.X[j], box)
+							ddy := minImage(s.Y[i]-s.Y[j], box)
+							ddz := minImage(s.Z[i]-s.Z[j], box)
+							r2 := ddx*ddx + ddy*ddy + ddz*ddz
+							if r2 >= rc2 || r2 < 1e-12 {
+								continue
+							}
+							f, e := s.pairForce(r2, s.Charge[i], s.Charge[j])
+							fx += f * ddx
+							fy += f * ddy
+							fz += f * ddz
+							pe += e / 2
+						}
+					}
+				}
+			}
+			s.FX[i], s.FY[i], s.FZ[i] = fx, fy, fz
+		}
+	}
+	return pe
+}
+
+// halfKick advances velocities by half a step from current forces.
+func (s *System) halfKick() {
+	h := s.P.Dt / 2
+	for i := 0; i < s.N; i++ {
+		s.VX[i] += h * s.FX[i] / s.Mass[i]
+		s.VY[i] += h * s.FY[i] / s.Mass[i]
+		s.VZ[i] += h * s.FZ[i] / s.Mass[i]
+	}
+}
+
+// drift advances positions a full step and wraps them.
+func (s *System) drift() {
+	box := s.P.Box
+	for i := 0; i < s.N; i++ {
+		s.X[i] = wrap(s.X[i]+s.P.Dt*s.VX[i], box)
+		s.Y[i] = wrap(s.Y[i]+s.P.Dt*s.VY[i], box)
+		s.Z[i] = wrap(s.Z[i]+s.P.Dt*s.VZ[i], box)
+	}
+}
+
+// Step advances one velocity-Verlet step sequentially.
+func (s *System) Step() {
+	s.halfKick()
+	s.drift()
+	s.RebuildCells()
+	s.ComputeForcesRange(0, s.Cells())
+	s.halfKick()
+	s.steps++
+}
+
+// StepForces runs the force phase through fn, which must invoke
+// ComputeForcesRange over a partition of [0, Cells()) — the hook the
+// parallel runners use. The rest of the Verlet step stays sequential
+// (it is O(N) with tiny constants).
+func (s *System) StepForces(fn func()) {
+	s.halfKick()
+	s.drift()
+	s.RebuildCells()
+	fn()
+	s.halfKick()
+	s.steps++
+}
+
+// KineticEnergy returns the total kinetic energy.
+func (s *System) KineticEnergy() float64 {
+	var ke float64
+	for i := 0; i < s.N; i++ {
+		ke += 0.5 * s.Mass[i] * (s.VX[i]*s.VX[i] + s.VY[i]*s.VY[i] + s.VZ[i]*s.VZ[i])
+	}
+	return ke
+}
+
+// PotentialEnergy recomputes the potential energy (without touching
+// forces' dependence on current cell lists).
+func (s *System) PotentialEnergy() float64 {
+	s.RebuildCells()
+	return s.ComputeForcesRange(0, s.Cells())
+}
+
+// Steps returns completed steps.
+func (s *System) Steps() int { return s.steps }
+
+// String summarizes the system.
+func (s *System) String() string {
+	return fmt.Sprintf("md(%d particles: %d protein, %d water, %d ions; box %.1f, %d cells)",
+		s.N, s.P.NProtein, s.P.NWater, 2*s.P.NIons, s.P.Box, s.Cells())
+}

@@ -1,0 +1,174 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func tinyParams() Params {
+	p := DefaultParams()
+	p.NWater = 150
+	p.Box = 9
+	return p
+}
+
+func TestBuildCounts(t *testing.T) {
+	p := tinyParams()
+	s := Build(p)
+	want := p.NProtein + p.NWater + 2*p.NIons
+	if s.N != want {
+		t.Fatalf("N = %d, want %d", s.N, want)
+	}
+	var protein, water, pos, neg int
+	for _, k := range s.Kind {
+		switch k {
+		case Protein:
+			protein++
+		case Water:
+			water++
+		case IonPos:
+			pos++
+		case IonNeg:
+			neg++
+		}
+	}
+	if protein != p.NProtein || water != p.NWater || pos != p.NIons || neg != p.NIons {
+		t.Errorf("species counts %d/%d/%d/%d", protein, water, pos, neg)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := Build(tinyParams()), Build(tinyParams())
+	for i := 0; i < a.N; i++ {
+		if a.X[i] != b.X[i] || a.VX[i] != b.VX[i] {
+			t.Fatalf("particle %d differs between builds", i)
+		}
+	}
+}
+
+func TestParticlesInBox(t *testing.T) {
+	s := Build(tinyParams())
+	s.RunSequential(20)
+	for i := 0; i < s.N; i++ {
+		if s.X[i] < 0 || s.X[i] >= s.P.Box || s.Y[i] < 0 || s.Y[i] >= s.P.Box || s.Z[i] < 0 || s.Z[i] >= s.P.Box {
+			t.Fatalf("particle %d escaped: (%v,%v,%v)", i, s.X[i], s.Y[i], s.Z[i])
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	s := Build(tinyParams())
+	e0 := s.KineticEnergy() + s.PotentialEnergy()
+	s.RunSequential(50)
+	e1 := s.KineticEnergy() + s.PotentialEnergy()
+	drift := math.Abs(e1-e0) / (math.Abs(e0) + 1e-9)
+	if drift > 0.08 {
+		t.Errorf("energy drift %.3f over 50 steps (E0=%.3f E1=%.3f)", drift, e0, e1)
+	}
+}
+
+func TestMomentumRoughlyConserved(t *testing.T) {
+	s := Build(tinyParams())
+	px0, py0, pz0 := totalMomentum(s)
+	s.RunSequential(30)
+	px1, py1, pz1 := totalMomentum(s)
+	// Internal forces are pairwise antisymmetric, so momentum change
+	// comes only from floating-point noise.
+	tol := 1e-6 * float64(s.N)
+	if math.Abs(px1-px0) > tol || math.Abs(py1-py0) > tol || math.Abs(pz1-pz0) > tol {
+		t.Errorf("momentum drifted: (%g,%g,%g) -> (%g,%g,%g)", px0, py0, pz0, px1, py1, pz1)
+	}
+}
+
+func totalMomentum(s *System) (px, py, pz float64) {
+	for i := 0; i < s.N; i++ {
+		px += s.Mass[i] * s.VX[i]
+		py += s.Mass[i] * s.VY[i]
+		pz += s.Mass[i] * s.VZ[i]
+	}
+	return
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := Build(tinyParams())
+	seq.RunSequential(10)
+
+	rt := core.NewRuntime(core.Config{WorkersPerLocale: 4})
+	defer rt.Shutdown()
+	par := Build(tinyParams())
+	par.RunParallel(rt, 10, 4, sched.GSS(1))
+	rt.Wait()
+
+	for i := 0; i < seq.N; i++ {
+		if seq.X[i] != par.X[i] || seq.VX[i] != par.VX[i] {
+			t.Fatalf("trajectory diverged at particle %d: %v vs %v", i, seq.X[i], par.X[i])
+		}
+	}
+}
+
+func TestParallelSchedulersAgree(t *testing.T) {
+	run := func(f sched.Factory) *System {
+		rt := core.NewRuntime(core.Config{WorkersPerLocale: 4})
+		defer rt.Shutdown()
+		s := Build(tinyParams())
+		s.RunParallel(rt, 5, 4, f)
+		rt.Wait()
+		return s
+	}
+	a := run(sched.StaticBlock())
+	b := run(sched.Factoring(1))
+	for i := 0; i < a.N; i++ {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("schedulers produced different trajectories at %d", i)
+		}
+	}
+}
+
+func TestCellOccupancyImbalanced(t *testing.T) {
+	// The protein cluster must make cell occupancy non-uniform: max
+	// well above mean.
+	s := Build(tinyParams())
+	occ := s.CellOccupancy()
+	sum, max := 0, 0
+	for _, o := range occ {
+		sum += o
+		if o > max {
+			max = o
+		}
+	}
+	mean := float64(sum) / float64(len(occ))
+	if float64(max) < 2*mean {
+		t.Errorf("occupancy too uniform: max %d vs mean %.1f", max, mean)
+	}
+	if sum != s.N {
+		t.Errorf("cells hold %d particles, want %d", sum, s.N)
+	}
+}
+
+func TestScaleGrowsSystem(t *testing.T) {
+	p := DefaultParams().Scale(8)
+	if p.NWater != DefaultParams().NWater*8 {
+		t.Errorf("NWater = %d", p.NWater)
+	}
+	// Density preserved: box volume grows 8x -> edge 2x.
+	if math.Abs(p.Box-2*DefaultParams().Box) > 1e-9 {
+		t.Errorf("Box = %v, want %v", p.Box, 2*DefaultParams().Box)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := Build(tinyParams())
+	s.RunSequential(3)
+	if s.Steps() != 3 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Build(tinyParams()).String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,47 @@
+package md
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/syncx"
+)
+
+// RunSequential advances the system the given number of steps on one
+// goroutine — the characterization baseline.
+func (s *System) RunSequential(steps int) {
+	for k := 0; k < steps; k++ {
+		s.Step()
+	}
+}
+
+// RunParallel advances the system with the force phase parallelized
+// over cells on the HTVM runtime, pulling cell ranges from the given
+// scheduling strategy. Static block partitioning suffers from the
+// protein hot spot (dense cells cost quadratically more); dynamic
+// strategies absorb it — the EXP-M1 comparison.
+func (s *System) RunParallel(rt *core.Runtime, steps, workers int, factory sched.Factory) {
+	if workers <= 0 {
+		workers = rt.Workers()
+	}
+	for k := 0; k < steps; k++ {
+		s.StepForces(func() {
+			schd := factory(s.Cells(), workers)
+			var done syncx.Counter
+			for w := 0; w < workers; w++ {
+				w := w
+				rt.Go(func(sg *core.SGT) {
+					for {
+						c, ok := schd.Next(w)
+						if !ok {
+							break
+						}
+						s.ComputeForcesRange(c.Begin, c.End)
+					}
+					done.Done(1)
+				})
+			}
+			done.SetTarget(workers)
+			done.Wait()
+		})
+	}
+}

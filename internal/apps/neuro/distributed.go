@@ -1,0 +1,169 @@
+package neuro
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/parcel"
+	"repro/internal/syncx"
+)
+
+// RunDistributed advances the network with the full message-driven
+// mapping of Fig. 2: one LGT per region, SGTs per column group, and —
+// unlike RunHierarchical, which reads spike flags from shared memory —
+// inter-region spike exchange by parcels: after the update phase each
+// region ships its spike bitmap to every other region, and the gather
+// phase reads remote spikes only from the received copies. This is the
+// "parcel-driven split-transaction computation ... connected to the SGT
+// under HTVM" of Section 3.2 applied to the paper's own case study.
+//
+// The spike train is identical to the sequential runner's: the bitmap
+// exchange is a pure communication substitution.
+func (net *Network) RunDistributed(rt *core.Runtime, pnet *parcel.Net, steps, colsPerSGT int) {
+	if colsPerSGT <= 0 {
+		colsPerSGT = 4
+	}
+	regions := net.P.Regions
+	locales := rt.Config().Locales
+	perRegion := net.P.Columns * net.P.Neurons
+
+	// views[r] holds region r's current copy of every region's spike
+	// bitmap for this step (its own written locally, others received).
+	views := make([][][]bool, regions)
+	for r := range views {
+		views[r] = make([][]bool, regions)
+		for s := range views[r] {
+			views[r][s] = make([]bool, perRegion)
+		}
+	}
+	// arrivals[r] counts bitmaps received by region r this step.
+	arrivals := make([]*syncx.Counter, regions)
+	var arrMu sync.Mutex
+	resetArrivals := func() {
+		arrMu.Lock()
+		for r := range arrivals {
+			arrivals[r] = &syncx.Counter{}
+			arrivals[r].SetTarget(regions - 1)
+		}
+		arrMu.Unlock()
+	}
+	resetArrivals()
+
+	type spikeMsg struct {
+		step     int
+		from, to int // region indices (regions may share a locale)
+		bits     []bool
+	}
+	pnet.Register("spikes", func(c *parcel.Ctx) interface{} {
+		msg := c.Payload.(spikeMsg)
+		copy(views[msg.to][msg.from], msg.bits)
+		arrMu.Lock()
+		ctr := arrivals[msg.to]
+		arrMu.Unlock()
+		ctr.Done(1)
+		return nil
+	})
+
+	phase := syncx.NewBarrier(regions)
+	groups := (net.P.Columns + colsPerSGT - 1) / colsPerSGT
+	perRegionSpikes := make([]int64, regions)
+
+	lgts := make([]*core.LGT, regions)
+	for r := 0; r < regions; r++ {
+		r := r
+		lgts[r] = rt.SpawnLGT(r%locales, func(l *core.LGT) {
+			base := r * perRegion
+			groupRange := func(g int) (int, int) {
+				firstCol := r*net.P.Columns + g*colsPerSGT
+				lastCol := firstCol + colsPerSGT
+				if max := (r + 1) * net.P.Columns; lastCol > max {
+					lastCol = max
+				}
+				lo, _ := net.ColumnRange(firstCol)
+				_, hi := net.ColumnRange(lastCol - 1)
+				return lo, hi
+			}
+			spikes := make([]int64, groups)
+			for s := 0; s < steps; s++ {
+				// Update phase on this region's neurons.
+				var done syncx.Counter
+				for g := 0; g < groups; g++ {
+					g := g
+					lo, hi := groupRange(g)
+					l.Go(func(sg *core.SGT) {
+						spikes[g] = net.updateRange(lo, hi)
+						done.Done(1)
+					})
+				}
+				done.SetTarget(groups)
+				done.Wait()
+				for g := 0; g < groups; g++ {
+					perRegionSpikes[r] += spikes[g]
+				}
+
+				// Publish the local bitmap and parcel it to every peer.
+				local := views[r][r]
+				copy(local, net.spiked[base:base+perRegion])
+				for peer := 0; peer < regions; peer++ {
+					if peer == r {
+						continue
+					}
+					bits := make([]bool, perRegion)
+					copy(bits, local)
+					pnet.Send(r%locales, peer%locales, "spikes",
+						spikeMsg{step: s, from: r, to: peer, bits: bits})
+				}
+				// Wait for the other regions' bitmaps, then gather from
+				// the received views only.
+				arrMu.Lock()
+				ctr := arrivals[r]
+				arrMu.Unlock()
+				ctr.Wait()
+
+				var gdone syncx.Counter
+				for g := 0; g < groups; g++ {
+					lo, hi := groupRange(g)
+					l.Go(func(sg *core.SGT) {
+						net.gatherRangeView(lo, hi, func(src int32) bool {
+							sr := int(src) / perRegion
+							return views[r][sr][int(src)%perRegion]
+						})
+						gdone.Done(1)
+					})
+				}
+				gdone.SetTarget(groups)
+				gdone.Wait()
+
+				// Step barrier: all regions have gathered; the arrival
+				// counters can be re-armed by region 0.
+				phase.Arrive()
+				if r == 0 {
+					resetArrivals()
+				}
+				phase.Arrive()
+			}
+		})
+	}
+	for _, l := range lgts {
+		l.Done().Get()
+	}
+	for r := 0; r < regions; r++ {
+		net.totalSpikes += perRegionSpikes[r]
+	}
+	net.steps += steps
+}
+
+// gatherRangeView is gatherRange reading spike flags through view
+// instead of the shared array — the distributed runner's gather.
+func (net *Network) gatherRangeView(lo, hi int, view func(src int32) bool) {
+	w := net.P.W
+	for i := lo; i < hi; i++ {
+		var c float64
+		for _, src := range net.inAdj[i] {
+			if view(src) {
+				c += w
+			}
+		}
+		net.current[i] = c
+	}
+}

@@ -1,0 +1,371 @@
+// Package neuro implements the paper's first driving application
+// (Sections 4-5, Fig. 2 and Fig. 3): a large-scale simulation of
+// biological neuron networks in the PGENESIS/pNeocortex tradition,
+// structured exactly as the thread-hierarchy case study maps it:
+//
+//	brain regions  -> large-grain threads (one LGT per region)
+//	cortical columns -> small-grain threads (one SGT per column step)
+//	neurons/synapses -> tiny-grain work inside each SGT
+//
+// The model is a synchronous leaky integrate-and-fire network with
+// delayed synapses: at each timestep every neuron integrates its input
+// current, fires when it crosses threshold, and spikes arrive as input
+// current one step later. Synchronous update makes the spike train
+// independent of execution order, so the sequential, flat-parallel and
+// hierarchical runners must produce identical spike counts — the
+// correctness anchor for the experiments.
+package neuro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/syncx"
+)
+
+// Params describes a network. The defaults (see DefaultParams) give a
+// small cortex slice that spikes steadily without saturating.
+type Params struct {
+	Regions int // brain regions (LGT level)
+	Columns int // cortical columns per region (SGT level)
+	Neurons int // neurons per column (TGT level)
+	// Compartments is the dendrite compartment count per neuron; each
+	// step sweeps the compartment cable, which is where most of the
+	// computation lives (as in the compartmental models PGENESIS runs).
+	Compartments int
+
+	PLocal  float64 // connection probability within a column
+	PRemote float64 // connection probability to other columns
+	// HubBoost, when > 1, multiplies the in-connection probability of
+	// hub columns (the first HubFraction of columns in each region),
+	// giving the power-law-ish connectivity of real cortex and the
+	// per-column load imbalance the scheduling experiments rely on.
+	HubBoost    float64
+	HubFraction float64
+
+	Dt      float64 // integration step
+	Tau     float64 // membrane time constant
+	VRest   float64
+	VThresh float64
+	VReset  float64
+	W       float64 // synaptic weight
+	IExt    float64 // constant external drive
+	Refrac  int     // refractory steps after a spike
+
+	Seed uint64
+}
+
+// DefaultParams returns the configuration the experiments use at scale
+// factor 1: 4 regions x 16 columns x 32 neurons = 2048 neurons.
+func DefaultParams() Params {
+	return Params{
+		Regions: 4, Columns: 16, Neurons: 32, Compartments: 96,
+		PLocal: 0.1, PRemote: 0.005,
+		Dt: 0.5, Tau: 10, VRest: 0, VThresh: 1, VReset: 0,
+		W: 0.12, IExt: 0.11, Refrac: 3,
+		Seed: 42,
+	}
+}
+
+// Scale multiplies the column count, the standard way the experiments
+// grow the workload while preserving dynamics.
+func (p Params) Scale(f int) Params {
+	if f > 1 {
+		p.Columns *= f
+	}
+	return p
+}
+
+// Network is a built network plus its mutable simulation state.
+type Network struct {
+	P Params
+	N int // total neurons
+
+	// inAdj[i] lists presynaptic neurons of i; target-side adjacency
+	// makes parallel current gathering race-free and deterministic.
+	inAdj [][]int32
+
+	v       []float64
+	comp    []float64 // dendrite compartments, Compartments per neuron
+	refrac  []int32
+	spiked  []bool    // spikes produced this step
+	current []float64 // input current for this step (from last step's spikes)
+
+	totalSpikes int64
+	steps       int
+}
+
+// Build constructs the network with deterministic pseudo-random
+// connectivity.
+func Build(p Params) *Network {
+	if p.Compartments < 1 {
+		p.Compartments = 1
+	}
+	n := p.Regions * p.Columns * p.Neurons
+	net := &Network{
+		P: p, N: n,
+		inAdj:   make([][]int32, n),
+		v:       make([]float64, n),
+		comp:    make([]float64, n*p.Compartments),
+		refrac:  make([]int32, n),
+		spiked:  make([]bool, n),
+		current: make([]float64, n),
+	}
+	rng := stats.NewRNG(p.Seed)
+	colOf := func(i int) int { return i / p.Neurons }
+	hubFrac := p.HubFraction
+	if hubFrac <= 0 {
+		hubFrac = 0.1
+	}
+	isHub := func(col int) bool {
+		return p.HubBoost > 1 && col%p.Columns < int(hubFrac*float64(p.Columns)+0.5)
+	}
+	for tgt := 0; tgt < n; tgt++ {
+		r := rng.Split(uint64(tgt))
+		boost := 1.0
+		if isHub(colOf(tgt)) {
+			boost = p.HubBoost
+		}
+		for src := 0; src < n; src++ {
+			if src == tgt {
+				continue
+			}
+			prob := p.PRemote
+			if colOf(src) == colOf(tgt) {
+				prob = p.PLocal
+			}
+			if r.Float64() < prob*boost {
+				net.inAdj[tgt] = append(net.inAdj[tgt], int32(src))
+			}
+		}
+		// Stagger initial potentials so activity does not phase-lock.
+		net.v[tgt] = p.VRest + (p.VThresh-p.VRest)*r.Float64()*0.5
+	}
+	return net
+}
+
+// InDegree returns the number of presynaptic connections of neuron i —
+// the per-neuron gather cost the scheduling experiments use as a
+// realistic imbalance profile.
+func (net *Network) InDegree(i int) int { return len(net.inAdj[i]) }
+
+// Region returns the region index of neuron i.
+func (net *Network) Region(i int) int {
+	return i / (net.P.Columns * net.P.Neurons)
+}
+
+// ColumnRange returns the neuron index range [lo, hi) of column c
+// (global column index in [0, Regions*Columns)).
+func (net *Network) ColumnRange(c int) (int, int) {
+	lo := c * net.P.Neurons
+	return lo, lo + net.P.Neurons
+}
+
+// TotalColumns returns the global column count.
+func (net *Network) TotalColumns() int { return net.P.Regions * net.P.Columns }
+
+// TotalSpikes returns the spikes fired so far.
+func (net *Network) TotalSpikes() int64 { return net.totalSpikes }
+
+// Steps returns the number of completed timesteps.
+func (net *Network) Steps() int { return net.steps }
+
+// updateRange integrates neurons [lo, hi) for one step: membrane decay
+// plus input current, threshold test, refractory handling. It reads
+// only current/v/refrac of its own range, so disjoint ranges may run in
+// parallel.
+func (net *Network) updateRange(lo, hi int) int64 {
+	p := net.P
+	nc := p.Compartments
+	kappa := 0.4 // inter-compartment coupling
+	var spikes int64
+	for i := lo; i < hi; i++ {
+		// Dendrite cable sweep: synaptic current enters at the distal
+		// compartment and diffuses toward the soma. This is the bulk of
+		// the per-neuron work, like the compartmental models the paper
+		// targets.
+		d := net.comp[i*nc : (i+1)*nc]
+		d[0] += p.Dt * (net.current[i] - kappa*d[0])
+		for c := 1; c < nc; c++ {
+			d[c] += p.Dt * kappa * (d[c-1] - d[c])
+		}
+		somaIn := kappa * d[nc-1]
+
+		if net.refrac[i] > 0 {
+			net.refrac[i]--
+			net.spiked[i] = false
+			continue
+		}
+		v := net.v[i]
+		v += p.Dt * (-(v-p.VRest)/p.Tau + somaIn + net.current[i] + p.IExt)
+		if v >= p.VThresh {
+			net.spiked[i] = true
+			net.v[i] = p.VReset
+			net.refrac[i] = int32(p.Refrac)
+			spikes++
+		} else {
+			net.spiked[i] = false
+			net.v[i] = v
+		}
+	}
+	return spikes
+}
+
+// gatherRange computes next-step input current for neurons [lo, hi)
+// from this step's spike flags via in-edges. Disjoint ranges are
+// race-free.
+func (net *Network) gatherRange(lo, hi int) {
+	w := net.P.W
+	for i := lo; i < hi; i++ {
+		var c float64
+		for _, src := range net.inAdj[i] {
+			if net.spiked[src] {
+				c += w
+			}
+		}
+		net.current[i] = c
+	}
+}
+
+// RunSequential advances the network the given number of steps on the
+// calling goroutine — the "instrument and characterize on existing
+// machines" baseline of Section 5.2.
+func (net *Network) RunSequential(steps int) {
+	for s := 0; s < steps; s++ {
+		net.totalSpikes += net.updateRange(0, net.N)
+		net.gatherRange(0, net.N)
+		net.steps++
+	}
+}
+
+// RunFlat advances the network using flat data parallelism: each step
+// spawns one SGT per fixed-size neuron chunk, with no hierarchy — the
+// strawman a conventional runtime gives you.
+func (net *Network) RunFlat(rt *core.Runtime, steps, chunk int) {
+	if chunk <= 0 {
+		chunk = 64
+	}
+	spikes := make([]int64, (net.N+chunk-1)/chunk)
+	for s := 0; s < steps; s++ {
+		var done syncx.Counter
+		tasks := 0
+		for lo := 0; lo < net.N; lo += chunk {
+			lo := lo
+			hi := lo + chunk
+			if hi > net.N {
+				hi = net.N
+			}
+			idx := tasks
+			tasks++
+			rt.Go(func(sg *core.SGT) {
+				spikes[idx] = net.updateRange(lo, hi)
+				done.Done(1)
+			})
+		}
+		done.SetTarget(tasks)
+		done.Wait()
+
+		var gdone syncx.Counter
+		gtasks := 0
+		for lo := 0; lo < net.N; lo += chunk {
+			lo := lo
+			hi := lo + chunk
+			if hi > net.N {
+				hi = net.N
+			}
+			gtasks++
+			rt.Go(func(sg *core.SGT) {
+				net.gatherRange(lo, hi)
+				gdone.Done(1)
+			})
+		}
+		gdone.SetTarget(gtasks)
+		gdone.Wait()
+
+		for i := range spikes {
+			net.totalSpikes += spikes[i]
+			spikes[i] = 0
+		}
+		net.steps++
+	}
+}
+
+// RunHierarchical advances the network with the Fig. 2 mapping: one LGT
+// per region runs the step loop, spawning one SGT per group of
+// colsPerSGT columns for the update and gather phases, and regions
+// synchronize at a barrier between phases (the inter-region spike
+// exchange point). colsPerSGT is the grain knob the loop-parallelism
+// adaptation tunes; <= 0 picks a default of 4.
+func (net *Network) RunHierarchical(rt *core.Runtime, steps, colsPerSGT int) {
+	if colsPerSGT <= 0 {
+		colsPerSGT = 4
+	}
+	regions := net.P.Regions
+	locales := rt.Config().Locales
+	phase := syncx.NewBarrier(regions)
+	colsPerRegion := net.P.Columns
+	groups := (colsPerRegion + colsPerSGT - 1) / colsPerSGT
+	perRegionSpikes := make([]int64, regions)
+
+	lgts := make([]*core.LGT, regions)
+	for r := 0; r < regions; r++ {
+		r := r
+		lgts[r] = rt.SpawnLGT(r%locales, func(l *core.LGT) {
+			spikes := make([]int64, groups)
+			// groupRange maps group g of this region to a neuron range.
+			groupRange := func(g int) (int, int) {
+				firstCol := r*colsPerRegion + g*colsPerSGT
+				lastCol := firstCol + colsPerSGT
+				if max := (r + 1) * colsPerRegion; lastCol > max {
+					lastCol = max
+				}
+				lo, _ := net.ColumnRange(firstCol)
+				_, hi := net.ColumnRange(lastCol - 1)
+				return lo, hi
+			}
+			for s := 0; s < steps; s++ {
+				var done syncx.Counter
+				for g := 0; g < groups; g++ {
+					g := g
+					lo, hi := groupRange(g)
+					l.Go(func(sg *core.SGT) {
+						spikes[g] = net.updateRange(lo, hi)
+						done.Done(1)
+					})
+				}
+				done.SetTarget(groups)
+				done.Wait()
+				for g := 0; g < groups; g++ {
+					perRegionSpikes[r] += spikes[g]
+				}
+				phase.Arrive() // all regions' spike flags now final
+
+				var gdone syncx.Counter
+				for g := 0; g < groups; g++ {
+					lo, hi := groupRange(g)
+					l.Go(func(sg *core.SGT) {
+						net.gatherRange(lo, hi)
+						gdone.Done(1)
+					})
+				}
+				gdone.SetTarget(groups)
+				gdone.Wait()
+				phase.Arrive() // currents ready for the next step
+			}
+		})
+	}
+	for _, l := range lgts {
+		l.Done().Get()
+	}
+	for r := 0; r < regions; r++ {
+		net.totalSpikes += perRegionSpikes[r]
+	}
+	net.steps += steps
+}
+
+// String summarizes the network.
+func (net *Network) String() string {
+	return fmt.Sprintf("neuro(%dx%dx%d = %d neurons, %d steps, %d spikes)",
+		net.P.Regions, net.P.Columns, net.P.Neurons, net.N, net.steps, net.totalSpikes)
+}

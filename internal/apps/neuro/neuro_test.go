@@ -1,0 +1,174 @@
+package neuro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parcel"
+)
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.Regions, p.Columns, p.Neurons = 2, 4, 16
+	return p
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(smallParams())
+	b := Build(smallParams())
+	if a.N != b.N {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.inAdj {
+		if len(a.inAdj[i]) != len(b.inAdj[i]) {
+			t.Fatalf("neuron %d in-degree differs", i)
+		}
+		for j := range a.inAdj[i] {
+			if a.inAdj[i][j] != b.inAdj[i][j] {
+				t.Fatalf("neuron %d edge %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestNetworkSpikes(t *testing.T) {
+	net := Build(smallParams())
+	net.RunSequential(100)
+	if net.TotalSpikes() == 0 {
+		t.Error("no spikes in 100 steps; dynamics dead")
+	}
+	if net.Steps() != 100 {
+		t.Errorf("Steps = %d", net.Steps())
+	}
+	// Not saturated: below one spike per neuron per step.
+	if net.TotalSpikes() >= int64(net.N*100) {
+		t.Error("network saturated")
+	}
+}
+
+func TestSeedChangesDynamics(t *testing.T) {
+	p := smallParams()
+	a := Build(p)
+	p.Seed = 43
+	b := Build(p)
+	a.RunSequential(50)
+	b.RunSequential(50)
+	if a.TotalSpikes() == b.TotalSpikes() {
+		t.Log("warning: same spike count for different seeds (possible but unlikely)")
+	}
+}
+
+func TestFlatMatchesSequential(t *testing.T) {
+	seq := Build(smallParams())
+	seq.RunSequential(60)
+
+	rt := core.NewRuntime(core.Config{WorkersPerLocale: 4})
+	defer rt.Shutdown()
+	flat := Build(smallParams())
+	flat.RunFlat(rt, 60, 32)
+	rt.Wait()
+
+	if seq.TotalSpikes() != flat.TotalSpikes() {
+		t.Errorf("flat spikes %d != sequential %d", flat.TotalSpikes(), seq.TotalSpikes())
+	}
+}
+
+func TestHierarchicalMatchesSequential(t *testing.T) {
+	seq := Build(smallParams())
+	seq.RunSequential(60)
+
+	rt := core.NewRuntime(core.Config{Locales: 2, WorkersPerLocale: 4})
+	defer rt.Shutdown()
+	hier := Build(smallParams())
+	hier.RunHierarchical(rt, 60, 2)
+	rt.Wait()
+
+	if seq.TotalSpikes() != hier.TotalSpikes() {
+		t.Errorf("hierarchical spikes %d != sequential %d", hier.TotalSpikes(), seq.TotalSpikes())
+	}
+}
+
+func TestRefractoryPeriodHolds(t *testing.T) {
+	p := smallParams()
+	p.IExt = 5 // drive everything hard
+	net := Build(p)
+	net.RunSequential(p.Refrac + 1)
+	// With refractory period 3, a neuron can spike at most twice in 4
+	// steps (once, then wait 3).
+	max := int64(net.N * 2)
+	if net.TotalSpikes() > max {
+		t.Errorf("spikes %d exceed refractory bound %d", net.TotalSpikes(), max)
+	}
+}
+
+func TestColumnRange(t *testing.T) {
+	net := Build(smallParams())
+	lo, hi := net.ColumnRange(3)
+	if hi-lo != net.P.Neurons {
+		t.Errorf("column size = %d", hi-lo)
+	}
+	if lo != 3*net.P.Neurons {
+		t.Errorf("lo = %d", lo)
+	}
+	if net.TotalColumns() != 8 {
+		t.Errorf("TotalColumns = %d", net.TotalColumns())
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	net := Build(smallParams())
+	perRegion := net.P.Columns * net.P.Neurons
+	if net.Region(0) != 0 || net.Region(perRegion) != 1 {
+		t.Error("Region mapping wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := DefaultParams().Scale(4)
+	if p.Columns != DefaultParams().Columns*4 {
+		t.Errorf("Scale(4) columns = %d", p.Columns)
+	}
+	if DefaultParams().Scale(1).Columns != DefaultParams().Columns {
+		t.Error("Scale(1) should be identity")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	net := Build(smallParams())
+	if s := net.String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	seq := Build(smallParams())
+	seq.RunSequential(40)
+
+	rt := core.NewRuntime(core.Config{Locales: 2, WorkersPerLocale: 4})
+	defer rt.Shutdown()
+	pnet := parcel.NewNet(rt)
+	dist := Build(smallParams())
+	dist.RunDistributed(rt, pnet, 40, 2)
+	rt.Wait()
+
+	if seq.TotalSpikes() != dist.TotalSpikes() {
+		t.Errorf("distributed spikes %d != sequential %d", dist.TotalSpikes(), seq.TotalSpikes())
+	}
+}
+
+func TestDistributedSingleLocale(t *testing.T) {
+	// All regions on one locale: the parcel exchange must still route
+	// bitmaps by region, not by locale.
+	seq := Build(smallParams())
+	seq.RunSequential(25)
+
+	rt := core.NewRuntime(core.Config{Locales: 1, WorkersPerLocale: 4})
+	defer rt.Shutdown()
+	dist := Build(smallParams())
+	dist.RunDistributed(rt, parcel.NewNet(rt), 25, 2)
+	rt.Wait()
+
+	if seq.TotalSpikes() != dist.TotalSpikes() {
+		t.Errorf("spikes %d != %d", dist.TotalSpikes(), seq.TotalSpikes())
+	}
+}

@@ -1,0 +1,65 @@
+package c64
+
+import "testing"
+
+// BenchmarkEventThroughput measures the raw discrete-event rate: one
+// tasklet computing in 1-cycle slices (each slice is one event +
+// context handoff).
+func BenchmarkEventThroughput(b *testing.B) {
+	m := New(Config{SpawnCost: 1})
+	n := b.N
+	m.Spawn(0, func(tu *TU) {
+		for i := 0; i < n; i++ {
+			tu.Compute(1)
+		}
+	})
+	b.ResetTimer()
+	m.MustRun()
+}
+
+// BenchmarkMemAccess measures the simulated-load path including bank
+// accounting.
+func BenchmarkMemAccess(b *testing.B) {
+	m := New(Config{SpawnCost: 1})
+	n := b.N
+	m.Spawn(0, func(tu *TU) {
+		for i := 0; i < n; i++ {
+			tu.Load(tu.Local(SRAM, int64(i)), 8)
+		}
+	})
+	b.ResetTimer()
+	m.MustRun()
+}
+
+// BenchmarkChanRoundTrip measures simulated channel handoffs between
+// two tasklets.
+func BenchmarkChanRoundTrip(b *testing.B) {
+	m := New(Config{UnitsPerNode: 2, SpawnCost: 1})
+	ping := NewChan[int](m, 1)
+	pong := NewChan[int](m, 1)
+	n := b.N
+	m.Spawn(0, func(tu *TU) {
+		for i := 0; i < n; i++ {
+			ping.Send(i)
+			pong.Recv(tu)
+		}
+	})
+	m.Spawn(0, func(tu *TU) {
+		for i := 0; i < n; i++ {
+			ping.Recv(tu)
+			pong.Send(i)
+		}
+	})
+	b.ResetTimer()
+	m.MustRun()
+}
+
+// BenchmarkSpawnChain measures tasklet create/retire throughput.
+func BenchmarkSpawnChain(b *testing.B) {
+	m := New(Config{UnitsPerNode: 4, SpawnCost: 1})
+	for i := 0; i < b.N; i++ {
+		m.Spawn(0, func(tu *TU) { tu.Compute(1) })
+	}
+	b.ResetTimer()
+	m.MustRun()
+}

@@ -1,0 +1,209 @@
+package c64
+
+import "testing"
+
+func TestChanFIFO(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	ch := NewChan[int](m, 5)
+	var got []int
+	m.Spawn(0, func(tu *TU) {
+		for i := 0; i < 3; i++ {
+			ch.Send(i)
+		}
+	})
+	m.Spawn(0, func(tu *TU) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Recv(tu))
+		}
+	})
+	m.MustRun()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want [0 1 2]", got)
+		}
+	}
+}
+
+func TestChanLatency(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	ch := NewChan[int](m, 100)
+	var recvAt int64
+	m.Spawn(0, func(tu *TU) {
+		ch.Send(42)
+	})
+	m.Spawn(0, func(tu *TU) {
+		ch.Recv(tu)
+		recvAt = tu.Now()
+	})
+	m.MustRun()
+	if recvAt < 101 {
+		t.Errorf("received at %d, want >= 101 (send time + latency)", recvAt)
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	ch := NewChan[string](m, 0)
+	if _, ok := ch.TryRecv(); ok {
+		t.Error("TryRecv on empty chan should fail")
+	}
+	m.Spawn(0, func(tu *TU) {
+		ch.Send("x")
+		tu.Compute(10)
+		if v, ok := ch.TryRecv(); !ok || v != "x" {
+			t.Errorf("TryRecv = %q,%v", v, ok)
+		}
+	})
+	m.MustRun()
+}
+
+func TestChanMultipleWaiters(t *testing.T) {
+	m := New(Config{UnitsPerNode: 4, SpawnCost: 1})
+	ch := NewChan[int](m, 1)
+	sum := 0
+	for i := 0; i < 3; i++ {
+		m.Spawn(0, func(tu *TU) {
+			sum += ch.Recv(tu)
+		})
+	}
+	m.Spawn(0, func(tu *TU) {
+		tu.Compute(50)
+		ch.Send(1)
+		ch.Send(2)
+		ch.Send(3)
+	})
+	m.MustRun()
+	if sum != 6 {
+		t.Errorf("sum = %d, want 6", sum)
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	m := New(Config{UnitsPerNode: 4, SpawnCost: 1})
+	b := NewBarrier(m, 3)
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		m.Spawn(0, func(tu *TU) {
+			for ph := 0; ph < 5; ph++ {
+				tu.Compute(int64(1 + i*7))
+				b.Arrive(tu)
+				counts[i]++
+			}
+		})
+	}
+	m.MustRun()
+	for i, c := range counts {
+		if c != 5 {
+			t.Errorf("participant %d passed %d phases, want 5", i, c)
+		}
+	}
+	if b.Phase() != 5 {
+		t.Errorf("Phase = %d, want 5", b.Phase())
+	}
+}
+
+func TestBarrierZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(m,0) should panic")
+		}
+	}()
+	NewBarrier(New(Config{}), 0)
+}
+
+func TestWG(t *testing.T) {
+	m := New(Config{UnitsPerNode: 8, SpawnCost: 1})
+	wg := NewWG(m)
+	done := 0
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Spawn(0, func(tu *TU) {
+			tu.Compute(int64(10 * (i + 1)))
+			done++
+			wg.Done()
+		})
+	}
+	var observedAtWait int
+	m.Spawn(0, func(tu *TU) {
+		wg.Wait(tu)
+		observedAtWait = done
+	})
+	m.MustRun()
+	if observedAtWait != 4 {
+		t.Errorf("waiter saw %d completions, want 4", observedAtWait)
+	}
+}
+
+func TestWGNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative WG should panic")
+		}
+	}()
+	wg := NewWG(New(Config{}))
+	wg.Done()
+}
+
+func TestWGWaitZeroReturnsImmediately(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	wg := NewWG(m)
+	reached := false
+	m.Spawn(0, func(tu *TU) {
+		wg.Wait(tu)
+		reached = true
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Error("Wait on zero counter blocked")
+	}
+}
+
+func TestSem(t *testing.T) {
+	m := New(Config{UnitsPerNode: 8, SpawnCost: 1})
+	sem := NewSem(m, 2)
+	inside, maxInside := 0, 0
+	for i := 0; i < 6; i++ {
+		m.Spawn(0, func(tu *TU) {
+			sem.Acquire(tu)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			tu.Compute(20)
+			inside--
+			sem.Release()
+		})
+	}
+	m.MustRun()
+	if maxInside > 2 {
+		t.Errorf("semaphore admitted %d concurrent holders, want <= 2", maxInside)
+	}
+}
+
+func TestMemCopyFasterThanElementwise(t *testing.T) {
+	const bytes = 1024
+	bulk := func() int64 {
+		m := New(Config{SpawnCost: 1})
+		m.Spawn(0, func(tu *TU) {
+			tu.MemCopy(tu.Local(SRAM, 0), tu.Local(DRAM, 0), bytes)
+		})
+		return m.MustRun()
+	}()
+	elementwise := func() int64 {
+		m := New(Config{SpawnCost: 1})
+		m.Spawn(0, func(tu *TU) {
+			for i := 0; i < bytes/8; i++ {
+				tu.Load(tu.Local(DRAM, int64(i)), 8)
+				tu.Store(tu.Local(SRAM, int64(i)), 8)
+			}
+		})
+		return m.MustRun()
+	}()
+	if bulk >= elementwise {
+		t.Errorf("bulk copy (%d) should beat element-wise (%d)", bulk, elementwise)
+	}
+}

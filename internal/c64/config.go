@@ -1,0 +1,138 @@
+// Package c64 implements a deterministic, cycle-approximate discrete-event
+// simulator of a Cyclops-64-like chip-multithreaded machine: many simple
+// thread units per node, an explicit memory hierarchy (per-unit scratchpad,
+// banked on-chip SRAM, banked off-chip DRAM), a contended crossbar, and an
+// inter-node network.
+//
+// The paper's experimental testbed is the IBM Cyclops-64 software
+// infrastructure with its function-accurate and cycle-accurate simulators
+// (Section 5.1). This package is the substitute substrate: workload code is
+// written as ordinary Go functions ("tasklets") that call blocking
+// primitives (Compute, Load, Store, channel operations) on a simulated
+// thread unit; the engine interleaves tasklets in virtual time, one at a
+// time, so every run is bit-for-bit reproducible.
+package c64
+
+// Config describes the simulated machine. All latencies are in cycles.
+// The defaults approximate published Cyclops-64 figures: ~1/2-cycle
+// scratchpad, ~20-30 cycle on-chip SRAM, ~57+ cycle off-chip DRAM, and
+// tens of cycles per network hop between nodes.
+type Config struct {
+	Nodes        int // number of nodes (chips)
+	UnitsPerNode int // hardware thread units per node
+
+	// Memory latencies (cycles from issue to completion, uncontended).
+	ScratchLat int64 // per-unit scratchpad
+	SRAMLat    int64 // on-chip shared SRAM
+	DRAMLat    int64 // off-chip DRAM
+
+	// Bank structure and per-access occupancy (cycles a bank stays busy
+	// serving one access; queued accesses wait behind it).
+	SRAMBanks int
+	SRAMOcc   int64
+	DRAMBanks int
+	DRAMOcc   int64
+
+	// Network.
+	HopLat   int64 // per-hop latency between adjacent nodes
+	PortOcc  int64 // node network-port occupancy per message
+	ByteCost int64 // extra cycles per 8 bytes of payload on the wire
+
+	// Thread management costs charged by Spawn at each grain level.
+	SpawnCost int64
+}
+
+// DefaultConfig returns a single-node machine resembling one Cyclops-64
+// chip with 16 thread units (a deliberately small unit count keeps
+// experiment run times manageable while preserving contention behaviour;
+// experiments that need the full 160 units scale UnitsPerNode up).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        1,
+		UnitsPerNode: 16,
+		ScratchLat:   2,
+		SRAMLat:      20,
+		DRAMLat:      80,
+		SRAMBanks:    16,
+		SRAMOcc:      2,
+		DRAMBanks:    4,
+		DRAMOcc:      10,
+		HopLat:       40,
+		PortOcc:      4,
+		ByteCost:     1,
+		SpawnCost:    30,
+	}
+}
+
+// MultiNodeConfig returns an n-node machine, each node as in
+// DefaultConfig, connected in a ring (hop count = ring distance).
+func MultiNodeConfig(n int) Config {
+	c := DefaultConfig()
+	c.Nodes = n
+	return c
+}
+
+// validate normalizes a config, applying defaults for zero fields so
+// tests can construct partial configs.
+func (c Config) validate() Config {
+	d := DefaultConfig()
+	if c.Nodes <= 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.UnitsPerNode <= 0 {
+		c.UnitsPerNode = d.UnitsPerNode
+	}
+	if c.ScratchLat <= 0 {
+		c.ScratchLat = d.ScratchLat
+	}
+	if c.SRAMLat <= 0 {
+		c.SRAMLat = d.SRAMLat
+	}
+	if c.DRAMLat <= 0 {
+		c.DRAMLat = d.DRAMLat
+	}
+	if c.SRAMBanks <= 0 {
+		c.SRAMBanks = d.SRAMBanks
+	}
+	if c.SRAMOcc <= 0 {
+		c.SRAMOcc = d.SRAMOcc
+	}
+	if c.DRAMBanks <= 0 {
+		c.DRAMBanks = d.DRAMBanks
+	}
+	if c.DRAMOcc <= 0 {
+		c.DRAMOcc = d.DRAMOcc
+	}
+	if c.HopLat <= 0 {
+		c.HopLat = d.HopLat
+	}
+	if c.PortOcc <= 0 {
+		c.PortOcc = d.PortOcc
+	}
+	if c.ByteCost <= 0 {
+		c.ByteCost = d.ByteCost
+	}
+	if c.SpawnCost <= 0 {
+		c.SpawnCost = d.SpawnCost
+	}
+	return c
+}
+
+// Hops returns the ring distance between two nodes, the hop count the
+// network model charges per direction.
+func (c Config) Hops(a, b int) int64 { return c.hops(a, b) }
+
+// hops returns the ring distance between two nodes.
+func (c Config) hops(a, b int) int64 {
+	if a == b {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := c.Nodes - d; wrap < d {
+		d = wrap
+	}
+	return int64(d)
+}

@@ -1,0 +1,53 @@
+package c64
+
+import "container/heap"
+
+// event is one scheduled action in virtual time. seq breaks ties so that
+// events at equal times fire in schedule order, which makes the whole
+// simulation deterministic.
+type event struct {
+	t   int64
+	seq int64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// schedule enqueues fn to run at virtual time t (clamped to now so
+// callers may pass now+0 safely).
+func (m *Machine) schedule(t int64, fn func()) {
+	if t < m.now {
+		t = m.now
+	}
+	m.seq++
+	heap.Push(&m.pq, event{t: t, seq: m.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. It may be called from
+// tasklet code or before Run; fn executes in engine context, so it must
+// not block (it may resume tasklets, schedule further events, etc.).
+func (m *Machine) After(d int64, fn func()) {
+	m.schedule(m.now+d, fn)
+}

@@ -1,0 +1,289 @@
+package c64
+
+import (
+	"testing"
+)
+
+func TestComputeAdvancesTime(t *testing.T) {
+	m := New(Config{})
+	m.Spawn(0, func(tu *TU) {
+		tu.Compute(100)
+	})
+	end := m.MustRun()
+	want := m.Config().SpawnCost + 100
+	if end != want {
+		t.Errorf("end time = %d, want %d", end, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, Metrics) {
+		m := New(Config{UnitsPerNode: 4})
+		ch := NewChan[int](m, 10)
+		for i := 0; i < 8; i++ {
+			i := i
+			m.Spawn(0, func(tu *TU) {
+				tu.Compute(int64(10 * (i + 1)))
+				tu.Load(tu.Local(DRAM, int64(i)), 8)
+				ch.Send(i)
+			})
+		}
+		m.Spawn(0, func(tu *TU) {
+			for i := 0; i < 8; i++ {
+				ch.Recv(tu)
+			}
+		})
+		end := m.MustRun()
+		return end, m.Metrics()
+	}
+	e1, m1 := run()
+	e2, m2 := run()
+	if e1 != e2 || m1 != m2 {
+		t.Errorf("non-deterministic simulation: %d/%d, %+v vs %+v", e1, e2, m1, m2)
+	}
+}
+
+func TestUnitLimitSerializes(t *testing.T) {
+	// Two tasklets on a 1-unit node must run back to back.
+	m := New(Config{UnitsPerNode: 1, SpawnCost: 1})
+	m.Spawn(0, func(tu *TU) { tu.Compute(100) })
+	m.Spawn(0, func(tu *TU) { tu.Compute(100) })
+	end := m.MustRun()
+	if end != 201 {
+		t.Errorf("end = %d, want 201 (serialized)", end)
+	}
+	if q := m.Metrics().Queued; q != 1 {
+		t.Errorf("Queued = %d, want 1", q)
+	}
+
+	// Same work with two units overlaps.
+	m2 := New(Config{UnitsPerNode: 2, SpawnCost: 1})
+	m2.Spawn(0, func(tu *TU) { tu.Compute(100) })
+	m2.Spawn(0, func(tu *TU) { tu.Compute(100) })
+	if end2 := m2.MustRun(); end2 != 101 {
+		t.Errorf("parallel end = %d, want 101", end2)
+	}
+}
+
+func TestMemoryLatencyOrdering(t *testing.T) {
+	lat := func(r Region) int64 {
+		m := New(Config{SpawnCost: 1})
+		var d int64
+		m.Spawn(0, func(tu *TU) {
+			t0 := tu.Now()
+			tu.Load(tu.Local(r, 0), 8)
+			d = tu.Now() - t0
+		})
+		m.MustRun()
+		return d
+	}
+	sp, sr, dr := lat(Scratch), lat(SRAM), lat(DRAM)
+	if !(sp < sr && sr < dr) {
+		t.Errorf("latency ordering scratch(%d) < sram(%d) < dram(%d) violated", sp, sr, dr)
+	}
+}
+
+func TestRemoteAccessSlower(t *testing.T) {
+	m := New(MultiNodeConfig(4))
+	var local, remote int64
+	m.Spawn(0, func(tu *TU) {
+		t0 := tu.Now()
+		tu.Load(Addr{Node: 0, Region: SRAM}, 8)
+		local = tu.Now() - t0
+		t0 = tu.Now()
+		tu.Load(Addr{Node: 2, Region: SRAM}, 8)
+		remote = tu.Now() - t0
+	})
+	m.MustRun()
+	if remote <= local {
+		t.Errorf("remote latency %d should exceed local %d", remote, local)
+	}
+	if m.Metrics().RemoteAcc != 1 {
+		t.Errorf("RemoteAcc = %d, want 1", m.Metrics().RemoteAcc)
+	}
+}
+
+func TestBankContention(t *testing.T) {
+	// Many simultaneous accesses to one DRAM bank must queue.
+	cfg := Config{UnitsPerNode: 8, DRAMBanks: 1, SpawnCost: 1}
+	m := New(cfg)
+	var maxLat int64
+	for i := 0; i < 8; i++ {
+		m.Spawn(0, func(tu *TU) {
+			t0 := tu.Now()
+			tu.Load(tu.Local(DRAM, 0), 8)
+			if d := tu.Now() - t0; d > maxLat {
+				maxLat = d
+			}
+		})
+	}
+	m.MustRun()
+	base := m.Config().DRAMLat
+	if maxLat <= base {
+		t.Errorf("max contended latency %d should exceed base %d", maxLat, base)
+	}
+	if w := m.Metrics().BankWait; w == 0 {
+		t.Error("expected nonzero bank wait cycles")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := New(Config{})
+	ch := NewChan[int](m, 1)
+	m.Spawn(0, func(tu *TU) {
+		ch.Recv(tu) // nobody ever sends
+	})
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	var order []int
+	child := m.Spawn(0, func(tu *TU) {
+		tu.Compute(50)
+		order = append(order, 1)
+	})
+	m.Spawn(0, func(tu *TU) {
+		tu.Join(child)
+		order = append(order, 2)
+	})
+	m.MustRun()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("join order = %v, want [1 2]", order)
+	}
+}
+
+func TestJoinFinished(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	child := m.Spawn(0, func(tu *TU) {})
+	m.Spawn(0, func(tu *TU) {
+		tu.Compute(500) // child certainly finished by now
+		tu.Join(child)
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("join on finished tasklet deadlocked: %v", err)
+	}
+}
+
+func TestSpawnFromTasklet(t *testing.T) {
+	m := New(Config{UnitsPerNode: 4, SpawnCost: 1})
+	done := 0
+	m.Spawn(0, func(tu *TU) {
+		kids := make([]*TU, 3)
+		for i := range kids {
+			kids[i] = m.Spawn(0, func(tu *TU) {
+				tu.Compute(10)
+				done++
+			})
+		}
+		for _, k := range kids {
+			tu.Join(k)
+		}
+	})
+	m.MustRun()
+	if done != 3 {
+		t.Errorf("done = %d, want 3", done)
+	}
+}
+
+func TestSpawnInvalidNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid node")
+		}
+	}()
+	New(Config{}).Spawn(5, func(tu *TU) {})
+}
+
+func TestUtilization(t *testing.T) {
+	m := New(Config{UnitsPerNode: 2, SpawnCost: 1})
+	m.Spawn(0, func(tu *TU) { tu.Compute(99) })
+	m.MustRun()
+	u := m.Utilization()
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v, want in (0,1]", u)
+	}
+}
+
+func TestStallNotBusy(t *testing.T) {
+	m := New(Config{UnitsPerNode: 1, SpawnCost: 1})
+	m.Spawn(0, func(tu *TU) { tu.Stall(100) })
+	m.MustRun()
+	if b := m.Metrics().BusyCycles; b != 0 {
+		t.Errorf("stall counted as busy: %d", b)
+	}
+	if s := m.Metrics().StallCycles; s != 100 {
+		t.Errorf("StallCycles = %d, want 100", s)
+	}
+}
+
+func TestAfterTimer(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	fired := int64(0)
+	m.After(500, func() { fired = m.Now() })
+	m.Spawn(0, func(tu *TU) { tu.Compute(1000) })
+	m.MustRun()
+	if fired != 500 {
+		t.Errorf("timer fired at %d, want 500", fired)
+	}
+}
+
+func TestConfigValidateDefaults(t *testing.T) {
+	c := Config{}.validate()
+	d := DefaultConfig()
+	if c != d {
+		t.Errorf("validate zero config = %+v, want defaults %+v", c, d)
+	}
+}
+
+func TestHopsRing(t *testing.T) {
+	c := MultiNodeConfig(8)
+	cases := []struct {
+		a, b int
+		want int64
+	}{{0, 0, 0}, {0, 1, 1}, {0, 4, 4}, {0, 7, 1}, {2, 6, 4}, {1, 7, 2}}
+	for _, cs := range cases {
+		if got := c.hops(cs.a, cs.b); got != cs.want {
+			t.Errorf("hops(%d,%d) = %d, want %d", cs.a, cs.b, got, cs.want)
+		}
+	}
+}
+
+func TestStoreNBOverlaps(t *testing.T) {
+	// A tasklet issuing non-blocking stores should finish much earlier
+	// than one issuing blocking stores of the same count.
+	elapsed := func(nb bool) int64 {
+		m := New(Config{SpawnCost: 1})
+		m.Spawn(0, func(tu *TU) {
+			for i := 0; i < 16; i++ {
+				a := tu.Local(DRAM, int64(i))
+				if nb {
+					tu.StoreNB(a, 8)
+				} else {
+					tu.Store(a, 8)
+				}
+			}
+		})
+		return m.MustRun()
+	}
+	blocking, nonblocking := elapsed(false), elapsed(true)
+	if nonblocking >= blocking {
+		t.Errorf("non-blocking stores (%d) not faster than blocking (%d)", nonblocking, blocking)
+	}
+}
+
+func TestTaskletPanicPropagates(t *testing.T) {
+	m := New(Config{SpawnCost: 1})
+	m.Spawn(0, func(tu *TU) {
+		tu.Compute(5)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	m.MustRun()
+}

@@ -1,0 +1,188 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/hints"
+	"repro/internal/loopir"
+	"repro/internal/monitor"
+)
+
+func testNest() *loopir.Nest {
+	return &loopir.Nest{
+		Name:  "kernel",
+		Trips: []int{64, 8},
+		Ops: []loopir.Op{
+			{ID: 0, Name: "load", Latency: 3, Resource: loopir.MEM},
+			{ID: 1, Name: "fma", Latency: 6, Resource: loopir.FPU},
+			{ID: 2, Name: "store", Latency: 1, Resource: loopir.MEM},
+		},
+		Deps: []loopir.Dep{
+			{From: 0, To: 1, Distance: []int{0, 0}},
+			{From: 1, To: 2, Distance: []int{0, 0}},
+			{From: 1, To: 1, Distance: []int{0, 1}},
+		},
+	}
+}
+
+func newCompiler() *Compiler {
+	return New(hints.NewDB(), loopir.DefaultResources(), monitor.New())
+}
+
+func TestStaticCompileAnalyzesLevels(t *testing.T) {
+	c := newCompiler()
+	plans, err := c.StaticCompile(&Program{Name: "p", Nests: []*loopir.Nest{testNest()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	pp := plans[0]
+	if len(pp.Levels) != 2 {
+		t.Fatalf("levels = %d", len(pp.Levels))
+	}
+	for _, li := range pp.Levels {
+		if !li.Legal || li.MII < 1 {
+			t.Errorf("level %d: legal=%v mii=%d", li.Level, li.Legal, li.MII)
+		}
+	}
+	if pp.ForcedLevel != -1 {
+		t.Errorf("ForcedLevel = %d, want -1 without hints", pp.ForcedLevel)
+	}
+}
+
+func TestStaticCompileEmptyProgram(t *testing.T) {
+	c := newCompiler()
+	if _, err := c.StaticCompile(&Program{Name: "empty"}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestStaticCompileInvalidNest(t *testing.T) {
+	c := newCompiler()
+	n := testNest()
+	n.Ops[0].Latency = 0
+	if _, err := c.StaticCompile(&Program{Name: "p", Nests: []*loopir.Nest{n}}); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestPragmaForcesLevel(t *testing.T) {
+	db := hints.NewDB()
+	err := hints.ParseScriptString(
+		"hint pragma target=compiler category=computation-pattern priority=90 level=1 strategy=gss", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(db, loopir.DefaultResources(), monitor.New())
+	plans, err := c.StaticCompile(&Program{Name: "p", Nests: []*loopir.Nest{testNest()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[0].ForcedLevel != 1 {
+		t.Errorf("ForcedLevel = %d, want 1", plans[0].ForcedLevel)
+	}
+	if plans[0].Strategy != "gss" {
+		t.Errorf("Strategy = %q, want gss", plans[0].Strategy)
+	}
+	fp, err := c.DynamicComplete(plans[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Level != 1 {
+		t.Errorf("final level = %d, want forced 1", fp.Level)
+	}
+}
+
+func TestDynamicCompleteSelectsBestLevel(t *testing.T) {
+	c := newCompiler()
+	plans, _ := c.StaticCompile(&Program{Name: "p", Nests: []*loopir.Nest{testNest()}})
+	fp, err := c.DynamicComplete(plans[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fma recurrence is carried by level 1; the model must pick 0.
+	if fp.Level != 0 {
+		t.Errorf("selected level %d, want 0", fp.Level)
+	}
+	if fp.Threads < 1 || fp.Partition == nil || fp.Schedule == nil {
+		t.Error("incomplete final plan")
+	}
+	if fp.PredictedCycles <= 0 {
+		t.Error("prediction missing")
+	}
+	if fp.Strategy != "adaptive" {
+		t.Errorf("default strategy = %q, want adaptive", fp.Strategy)
+	}
+}
+
+func TestCompileBothPhases(t *testing.T) {
+	c := newCompiler()
+	fps, err := c.Compile(&Program{Name: "p", Nests: []*loopir.Nest{testNest(), testNest()}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != 2 {
+		t.Fatalf("plans = %d", len(fps))
+	}
+	if c.Mon.Counter("compiler.plans").Value() != 2 {
+		t.Error("plan counter not incremented")
+	}
+}
+
+func TestRecompileOnlyWhenSlow(t *testing.T) {
+	c := newCompiler()
+	fps, _ := c.Compile(&Program{Name: "p", Nests: []*loopir.Nest{testNest()}}, 4)
+	fp := fps[0]
+
+	// Observation matches prediction: no revision.
+	same, revised := c.Recompile(fp, fp.PredictedCycles, monitor.Report{})
+	if revised || same != fp {
+		t.Error("matching observation should not revise")
+	}
+
+	// 3x slower: revision happens and prediction is refreshed.
+	rep := monitor.Report{Counters: map[string]int64{"core.steal.remote": 0}}
+	next, revised := c.Recompile(fp, fp.PredictedCycles*3, rep)
+	if !revised {
+		t.Fatal("slow observation should revise")
+	}
+	if next.Revision != fp.Revision+1 {
+		t.Errorf("revision = %d", next.Revision)
+	}
+	if next.Threads <= fp.Threads {
+		t.Errorf("low steal traffic should grow threads: %d -> %d", fp.Threads, next.Threads)
+	}
+}
+
+func TestRecompileShrinksOnStealStorm(t *testing.T) {
+	c := newCompiler()
+	fps, _ := c.Compile(&Program{Name: "p", Nests: []*loopir.Nest{testNest()}}, 8)
+	fp := fps[0]
+	rep := monitor.Report{Counters: map[string]int64{"core.steal.remote": 1000}}
+	next, revised := c.Recompile(fp, fp.PredictedCycles*2, rep)
+	if !revised {
+		t.Fatal("expected revision")
+	}
+	if next.Threads >= fp.Threads {
+		t.Errorf("steal storm should shrink threads: %d -> %d", fp.Threads, next.Threads)
+	}
+}
+
+func TestRecompileImportsFacts(t *testing.T) {
+	c := newCompiler()
+	fps, _ := c.Compile(&Program{Name: "p", Nests: []*loopir.Nest{testNest()}}, 4)
+	rep := monitor.Report{EWMAs: map[string]float64{"lat.dram": 120}}
+	c.Recompile(fps[0], 1, rep)
+	if v, ok := c.DB.Fact("lat.dram"); !ok || v != 120 {
+		t.Errorf("fact not imported: %v %v", v, ok)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	c := New(nil, loopir.DefaultResources(), nil)
+	if c.DB == nil || c.Mon == nil {
+		t.Error("nil arguments should be defaulted")
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/monitor"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Runtime is the HTVM runtime system: the worker pool that executes the
+// SGT/TGT levels, plus the shared services (frame arena, monitor,
+// tracer) every thread level uses. Create one with NewRuntime, submit
+// work, then Wait and Shutdown.
+type Runtime struct {
+	cfg     Config
+	mon     *monitor.Monitor
+	tracer  *trace.Tracer
+	arena   *mem.FrameArena
+	workers []*worker
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when pending reaches zero
+	pending int64      // outstanding LGTs + SGTs
+	parked  []*worker  // stack of idle workers waiting for wake
+
+	stop    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+
+	nextLGT int64
+	nextSGT int64
+	rr      int64 // round-robin cursor for external submissions
+}
+
+// NewRuntime builds and starts a runtime.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Locales <= 0 {
+		cfg.Locales = 1
+	}
+	if cfg.WorkersPerLocale <= 0 {
+		w := runtime.GOMAXPROCS(0) / cfg.Locales
+		if w < 1 {
+			w = 1
+		}
+		cfg.WorkersPerLocale = w
+	}
+	if cfg.Monitor == nil {
+		cfg.Monitor = monitor.New()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		mon:    cfg.Monitor,
+		tracer: cfg.Tracer,
+		arena:  mem.NewFrameArena(),
+		stop:   make(chan struct{}),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	total := cfg.Locales * cfg.WorkersPerLocale
+	seedRNG := stats.NewRNG(cfg.Seed)
+	for i := 0; i < total; i++ {
+		w := &worker{
+			rt:     rt,
+			id:     i,
+			locale: i / cfg.WorkersPerLocale,
+			rng:    seedRNG.Split(uint64(i)),
+			wake:   make(chan struct{}, 1),
+		}
+		rt.workers = append(rt.workers, w)
+	}
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.loop()
+	}
+	return rt
+}
+
+// Config returns the runtime's effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Monitor returns the runtime's monitor.
+func (rt *Runtime) Monitor() *monitor.Monitor { return rt.mon }
+
+// Workers returns the total number of workers.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// taskStarted accounts a new outstanding thread (LGT or SGT).
+func (rt *Runtime) taskStarted() {
+	rt.mu.Lock()
+	rt.pending++
+	rt.mu.Unlock()
+}
+
+// taskFinished retires one outstanding thread, waking Wait callers at
+// quiescence.
+func (rt *Runtime) taskFinished() {
+	rt.mu.Lock()
+	rt.pending--
+	if rt.pending == 0 {
+		rt.cond.Broadcast()
+	}
+	if rt.pending < 0 {
+		rt.mu.Unlock()
+		panic("core: pending went negative")
+	}
+	rt.mu.Unlock()
+}
+
+// Wait blocks until no LGTs or SGTs are outstanding. Work submitted
+// after quiescence requires another Wait.
+func (rt *Runtime) Wait() {
+	rt.mu.Lock()
+	for rt.pending != 0 {
+		rt.cond.Wait()
+	}
+	rt.mu.Unlock()
+}
+
+// Shutdown stops the worker pool after the current queue drains. It is
+// idempotent. Submitting work after Shutdown panics.
+func (rt *Runtime) Shutdown() {
+	rt.Wait()
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	rt.mu.Unlock()
+	close(rt.stop)
+	for _, w := range rt.workers {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	rt.wg.Wait()
+}
+
+// submit enqueues an SGT. from is the submitting worker (nil when the
+// submission comes from outside the pool, e.g. an LGT goroutine).
+func (rt *Runtime) submit(s *SGT, from *worker) {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		panic("core: submit after Shutdown")
+	}
+	rt.mu.Unlock()
+
+	var target *worker
+	if from != nil && from.locale == s.locale {
+		target = from
+	} else {
+		// Round-robin across the home locale's workers.
+		base := s.locale * rt.cfg.WorkersPerLocale
+		rt.mu.Lock()
+		idx := int(rt.rr) % rt.cfg.WorkersPerLocale
+		rt.rr++
+		rt.mu.Unlock()
+		target = rt.workers[base+idx]
+	}
+	target.push(s)
+	rt.notify(target)
+}
+
+// notify wakes the target worker and, when stealing is enabled, one
+// parked thief so surplus work spreads.
+func (rt *Runtime) notify(target *worker) {
+	select {
+	case target.wake <- struct{}{}:
+	default:
+	}
+	if rt.cfg.Steal == StealNone {
+		return
+	}
+	rt.mu.Lock()
+	var thief *worker
+	for len(rt.parked) > 0 {
+		w := rt.parked[len(rt.parked)-1]
+		rt.parked = rt.parked[:len(rt.parked)-1]
+		w.isParked = false
+		if w != target {
+			thief = w
+			break
+		}
+	}
+	rt.mu.Unlock()
+	if thief != nil {
+		select {
+		case thief.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// park registers w as idle; it will be woken by notify or Shutdown.
+func (rt *Runtime) park(w *worker) {
+	rt.mu.Lock()
+	if !w.isParked {
+		w.isParked = true
+		rt.parked = append(rt.parked, w)
+	}
+	rt.mu.Unlock()
+}
+
+// String summarizes the runtime for debugging.
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("Runtime(locales=%d workers/locale=%d steal=%s)",
+		rt.cfg.Locales, rt.cfg.WorkersPerLocale, rt.cfg.Steal)
+}

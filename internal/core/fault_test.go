@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+// The fault-containment contract: a panicking SGT, fiber or LGT is a
+// recorded thread fault, not a process crash; the runtime stays
+// healthy, Wait returns, and subsequent work proceeds.
+
+func TestSGTPanicContained(t *testing.T) {
+	mon := monitor.New()
+	rt := newTestRT(t, Config{Monitor: mon, WorkersPerLocale: 2})
+	bad := rt.Go(func(s *SGT) { panic("kernel fault") })
+	bad.Done().Get()
+	if bad.Failure() != "kernel fault" {
+		t.Errorf("Failure = %v, want kernel fault", bad.Failure())
+	}
+	if mon.Counter("core.sgt.panic").Value() != 1 {
+		t.Error("panic counter not incremented")
+	}
+	// The pool still works.
+	var ok atomic.Bool
+	rt.Go(func(s *SGT) { ok.Store(true) }).Done().Get()
+	if !ok.Load() {
+		t.Error("runtime unhealthy after contained panic")
+	}
+	rt.Wait()
+}
+
+func TestFiberPanicContained(t *testing.T) {
+	rt := newTestRT(t, Config{WorkersPerLocale: 2})
+	s := rt.GoAt(0, 16, func(s *SGT) {
+		s.NewFiber(0, func(f *Fiber) { panic("fiber fault") })
+		s.NewFiber(0, func(f *Fiber) { f.Frame()[0] = 1 }) // must still run
+	})
+	s.Done().Get()
+	if s.Failure() != "fiber fault" {
+		t.Errorf("Failure = %v", s.Failure())
+	}
+	rt.Wait()
+}
+
+func TestFirstFailureWins(t *testing.T) {
+	rt := newTestRT(t, Config{WorkersPerLocale: 1})
+	s := rt.GoAt(0, 8, func(s *SGT) {
+		s.NewFiber(0, func(f *Fiber) { panic("first") })
+		s.NewFiber(0, func(f *Fiber) { panic("second") })
+	})
+	s.Done().Get()
+	// Fibers run LIFO off the ready stack, so "second" fires first; the
+	// contract is only that *a* failure is retained and both faults are
+	// contained.
+	if s.Failure() == nil {
+		t.Error("no failure recorded")
+	}
+	rt.Wait()
+}
+
+func TestLGTPanicContained(t *testing.T) {
+	mon := monitor.New()
+	rt := newTestRT(t, Config{Monitor: mon})
+	l := rt.SpawnLGT(0, func(l *LGT) { panic("lgt fault") })
+	l.Done().Get()
+	if l.Failure() != "lgt fault" {
+		t.Errorf("Failure = %v", l.Failure())
+	}
+	if mon.Counter("core.lgt.panic").Value() != 1 {
+		t.Error("lgt panic counter not incremented")
+	}
+	rt.Wait() // must not hang: the faulted LGT still retired its pending count
+}
+
+func TestCleanSGTHasNoFailure(t *testing.T) {
+	rt := newTestRT(t, Config{})
+	s := rt.Go(func(s *SGT) {})
+	s.Done().Get()
+	if s.Failure() != nil {
+		t.Errorf("clean SGT Failure = %v", s.Failure())
+	}
+	rt.Wait()
+}
+
+func TestPanicStormDoesNotWedgePool(t *testing.T) {
+	rt := newTestRT(t, Config{WorkersPerLocale: 4})
+	var survived atomic.Int64
+	for i := 0; i < 500; i++ {
+		i := i
+		rt.Go(func(s *SGT) {
+			if i%3 == 0 {
+				panic(i)
+			}
+			survived.Add(1)
+		})
+	}
+	rt.Wait()
+	want := int64(500 - (500+2)/3)
+	if survived.Load() != want {
+		t.Errorf("survived = %d, want %d", survived.Load(), want)
+	}
+}

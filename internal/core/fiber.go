@@ -1,0 +1,50 @@
+package core
+
+import "repro/internal/syncx"
+
+// Fiber is a tiny-grain thread (TGT): a run-to-completion code block
+// that shares the frame of its enclosing SGT and becomes runnable when
+// its dataflow sync slot fires. Fibers never block; they communicate by
+// writing frame state and signaling other fibers' slots — the EARTH
+// fiber discipline.
+type Fiber struct {
+	sgt  *SGT
+	slot *syncx.Slot
+	fn   func(*Fiber)
+}
+
+// NewFiber creates a fiber against s's frame that becomes runnable
+// after count signals. A count of zero enables it immediately.
+func (s *SGT) NewFiber(count int, fn func(*Fiber)) *Fiber {
+	if fn == nil {
+		panic("core: nil fiber body")
+	}
+	f := &Fiber{sgt: s, fn: fn}
+	s.mu.Lock()
+	if s.completed {
+		s.mu.Unlock()
+		panic("core: NewFiber on completed SGT")
+	}
+	s.outstanding++
+	s.mu.Unlock()
+	s.rt.mon.Counter("core.tgt.spawn").Inc()
+	// Arm the slot last: a zero count fires synchronously.
+	f.slot = syncx.NewSlot(count, func() { s.enqueueFiber(f) })
+	return f
+}
+
+// Signal delivers one dataflow token to the fiber; the count-th token
+// makes it runnable.
+func (f *Fiber) Signal() { f.slot.Signal() }
+
+// SignalN delivers n tokens at once.
+func (f *Fiber) SignalN(n int) { f.slot.SignalN(n) }
+
+// Pending returns the number of tokens the fiber still awaits.
+func (f *Fiber) Pending() int { return f.slot.Pending() }
+
+// SGT returns the enclosing small-grain thread (and thus the frame).
+func (f *Fiber) SGT() *SGT { return f.sgt }
+
+// Frame returns the enclosing SGT's frame storage.
+func (f *Fiber) Frame() []byte { return f.sgt.frame }

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment at scale 1
+// and checks structural health: a table with rows, and metrics present.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Errorf("ID = %q", res.ID)
+			}
+			if len(res.Table.Rows) == 0 {
+				t.Error("empty table")
+			}
+			if out := res.Table.String(); !strings.Contains(out, "EXP-"+id) {
+				t.Errorf("table title missing id:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+// Deterministic shape assertions: these must hold on any machine
+// because they come from the virtual-time simulator or the analytic
+// evaluator, not the wall clock.
+
+func TestShapeL1ParcelWinsLargeLosesSmall(t *testing.T) {
+	res, _ := Run("L1", 1)
+	if s := res.Metrics["parcel_speedup_32k"]; s <= 1 {
+		t.Errorf("parcel speedup at 32KB = %v, want > 1 (move work to data)", s)
+	}
+	if s := res.Metrics["parcel_speedup_64"]; s > 3 {
+		t.Errorf("parcel speedup at 64B = %v; parcels should not dominate tiny transfers", s)
+	}
+}
+
+func TestShapeL3PercolationHelps(t *testing.T) {
+	res, _ := Run("L3", 1)
+	if s := res.Metrics["percolation_speedup"]; s <= 1 {
+		t.Errorf("percolation speedup = %v, want > 1", s)
+	}
+}
+
+func TestShapeA1AdaptiveBeatsStaticUnderVariance(t *testing.T) {
+	res, _ := Run("A1", 1)
+	if s := res.Metrics["adaptive_speedup_cv2"]; s <= 1 {
+		t.Errorf("adaptive speedup at cv=2 = %v, want > 1", s)
+	}
+}
+
+func TestShapeA3AdaptiveCutsCost(t *testing.T) {
+	res, _ := Run("A3", 1)
+	off := res.Metrics["cost_off"]
+	ad := res.Metrics["cost_adaptive"]
+	if ad >= off {
+		t.Errorf("adaptive locality cost %v should undercut off %v", ad, off)
+	}
+}
+
+func TestShapeA4AdaptiveAtHighLatency(t *testing.T) {
+	res, _ := Run("A4", 1)
+	if s := res.Metrics["speedup_adaptive_vs_off"]; s <= 1 {
+		t.Errorf("adaptive percolation speedup at 320-cycle DRAM = %v, want > 1", s)
+	}
+}
+
+func TestShapeS1SSPBeatsInnermostOnRecurrence(t *testing.T) {
+	res, _ := Run("S1", 1)
+	if s := res.Metrics["ssp_speedup_recurrence"]; s <= 1 {
+		t.Errorf("SSP speedup on recurrence kernel = %v, want > 1", s)
+	}
+}
+
+func TestShapeS2HybridScales(t *testing.T) {
+	res, _ := Run("S2", 1)
+	if s := res.Metrics["hybrid_speedup_16t"]; s < 4 {
+		t.Errorf("hybrid 16-thread speedup = %v, want >= 4", s)
+	}
+	if s := res.Metrics["hybrid_vs_tlp_16t"]; s <= 1 {
+		t.Errorf("hybrid vs TLP-only = %v, want > 1", s)
+	}
+}
+
+func TestShapeS3DynamicBeatsStaticOnSkew(t *testing.T) {
+	res, _ := Run("S3", 1)
+	static := res.Metrics["makespan_static-block"]
+	gss := res.Metrics["makespan_gss"]
+	fact := res.Metrics["makespan_factoring"]
+	if gss >= static || fact >= static {
+		t.Errorf("dynamic (gss %v, factoring %v) should beat static (%v) on lognormal costs",
+			gss, fact, static)
+	}
+}
+
+func TestShapeF1PipelineRevises(t *testing.T) {
+	res, _ := Run("F1", 1)
+	if res.Metrics["revisions"] < 1 {
+		t.Error("feedback round should produce a plan revision")
+	}
+}
+
+func TestShapeG1GrainOrdering(t *testing.T) {
+	res, _ := Run("G1", 1)
+	lgt, sgt, tgt := res.Metrics["lgt_ns"], res.Metrics["sgt_ns"], res.Metrics["tgt_ns"]
+	// The paper's grain hierarchy: TGT invocation must be the cheapest
+	// and LGT the most expensive. (Wall clock, but the gaps are orders
+	// of magnitude.)
+	if !(tgt < sgt && sgt < lgt) {
+		t.Errorf("grain cost ordering violated: lgt=%v sgt=%v tgt=%v", lgt, sgt, tgt)
+	}
+}
+
+func TestSpinDeterministic(t *testing.T) {
+	if spin(100) != spin(100) {
+		t.Error("spin must be deterministic")
+	}
+}
+
+func TestLognormalCosts(t *testing.T) {
+	u := lognormalCosts(100, 0, 1)
+	for _, c := range u {
+		if c != 10 {
+			t.Fatal("cv=0 should be uniform")
+		}
+	}
+	v := lognormalCosts(5000, 1, 1)
+	var mean float64
+	for _, c := range v {
+		mean += c
+	}
+	mean /= float64(len(v))
+	if mean <= 0 {
+		t.Error("degenerate lognormal")
+	}
+}
+
+func TestSigmaForCV(t *testing.T) {
+	// cv=1 -> sigma = sqrt(ln 2) ~ 0.8326
+	s := sigmaForCV(1)
+	if s < 0.82 || s > 0.85 {
+		t.Errorf("sigmaForCV(1) = %v, want ~0.833", s)
+	}
+}

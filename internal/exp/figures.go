@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/apps/neuro"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/hints"
+	"repro/internal/loopir"
+	"repro/internal/monitor"
+	"repro/internal/parcel"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("F1", ExpF1Pipeline)
+	register("F2", ExpF2Hierarchy)
+	register("F3", ExpF3Hints)
+}
+
+// neocortexScript is the Fig. 3-style domain-expert script used by F1
+// and F3: the expert declares the kernel's beneficial level, initial
+// scheduling strategy, and rules reacting to runtime facts.
+const neocortexScript = `
+# pNeocortex mapping, distilled by the domain expert
+fact columns 64
+hint kernelmap target=compiler category=computation-pattern priority=80 level=0 strategy=factoring chunk=1
+hint spikedata target=runtime category=locality priority=70 replicate=on
+hint watchlat target=monitor category=monitoring priority=50 sample=latency
+rule kernelmap when iter.cv > 0.8 set strategy=self
+rule kernelmap when core.steal.remote > 100 set chunk=8
+`
+
+// neuroKernel is the neuron-update loop nest as the static compiler
+// sees it: columns x neurons, a membrane update chain with a
+// column-carried recurrence at the neuron level (synaptic integration).
+func neuroKernel() *loopir.Nest {
+	return &loopir.Nest{
+		Name:  "neuron-update",
+		Trips: []int{64, 8},
+		Ops: []loopir.Op{
+			{ID: 0, Name: "load-v", Latency: 3, Resource: loopir.MEM},
+			{ID: 1, Name: "integrate", Latency: 5, Resource: loopir.FPU},
+			{ID: 2, Name: "threshold", Latency: 1, Resource: loopir.ALU},
+			{ID: 3, Name: "store-v", Latency: 1, Resource: loopir.MEM},
+		},
+		Deps: []loopir.Dep{
+			{From: 0, To: 1, Distance: []int{0, 0}},
+			{From: 1, To: 2, Distance: []int{0, 0}},
+			{From: 2, To: 3, Distance: []int{0, 0}},
+			{From: 1, To: 1, Distance: []int{0, 1}},
+		},
+	}
+}
+
+// ExpF1Pipeline regenerates Fig. 1 as an executable artifact: the whole
+// software stack runs end to end — domain script into the knowledge
+// database, static compilation to partial plans, dynamic completion,
+// a (model) execution, monitor feedback, and a recompilation round.
+func ExpF1Pipeline(scale int) *Result {
+	res := newResult("F1", "EXP-F1: Fig.1 pipeline (script -> hints -> compile -> run -> feedback)",
+		"stage", "detail", "value")
+	db := hints.NewDB()
+	if err := hints.ParseScriptString(neocortexScript, db); err != nil {
+		panic(err)
+	}
+	res.Table.AddRow("script", "hints loaded", len(db.Query(hints.TargetCompiler, ""))+
+		len(db.Query(hints.TargetRuntime, ""))+len(db.Query(hints.TargetMonitor, "")))
+
+	mon := monitor.New()
+	c := compiler.New(db, loopir.DefaultResources(), mon)
+	prog := &compiler.Program{Name: "pNeocortex", Nests: []*loopir.Nest{neuroKernel()}}
+	pps, err := c.StaticCompile(prog)
+	if err != nil {
+		panic(err)
+	}
+	res.Table.AddRow("static", "forced level (pragma)", pps[0].ForcedLevel)
+	res.Table.AddRow("static", "strategy hint", pps[0].Strategy)
+
+	fp, err := c.DynamicComplete(pps[0], 8*scale)
+	if err != nil {
+		panic(err)
+	}
+	res.Table.AddRow("dynamic", "threads", fp.Threads)
+	res.Table.AddRow("dynamic", "II", fp.Schedule.II)
+	res.Table.AddRow("dynamic", "predicted cycles", fp.PredictedCycles)
+
+	// "Execute": the model runs 3x slower than predicted (e.g. the
+	// machine is contended), and the monitor saw no remote steals.
+	observed := fp.PredictedCycles * 3
+	rep := monitor.Report{Counters: map[string]int64{"core.steal.remote": 0}}
+	next, revised := c.Recompile(fp, observed, rep)
+	res.Table.AddRow("feedback", "revised", fmt.Sprintf("%v", revised))
+	res.Table.AddRow("feedback", "threads after revision", next.Threads)
+	res.Table.AddRow("feedback", "new predicted cycles", next.PredictedCycles)
+
+	res.Metrics["revisions"] = float64(next.Revision)
+	res.Metrics["predicted_cycles"] = float64(next.PredictedCycles)
+	return res
+}
+
+// ExpF2Hierarchy regenerates Fig. 2: the brain-network simulation
+// mapped onto the thread hierarchy, compared with flat threading and
+// with the sequential characterization baseline, across worker counts.
+func ExpF2Hierarchy(scale int) *Result {
+	res := newResult("F2", "EXP-F2: Fig.2 neuron network, flat vs hierarchical threading",
+		"variant", "workers", "time_ms", "speedup", "spikes")
+	p := neuro.DefaultParams().Scale(scale)
+	const steps = 50
+
+	seqNet := neuro.Build(p)
+	seqMS := timeIt(func() { seqNet.RunSequential(steps) })
+	res.Table.AddRow("sequential", 1, seqMS, 1.0, seqNet.TotalSpikes())
+
+	// Worker counts are multiples of the region count so both variants
+	// run the same total pool (the hierarchical runner needs at least
+	// one worker per region locale).
+	for _, workers := range []int{4, 8, 16} {
+		flat := neuro.Build(p)
+		rt := core.NewRuntime(core.Config{WorkersPerLocale: workers})
+		flatMS := timeIt(func() { flat.RunFlat(rt, steps, 64); rt.Wait() })
+		rt.Shutdown()
+		res.Table.AddRow("flat", workers, flatMS, stats.Speedup(seqMS, flatMS), flat.TotalSpikes())
+
+		hier := neuro.Build(p)
+		rt2 := core.NewRuntime(core.Config{Locales: p.Regions, WorkersPerLocale: workers / p.Regions})
+		// Grain adapts to machine resources (the loop-parallelism
+		// adaptation rule): enough SGTs per phase to feed every worker
+		// twice over.
+		colsPerSGT := hier.TotalColumns() / (2 * workers)
+		if colsPerSGT < 1 {
+			colsPerSGT = 1
+		}
+		hierMS := timeIt(func() { hier.RunHierarchical(rt2, steps, colsPerSGT); rt2.Wait() })
+		rt2.Shutdown()
+		res.Table.AddRow("hierarchical", workers, hierMS, stats.Speedup(seqMS, hierMS), hier.TotalSpikes())
+
+		// Distributed: same hierarchy, but inter-region spike exchange
+		// goes through parcels instead of shared flags — the cost of
+		// the message-driven discipline on a shared-memory host.
+		dist := neuro.Build(p)
+		rt3 := core.NewRuntime(core.Config{Locales: p.Regions, WorkersPerLocale: workers / p.Regions})
+		pnet := parcel.NewNet(rt3)
+		distMS := timeIt(func() { dist.RunDistributed(rt3, pnet, steps, colsPerSGT); rt3.Wait() })
+		rt3.Shutdown()
+		res.Table.AddRow("distributed", workers, distMS, stats.Speedup(seqMS, distMS), dist.TotalSpikes())
+
+		if seqNet.TotalSpikes() != flat.TotalSpikes() ||
+			seqNet.TotalSpikes() != hier.TotalSpikes() ||
+			seqNet.TotalSpikes() != dist.TotalSpikes() {
+			panic("exp: F2 spike trains diverged between mappings")
+		}
+		if workers == 8 {
+			res.Metrics["flat_speedup_8w"] = stats.Speedup(seqMS, flatMS)
+			res.Metrics["hier_speedup_8w"] = stats.Speedup(seqMS, hierMS)
+			res.Metrics["dist_speedup_8w"] = stats.Speedup(seqMS, distMS)
+		}
+	}
+	return res
+}
+
+// ExpF3Hints regenerates Fig. 3's payoff: the same neuron-update loop
+// scheduled with and without the domain expert's structured hints. Per-
+// column costs come from the real network's in-degree distribution, and
+// the comparison uses the deterministic makespan evaluator.
+func ExpF3Hints(scale int) *Result {
+	res := newResult("F3", "EXP-F3: Fig.3 domain hints, unhinted vs hinted mapping",
+		"variant", "strategy", "makespan", "imbalance", "chunks")
+	p := neuro.DefaultParams().Scale(scale)
+	// Cortical hub columns: 10% of columns carry 8x the synapses, the
+	// imbalance the domain expert knows about and the static compiler
+	// does not.
+	p.HubBoost = 8
+	net := neuro.Build(p)
+
+	// Per-column cost = synaptic in-degree (the spike-gather work), the
+	// dominant and imbalanced phase.
+	cols := net.TotalColumns()
+	costs := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		lo, hi := net.ColumnRange(c)
+		inEdges := 0
+		for i := lo; i < hi; i++ {
+			inEdges += net.InDegree(i)
+		}
+		costs[c] = float64(inEdges)
+	}
+	const workers, overhead = 8, 2.0
+
+	// Unhinted: the static compiler's default block partition.
+	unhinted := sched.Evaluate(costs, workers, sched.StaticBlock(), overhead)
+	res.Table.AddRow("unhinted", "static-block", unhinted.Makespan, unhinted.Imbalance, unhinted.Chunks)
+
+	// Hinted: the expert's script selects factoring with a small chunk.
+	db := hints.NewDB()
+	if err := hints.ParseScriptString(neocortexScript, db); err != nil {
+		panic(err)
+	}
+	params := db.Effective(hints.TargetCompiler, hints.CatComputation)
+	strategy := hints.ParamString(params, "strategy", "factoring")
+	chunk := hints.ParamInt(params, "chunk", 1)
+	var fac sched.Factory
+	switch strategy {
+	case "self":
+		fac = sched.SelfSched(chunk)
+	default:
+		fac = sched.Factoring(chunk)
+	}
+	hinted := sched.Evaluate(costs, workers, fac, overhead)
+	res.Table.AddRow("hinted", strategy, hinted.Makespan, hinted.Imbalance, hinted.Chunks)
+
+	// The monitor reports high iteration variance; the expert's rule
+	// flips the strategy to pure self-scheduling, which never pairs two
+	// hub columns in one chunk.
+	db.SetFact("iter.cv", 1.5)
+	params = db.Effective(hints.TargetCompiler, hints.CatComputation)
+	adapted := sched.Evaluate(costs, workers, sched.SelfSched(hints.ParamInt(params, "chunk", 1)), overhead)
+	res.Table.AddRow("hinted+rule", hints.ParamString(params, "strategy", "?"), adapted.Makespan, adapted.Imbalance, adapted.Chunks)
+
+	res.Metrics["speedup_hinted"] = stats.Speedup(unhinted.Makespan, hinted.Makespan)
+	res.Metrics["speedup_rule"] = stats.Speedup(unhinted.Makespan, adapted.Makespan)
+	return res
+}

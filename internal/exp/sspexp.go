@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"repro/internal/loopir"
+	"repro/internal/sched"
+	"repro/internal/ssp"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("S1", ExpS1SSP)
+	register("S2", ExpS2Hybrid)
+	register("S3", ExpS3LoopSched)
+}
+
+// sspKernels are the loop nests of the S-series: each has an innermost
+// recurrence of a different tightness, the regime where pipelining the
+// outer level (SSP) pays.
+func sspKernels(scale int) []*loopir.Nest {
+	trip := 256 * scale
+	return []*loopir.Nest{
+		{
+			Name:  "stencil-1d-sweep", // recurrence on j, free i
+			Trips: []int{trip, 8},
+			Ops: []loopir.Op{
+				{ID: 0, Name: "load", Latency: 3, Resource: loopir.MEM},
+				{ID: 1, Name: "fma", Latency: 6, Resource: loopir.FPU},
+				{ID: 2, Name: "store", Latency: 1, Resource: loopir.MEM},
+			},
+			Deps: []loopir.Dep{
+				{From: 0, To: 1, Distance: []int{0, 0}},
+				{From: 1, To: 2, Distance: []int{0, 0}},
+				{From: 1, To: 1, Distance: []int{0, 1}},
+			},
+		},
+		{
+			Name:  "lin-recurrence", // long recurrence chain on j
+			Trips: []int{trip, 6},
+			Ops: []loopir.Op{
+				{ID: 0, Name: "load", Latency: 4, Resource: loopir.MEM},
+				{ID: 1, Name: "mul", Latency: 5, Resource: loopir.FPU},
+				{ID: 2, Name: "add", Latency: 2, Resource: loopir.ALU},
+				{ID: 3, Name: "store", Latency: 1, Resource: loopir.MEM},
+			},
+			Deps: []loopir.Dep{
+				{From: 0, To: 1, Distance: []int{0, 0}},
+				{From: 1, To: 2, Distance: []int{0, 0}},
+				{From: 2, To: 3, Distance: []int{0, 0}},
+				{From: 2, To: 1, Distance: []int{0, 1}},
+			},
+		},
+		{
+			Name:  "independent", // no recurrence anywhere (control)
+			Trips: []int{trip, 8},
+			Ops: []loopir.Op{
+				{ID: 0, Name: "load", Latency: 3, Resource: loopir.MEM},
+				{ID: 1, Name: "add", Latency: 1, Resource: loopir.ALU},
+				{ID: 2, Name: "store", Latency: 1, Resource: loopir.MEM},
+			},
+			Deps: []loopir.Dep{
+				{From: 0, To: 1, Distance: []int{0, 0}},
+				{From: 1, To: 2, Distance: []int{0, 0}},
+			},
+		},
+	}
+}
+
+// ExpS1SSP regenerates Section 3.3's core comparison: serial execution,
+// innermost-only modulo scheduling, and SSP at the model-selected
+// level, in virtual cycles, for three kernels.
+func ExpS1SSP(scale int) *Result {
+	res := newResult("S1", "EXP-S1: SSP vs innermost modulo scheduling (virtual cycles)",
+		"kernel", "variant", "level", "II", "cycles", "speedup_vs_serial")
+	resources := loopir.DefaultResources()
+	for _, n := range sspKernels(scale) {
+		serial := n.SerialCycles()
+		res.Table.AddRow(n.Name, "serial", "-", "-", serial, 1.0)
+
+		innermost := n.Depth() - 1
+		if inner, err := ssp.Pipeline(n, innermost, resources); err == nil {
+			cycles := inner.NestMakespan()
+			res.Table.AddRow(n.Name, "modulo-innermost", innermost, inner.II, cycles,
+				stats.Speedup(float64(serial), float64(cycles)))
+		}
+
+		level, best, err := ssp.SelectLevel(n, resources)
+		if err != nil {
+			continue
+		}
+		cycles := best.NestMakespan()
+		res.Table.AddRow(n.Name, "ssp-selected", level, best.II, cycles,
+			stats.Speedup(float64(serial), float64(cycles)))
+		if n.Name == "lin-recurrence" {
+			res.Metrics["ssp_speedup_recurrence"] = stats.Speedup(float64(serial), float64(cycles))
+		}
+	}
+	return res
+}
+
+// ExpS2Hybrid regenerates the ILP+TLP hybrid claim: SSP-pipelined
+// iterations partitioned across thread counts, against the TLP-only
+// dynamic-scheduling baseline at the same thread counts.
+func ExpS2Hybrid(scale int) *Result {
+	res := newResult("S2", "EXP-S2: SSP+threads hybrid scaling vs TLP-only",
+		"kernel", "threads", "hybrid_cycles", "tlp_only_cycles", "hybrid_speedup")
+	resources := loopir.DefaultResources()
+	const spawnCost = 30
+	for _, n := range sspKernels(scale)[:2] { // the two recurrence kernels
+		level, sch, err := ssp.SelectLevel(n, resources)
+		if err != nil {
+			continue
+		}
+		base := sch.Partition(1).Makespan(spawnCost)
+		for _, threads := range []int{1, 2, 4, 8, 16} {
+			hybrid := sch.Partition(threads).Makespan(spawnCost)
+			tlp := ssp.TLPOnlyMakespan(n, level, threads, spawnCost)
+			res.Table.AddRow(n.Name, threads, hybrid, tlp,
+				stats.Speedup(float64(base), float64(hybrid)))
+			if threads == 16 && n.Name == "stencil-1d-sweep" {
+				res.Metrics["hybrid_speedup_16t"] = stats.Speedup(float64(base), float64(hybrid))
+				res.Metrics["hybrid_vs_tlp_16t"] = stats.Speedup(float64(tlp), float64(hybrid))
+			}
+		}
+	}
+	return res
+}
+
+// ExpS3LoopSched regenerates the dynamic-loop-scheduling comparison of
+// Section 3.3: the full strategy family across cost distributions and
+// dispatch overheads, deterministic makespans.
+func ExpS3LoopSched(scale int) *Result {
+	res := newResult("S3", "EXP-S3: loop scheduling strategies across cost distributions",
+		"distribution", "overhead", "strategy", "makespan", "imbalance", "chunks")
+	const workers = 8
+	n := 4096 * scale
+
+	distributions := []struct {
+		name  string
+		costs []float64
+	}{
+		{"uniform", lognormalCosts(n, 0, 5)},
+		{"lognormal-cv1", lognormalCosts(n, 1, 5)},
+		{"bimodal", bimodalCosts(n, 5)},
+	}
+	strategies := []struct {
+		name string
+		fac  sched.Factory
+	}{
+		{"static-block", sched.StaticBlock()},
+		{"static-cyclic/8", sched.StaticCyclic(8)},
+		{"self-sched", sched.SelfSched(1)},
+		{"chunked/32", sched.SelfSched(32)},
+		{"gss", sched.GSS(1)},
+		{"factoring", sched.Factoring(1)},
+		{"trapezoid", sched.Trapezoid(0, 0)},
+		{"affinity", sched.Affinity(0)},
+	}
+	for _, d := range distributions {
+		for _, overhead := range []float64{0, 5} {
+			for _, s := range strategies {
+				r := sched.Evaluate(d.costs, workers, s.fac, overhead)
+				res.Table.AddRow(d.name, overhead, s.name, r.Makespan, r.Imbalance, r.Chunks)
+				if d.name == "lognormal-cv1" && overhead == 5 {
+					res.Metrics["makespan_"+s.name] = r.Makespan
+				}
+			}
+		}
+	}
+	return res
+}
+
+// bimodalCosts: mostly cheap iterations with a hot stripe (models the
+// protein core of the MD workload).
+func bimodalCosts(n int, seed uint64) []float64 {
+	r := stats.NewRNG(seed)
+	costs := make([]float64, n)
+	for i := range costs {
+		if r.Float64() < 0.1 {
+			costs[i] = 100
+		} else {
+			costs[i] = 5
+		}
+	}
+	return costs
+}

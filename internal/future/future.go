@@ -1,0 +1,119 @@
+// Package future implements LITL-X futures (Section 3.2): eager
+// producer-consumer values in the Multilisp tradition [Halstead 1985],
+// "with efficient localized buffering of requests at the site of the
+// needed values". A future starts computing as soon as it is created
+// (eager); consumers either block (Get) or attach continuations (Then)
+// that are buffered at the future's cell and run when the value arrives
+// — no consumer ever polls.
+package future
+
+import (
+	"repro/internal/core"
+	"repro/internal/syncx"
+)
+
+// Future is a placeholder for a value of type T being computed
+// elsewhere.
+type Future[T any] struct {
+	cell *syncx.Cell[T]
+	rt   *core.Runtime
+	home int // locale the value is produced at
+}
+
+// Spawn eagerly starts fn as an SGT at the given locale and returns the
+// future of its result.
+func Spawn[T any](rt *core.Runtime, locale int, fn func() T) *Future[T] {
+	f := &Future[T]{cell: syncx.NewCell[T](), rt: rt, home: locale}
+	rt.GoAt(locale, 0, func(s *core.SGT) {
+		f.cell.Put(fn())
+	})
+	rt.Monitor().Counter("future.spawn").Inc()
+	return f
+}
+
+// SpawnFrom starts fn as a child SGT of s (same locale, LIFO deque) —
+// the cheap fork for recursive divide-and-conquer futures.
+func SpawnFrom[T any](s *core.SGT, fn func() T) *Future[T] {
+	f := &Future[T]{cell: syncx.NewCell[T](), rt: s.Runtime(), home: s.Locale()}
+	s.Spawn(func(c *core.SGT) {
+		f.cell.Put(fn())
+	})
+	s.Runtime().Monitor().Counter("future.spawn").Inc()
+	return f
+}
+
+// Resolved returns an already-filled future.
+func Resolved[T any](v T) *Future[T] {
+	f := &Future[T]{cell: syncx.NewCell[T]()}
+	f.cell.Put(v)
+	return f
+}
+
+// Promise returns an empty future plus its resolver, for values
+// produced by external events (parcels, I/O).
+func Promise[T any](rt *core.Runtime) (*Future[T], func(T)) {
+	f := &Future[T]{cell: syncx.NewCell[T](), rt: rt}
+	return f, f.cell.Put
+}
+
+// Get blocks the calling goroutine until the value is available. From
+// worker code, prefer Then to keep the worker free.
+func (f *Future[T]) Get() T { return f.cell.Get() }
+
+// Ready reports whether the value has been produced.
+func (f *Future[T]) Ready() bool { return f.cell.Full() }
+
+// Home returns the locale the value is produced at (0 for Resolved).
+func (f *Future[T]) Home() int { return f.home }
+
+// Then registers fn to run with the value once available; the request
+// is buffered at the future, and fn runs immediately when the value is
+// already there. fn executes on the producer's goroutine (or the
+// caller's when already resolved) — keep it small, or spawn inside it.
+func (f *Future[T]) Then(fn func(T)) { f.cell.OnFull(fn) }
+
+// ThenSpawn registers a continuation that runs as a fresh SGT at the
+// given locale when the value arrives, the parcel-friendly form.
+func (f *Future[T]) ThenSpawn(locale int, fn func(*core.SGT, T)) {
+	if f.rt == nil {
+		panic("future: ThenSpawn on a runtime-less future (use Then)")
+	}
+	rt := f.rt
+	f.cell.OnFull(func(v T) {
+		rt.GoAt(locale, 0, func(s *core.SGT) { fn(s, v) })
+	})
+}
+
+// Map derives a future whose value is g applied to f's value, computed
+// as soon as f resolves (eagerness is preserved through the chain).
+func Map[T, U any](f *Future[T], g func(T) U) *Future[U] {
+	out := &Future[U]{cell: syncx.NewCell[U](), rt: f.rt, home: f.home}
+	f.cell.OnFull(func(v T) { out.cell.Put(g(v)) })
+	return out
+}
+
+// All collects n futures into one future of the slice of values, in
+// input order. It never blocks a goroutine: each input buffers a
+// continuation, and the last arrival assembles the result.
+func All[T any](fs ...*Future[T]) *Future[[]T] {
+	out := &Future[[]T]{cell: syncx.NewCell[[]T]()}
+	if len(fs) > 0 {
+		out.rt = fs[0].rt
+		out.home = fs[0].home
+	}
+	n := len(fs)
+	if n == 0 {
+		out.cell.Put(nil)
+		return out
+	}
+	results := make([]T, n)
+	slot := syncx.NewSlot(n, func() { out.cell.Put(results) })
+	for i, f := range fs {
+		i := i
+		f.cell.OnFull(func(v T) {
+			results[i] = v // distinct index per continuation: no race
+			slot.Signal()
+		})
+	}
+	return out
+}

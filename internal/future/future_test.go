@@ -1,0 +1,193 @@
+package future
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newRT(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt := core.NewRuntime(core.Config{Locales: 2, WorkersPerLocale: 2})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestSpawnEager(t *testing.T) {
+	rt := newRT(t)
+	var ran atomic.Bool
+	f := Spawn(rt, 0, func() int {
+		ran.Store(true)
+		return 5
+	})
+	// Eager: the computation proceeds without any Get.
+	rt.Wait()
+	if !ran.Load() {
+		t.Error("future did not compute eagerly")
+	}
+	if v := f.Get(); v != 5 {
+		t.Errorf("Get = %d, want 5", v)
+	}
+	if !f.Ready() {
+		t.Error("Ready should be true after completion")
+	}
+}
+
+func TestGetBlocksUntilValue(t *testing.T) {
+	rt := newRT(t)
+	f := Spawn(rt, 0, func() string {
+		x := 0
+		for i := 0; i < 1e6; i++ {
+			x += i
+		}
+		_ = x
+		return "done"
+	})
+	if v := f.Get(); v != "done" {
+		t.Errorf("Get = %q", v)
+	}
+}
+
+func TestResolved(t *testing.T) {
+	f := Resolved(99)
+	if !f.Ready() || f.Get() != 99 {
+		t.Error("Resolved future broken")
+	}
+}
+
+func TestPromise(t *testing.T) {
+	rt := newRT(t)
+	f, resolve := Promise[int](rt)
+	if f.Ready() {
+		t.Error("promise should start empty")
+	}
+	go resolve(7)
+	if v := f.Get(); v != 7 {
+		t.Errorf("Get = %d", v)
+	}
+}
+
+func TestThenBuffered(t *testing.T) {
+	rt := newRT(t)
+	f, resolve := Promise[int](rt)
+	var got atomic.Int64
+	f.Then(func(v int) { got.Store(int64(v)) })
+	resolve(13)
+	if got.Load() != 13 {
+		t.Errorf("continuation got %d, want 13", got.Load())
+	}
+}
+
+func TestThenOnResolvedRunsNow(t *testing.T) {
+	f := Resolved(3)
+	ran := false
+	f.Then(func(v int) { ran = v == 3 })
+	if !ran {
+		t.Error("Then on resolved future should run immediately")
+	}
+}
+
+func TestThenSpawnLocale(t *testing.T) {
+	rt := newRT(t)
+	f := Spawn(rt, 0, func() int { return 1 })
+	ch := make(chan int, 1)
+	f.ThenSpawn(1, func(s *core.SGT, v int) {
+		ch <- s.Locale()
+	})
+	if loc := <-ch; loc != 1 {
+		t.Errorf("continuation locale = %d, want 1", loc)
+	}
+	rt.Wait()
+}
+
+func TestMapChain(t *testing.T) {
+	rt := newRT(t)
+	f := Spawn(rt, 0, func() int { return 10 })
+	g := Map(f, func(v int) int { return v + 1 })
+	h := Map(g, func(v int) string {
+		if v == 11 {
+			return "ok"
+		}
+		return "bad"
+	})
+	if v := h.Get(); v != "ok" {
+		t.Errorf("chained value = %q", v)
+	}
+	rt.Wait()
+}
+
+func TestAll(t *testing.T) {
+	rt := newRT(t)
+	fs := make([]*Future[int], 10)
+	for i := range fs {
+		i := i
+		fs[i] = Spawn(rt, i%2, func() int { return i * i })
+	}
+	vals := All(fs...).Get()
+	for i, v := range vals {
+		if v != i*i {
+			t.Errorf("vals[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	rt.Wait()
+}
+
+func TestAllEmpty(t *testing.T) {
+	f := All[int]()
+	if v := f.Get(); v != nil {
+		t.Errorf("All() = %v, want nil", v)
+	}
+}
+
+func TestSpawnFromTree(t *testing.T) {
+	rt := newRT(t)
+	var fib func(s *core.SGT, n int) int
+	fib = func(s *core.SGT, n int) int {
+		if n < 2 {
+			return n
+		}
+		left := SpawnFrom(s, func() int { return fibSeq(n - 1) })
+		right := fibSeq(n - 2)
+		return left.Get() + right
+	}
+	ch := make(chan int, 1)
+	rt.Go(func(s *core.SGT) { ch <- fib(s, 15) })
+	if got := <-ch; got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+	rt.Wait()
+}
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+func TestProducerConsumerChainOrder(t *testing.T) {
+	// Chain of futures, each consuming the previous: values must flow
+	// in order without any polling.
+	rt := newRT(t)
+	const n = 50
+	futs := make([]*Future[int], n)
+	futs[0] = Spawn(rt, 0, func() int { return 1 })
+	for i := 1; i < n; i++ {
+		prev := futs[i-1]
+		futs[i] = Map(prev, func(v int) int { return v + 1 })
+	}
+	if got := futs[n-1].Get(); got != n {
+		t.Errorf("chain end = %d, want %d", got, n)
+	}
+	rt.Wait()
+}
+
+func TestHome(t *testing.T) {
+	rt := newRT(t)
+	f := Spawn(rt, 1, func() int { return 0 })
+	if f.Home() != 1 {
+		t.Errorf("Home = %d, want 1", f.Home())
+	}
+	rt.Wait()
+}

@@ -1,0 +1,270 @@
+// Package hints implements the structured-hints system of Section 4.1:
+// the bridge between domain experts and the HTVM system software. A
+// hint names a target stage (adaptive compiler, runtime, or monitoring
+// system), a category (the paper's four: data locality, monitoring
+// priorities, data access patterns, computation patterns), a priority,
+// free-form parameters, and conditional rules that adjust those
+// parameters from runtime facts. Hints live in the Program/Execution
+// Knowledge Database together with the facts the monitor reports, and
+// the compiler/runtime query the database for the effective parameter
+// set at each decision point.
+package hints
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Target is the execution-model stage a hint addresses.
+type Target string
+
+// Hint targets.
+const (
+	TargetCompiler Target = "compiler"
+	TargetRuntime  Target = "runtime"
+	TargetMonitor  Target = "monitor"
+)
+
+// Category classifies what the hint is about (Section 4.1 lists these
+// four as the issues hints must address "in a general way").
+type Category string
+
+// Hint categories.
+const (
+	CatLocality    Category = "locality"
+	CatMonitoring  Category = "monitoring"
+	CatAccess      Category = "access-pattern"
+	CatComputation Category = "computation-pattern"
+)
+
+func validTarget(t Target) bool {
+	return t == TargetCompiler || t == TargetRuntime || t == TargetMonitor
+}
+
+func validCategory(c Category) bool {
+	switch c {
+	case CatLocality, CatMonitoring, CatAccess, CatComputation:
+		return true
+	}
+	return false
+}
+
+// Op is a comparison operator in a rule condition.
+type Op string
+
+// Rule operators.
+const (
+	OpLT Op = "<"
+	OpGT Op = ">"
+	OpLE Op = "<="
+	OpGE Op = ">="
+	OpEQ Op = "=="
+)
+
+// Rule is a conditional parameter override: when the named fact
+// satisfies the comparison, the parameter takes the given value.
+type Rule struct {
+	Fact  string
+	Op    Op
+	Value float64
+	Key   string
+	Set   string
+}
+
+// eval applies the rule against a fact value.
+func (r Rule) eval(v float64) bool {
+	switch r.Op {
+	case OpLT:
+		return v < r.Value
+	case OpGT:
+		return v > r.Value
+	case OpLE:
+		return v <= r.Value
+	case OpGE:
+		return v >= r.Value
+	case OpEQ:
+		return v == r.Value
+	}
+	return false
+}
+
+// Hint is one structured hint.
+type Hint struct {
+	Name     string
+	Target   Target
+	Category Category
+	Priority int // higher wins on parameter conflicts
+	Params   map[string]string
+	Rules    []Rule
+}
+
+// Validate checks hint well-formedness.
+func (h *Hint) Validate() error {
+	if h.Name == "" {
+		return fmt.Errorf("hints: hint with empty name")
+	}
+	if !validTarget(h.Target) {
+		return fmt.Errorf("hints: hint %q has invalid target %q", h.Name, h.Target)
+	}
+	if !validCategory(h.Category) {
+		return fmt.Errorf("hints: hint %q has invalid category %q", h.Name, h.Category)
+	}
+	if h.Priority < 0 || h.Priority > 100 {
+		return fmt.Errorf("hints: hint %q priority %d outside [0,100]", h.Name, h.Priority)
+	}
+	for _, r := range h.Rules {
+		if r.Fact == "" || r.Key == "" {
+			return fmt.Errorf("hints: hint %q has malformed rule", h.Name)
+		}
+	}
+	return nil
+}
+
+// DB is the Program/Execution Knowledge Database: hints from the domain
+// expert plus facts from the runtime monitor. Safe for concurrent use.
+type DB struct {
+	mu    sync.RWMutex
+	hints map[string]*Hint
+	facts map[string]float64
+}
+
+// NewDB returns an empty knowledge database.
+func NewDB() *DB {
+	return &DB{hints: make(map[string]*Hint), facts: make(map[string]float64)}
+}
+
+// AddHint validates and stores a hint (replacing a same-named one).
+func (db *DB) AddHint(h *Hint) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.hints[h.Name] = h
+	db.mu.Unlock()
+	return nil
+}
+
+// Hint returns the named hint, if present.
+func (db *DB) Hint(name string) (*Hint, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h, ok := db.hints[name]
+	return h, ok
+}
+
+// SetFact records a runtime fact (monitor observations, static facts
+// from scripts).
+func (db *DB) SetFact(key string, v float64) {
+	db.mu.Lock()
+	db.facts[key] = v
+	db.mu.Unlock()
+}
+
+// Fact returns a fact value.
+func (db *DB) Fact(key string) (float64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.facts[key]
+	return v, ok
+}
+
+// ImportFacts copies counters and EWMAs from a monitor snapshot into
+// the fact store under their instrument names.
+func (db *DB) ImportFacts(counters map[string]int64, ewmas map[string]float64) {
+	db.mu.Lock()
+	for k, v := range counters {
+		db.facts[k] = float64(v)
+	}
+	for k, v := range ewmas {
+		db.facts[k] = v
+	}
+	db.mu.Unlock()
+}
+
+// Query returns the hints matching target (and category, when non-empty)
+// in descending priority order (name-sorted within equal priority, for
+// determinism).
+func (db *DB) Query(target Target, category Category) []*Hint {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*Hint
+	for _, h := range db.hints {
+		if h.Target != target {
+			continue
+		}
+		if category != "" && h.Category != category {
+			continue
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Effective computes the effective parameter set for a target/category:
+// parameters of matching hints merged lowest-priority-first (so higher
+// priority overrides), then rules applied in hint order against current
+// facts. This is what the dynamic compiler reads at a decision point.
+func (db *DB) Effective(target Target, category Category) map[string]string {
+	hs := db.Query(target, category)
+	out := make(map[string]string)
+	// Merge lowest priority first.
+	for i := len(hs) - 1; i >= 0; i-- {
+		for k, v := range hs[i].Params {
+			out[k] = v
+		}
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for i := len(hs) - 1; i >= 0; i-- {
+		for _, r := range hs[i].Rules {
+			v, ok := db.facts[r.Fact]
+			if ok && r.eval(v) {
+				out[r.Key] = r.Set
+			}
+		}
+	}
+	return out
+}
+
+// ParamInt fetches an integer parameter with a default.
+func ParamInt(params map[string]string, key string, def int) int {
+	s, ok := params[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// ParamFloat fetches a float parameter with a default.
+func ParamFloat(params map[string]string, key string, def float64) float64 {
+	s, ok := params[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// ParamString fetches a string parameter with a default.
+func ParamString(params map[string]string, key, def string) string {
+	if s, ok := params[key]; ok {
+		return s
+	}
+	return def
+}

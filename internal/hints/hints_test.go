@@ -1,0 +1,191 @@
+package hints
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkHint(name string, target Target, cat Category, prio int, params map[string]string) *Hint {
+	if params == nil {
+		params = map[string]string{}
+	}
+	return &Hint{Name: name, Target: target, Category: cat, Priority: prio, Params: params}
+}
+
+func TestAddAndQuery(t *testing.T) {
+	db := NewDB()
+	if err := db.AddHint(mkHint("a", TargetCompiler, CatLocality, 50, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddHint(mkHint("b", TargetRuntime, CatLocality, 20, nil)); err != nil {
+		t.Fatal(err)
+	}
+	got := db.Query(TargetCompiler, CatLocality)
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Errorf("Query = %v", got)
+	}
+	if len(db.Query(TargetRuntime, "")) != 1 {
+		t.Error("empty category should match any")
+	}
+}
+
+func TestQueryPriorityOrder(t *testing.T) {
+	db := NewDB()
+	db.AddHint(mkHint("low", TargetCompiler, CatAccess, 10, nil))
+	db.AddHint(mkHint("high", TargetCompiler, CatAccess, 90, nil))
+	db.AddHint(mkHint("mid", TargetCompiler, CatAccess, 50, nil))
+	got := db.Query(TargetCompiler, CatAccess)
+	if got[0].Name != "high" || got[1].Name != "mid" || got[2].Name != "low" {
+		t.Errorf("priority order wrong: %v, %v, %v", got[0].Name, got[1].Name, got[2].Name)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	db := NewDB()
+	bad := []*Hint{
+		mkHint("", TargetCompiler, CatLocality, 1, nil),
+		mkHint("x", "nowhere", CatLocality, 1, nil),
+		mkHint("x", TargetCompiler, "vibes", 1, nil),
+		mkHint("x", TargetCompiler, CatLocality, 101, nil),
+	}
+	for i, h := range bad {
+		if err := db.AddHint(h); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEffectivePriorityOverride(t *testing.T) {
+	db := NewDB()
+	db.AddHint(mkHint("weak", TargetCompiler, CatComputation, 10,
+		map[string]string{"chunk": "64", "strategy": "gss"}))
+	db.AddHint(mkHint("strong", TargetCompiler, CatComputation, 90,
+		map[string]string{"chunk": "8"}))
+	eff := db.Effective(TargetCompiler, CatComputation)
+	if eff["chunk"] != "8" {
+		t.Errorf("chunk = %q, want high-priority 8", eff["chunk"])
+	}
+	if eff["strategy"] != "gss" {
+		t.Errorf("strategy = %q, want inherited gss", eff["strategy"])
+	}
+}
+
+func TestRulesRespondToFacts(t *testing.T) {
+	db := NewDB()
+	h := mkHint("adapt", TargetRuntime, CatLocality, 50,
+		map[string]string{"replicate": "off"})
+	h.Rules = []Rule{{Fact: "remote.fraction", Op: OpGT, Value: 0.3, Key: "replicate", Set: "on"}}
+	if err := db.AddHint(h); err != nil {
+		t.Fatal(err)
+	}
+	if eff := db.Effective(TargetRuntime, CatLocality); eff["replicate"] != "off" {
+		t.Errorf("replicate = %q before fact, want off", eff["replicate"])
+	}
+	db.SetFact("remote.fraction", 0.5)
+	if eff := db.Effective(TargetRuntime, CatLocality); eff["replicate"] != "on" {
+		t.Errorf("replicate = %q after fact, want on", eff["replicate"])
+	}
+}
+
+func TestRuleOperators(t *testing.T) {
+	cases := []struct {
+		op   Op
+		v    float64
+		want bool
+	}{
+		{OpLT, 1, true}, {OpLT, 5, false},
+		{OpGT, 9, true}, {OpGT, 5, false},
+		{OpLE, 5, true}, {OpLE, 6, false},
+		{OpGE, 5, true}, {OpGE, 4, false},
+		{OpEQ, 5, true}, {OpEQ, 4, false},
+	}
+	for _, c := range cases {
+		r := Rule{Op: c.op, Value: 5}
+		if got := r.eval(c.v); got != c.want {
+			t.Errorf("%v %v 5 = %v, want %v", c.v, c.op, got, c.want)
+		}
+	}
+}
+
+func TestImportFacts(t *testing.T) {
+	db := NewDB()
+	db.ImportFacts(map[string]int64{"core.steals": 12}, map[string]float64{"lat.dram": 83.5})
+	if v, ok := db.Fact("core.steals"); !ok || v != 12 {
+		t.Errorf("counter fact = %v,%v", v, ok)
+	}
+	if v, ok := db.Fact("lat.dram"); !ok || v != 83.5 {
+		t.Errorf("ewma fact = %v,%v", v, ok)
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	p := map[string]string{"n": "42", "f": "2.5", "s": "abc", "bad": "xyz"}
+	if ParamInt(p, "n", 0) != 42 || ParamInt(p, "missing", 7) != 7 || ParamInt(p, "bad", 7) != 7 {
+		t.Error("ParamInt broken")
+	}
+	if ParamFloat(p, "f", 0) != 2.5 || ParamFloat(p, "missing", 1.5) != 1.5 {
+		t.Error("ParamFloat broken")
+	}
+	if ParamString(p, "s", "") != "abc" || ParamString(p, "missing", "d") != "d" {
+		t.Error("ParamString broken")
+	}
+}
+
+func TestParseScriptFull(t *testing.T) {
+	script := `
+# pNeocortex mapping hints
+fact neurons 2048
+hint colgrain target=compiler category=computation-pattern priority=70 chunk=32 strategy=ssp
+hint spikeloc target=runtime category=locality priority=80 replicate=off
+rule spikeloc when remote.fraction > 0.25 set replicate=on
+rule colgrain when iter.cv > 0.5 set chunk=8
+`
+	db := NewDB()
+	if err := ParseScriptString(script, db); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Fact("neurons"); v != 2048 {
+		t.Errorf("fact neurons = %v", v)
+	}
+	h, ok := db.Hint("colgrain")
+	if !ok || h.Priority != 70 || h.Params["chunk"] != "32" || len(h.Rules) != 1 {
+		t.Errorf("colgrain = %+v", h)
+	}
+	db.SetFact("iter.cv", 0.9)
+	eff := db.Effective(TargetCompiler, CatComputation)
+	if eff["chunk"] != "8" {
+		t.Errorf("chunk = %q after rule, want 8", eff["chunk"])
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := []string{
+		"bogus statement",
+		"fact onlyname",
+		"fact x notanumber",
+		"hint",
+		"hint h target=compiler category=locality priority=nope",
+		"hint h target=mars category=locality priority=5",
+		"hint h keynovalue",
+		"rule missing when x > 1 set a=b",
+		"hint h target=compiler category=locality priority=5\nrule h when x ?? 1 set a=b",
+		"hint h target=compiler category=locality priority=5\nrule h when x > one set a=b",
+		"hint h target=compiler category=locality priority=5\nrule h when x > 1 set nokv",
+		"hint h target=compiler category=locality priority=5\nrule h badsyntax",
+	}
+	for i, s := range cases {
+		db := NewDB()
+		if err := ParseScriptString(s, db); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, s)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("case %d: error %v should carry a line number", i, err)
+		}
+	}
+}
+
+func TestParseScriptCommentsAndBlank(t *testing.T) {
+	db := NewDB()
+	if err := ParseScriptString("\n# just a comment\n\n", db); err != nil {
+		t.Fatal(err)
+	}
+}

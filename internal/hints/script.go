@@ -1,0 +1,120 @@
+package hints
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseScript reads the line-oriented domain-expert script language of
+// Fig. 3 into a knowledge database. The language has three statement
+// forms:
+//
+//	# comment
+//	fact <name> <number>
+//	hint <name> target=<t> category=<c> priority=<n> [key=value ...]
+//	rule <hint> when <fact> <op> <number> set <key>=<value>
+//
+// Operators: < > <= >= ==. Unknown statements are errors with line
+// numbers, since scripts are written by humans.
+func ParseScript(r io.Reader, db *DB) error {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var err error
+		switch fields[0] {
+		case "fact":
+			err = parseFact(fields, db)
+		case "hint":
+			err = parseHint(fields, db)
+		case "rule":
+			err = parseRule(fields, db)
+		default:
+			err = fmt.Errorf("unknown statement %q", fields[0])
+		}
+		if err != nil {
+			return fmt.Errorf("hints: line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// ParseScriptString is ParseScript over a string.
+func ParseScriptString(s string, db *DB) error {
+	return ParseScript(strings.NewReader(s), db)
+}
+
+func parseFact(fields []string, db *DB) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("fact wants: fact <name> <number>")
+	}
+	v, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return fmt.Errorf("fact %q: bad number %q", fields[1], fields[2])
+	}
+	db.SetFact(fields[1], v)
+	return nil
+}
+
+func parseHint(fields []string, db *DB) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("hint wants: hint <name> key=value ...")
+	}
+	h := &Hint{Name: fields[1], Params: make(map[string]string)}
+	for _, kv := range fields[2:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("hint %q: expected key=value, got %q", h.Name, kv)
+		}
+		switch k {
+		case "target":
+			h.Target = Target(v)
+		case "category":
+			h.Category = Category(v)
+		case "priority":
+			p, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("hint %q: bad priority %q", h.Name, v)
+			}
+			h.Priority = p
+		default:
+			h.Params[k] = v
+		}
+	}
+	return db.AddHint(h)
+}
+
+func parseRule(fields []string, db *DB) error {
+	// rule <hint> when <fact> <op> <number> set <key>=<value>
+	if len(fields) != 8 || fields[2] != "when" || fields[6] != "set" {
+		return fmt.Errorf("rule wants: rule <hint> when <fact> <op> <num> set <key>=<value>")
+	}
+	h, ok := db.Hint(fields[1])
+	if !ok {
+		return fmt.Errorf("rule references unknown hint %q", fields[1])
+	}
+	op := Op(fields[4])
+	switch op {
+	case OpLT, OpGT, OpLE, OpGE, OpEQ:
+	default:
+		return fmt.Errorf("rule: unknown operator %q", fields[4])
+	}
+	v, err := strconv.ParseFloat(fields[5], 64)
+	if err != nil {
+		return fmt.Errorf("rule: bad number %q", fields[5])
+	}
+	k, set, ok := strings.Cut(fields[7], "=")
+	if !ok {
+		return fmt.Errorf("rule: expected key=value after set, got %q", fields[7])
+	}
+	h.Rules = append(h.Rules, Rule{Fact: fields[3], Op: op, Value: v, Key: k, Set: set})
+	return nil
+}

@@ -1,0 +1,116 @@
+package litlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/loopir"
+)
+
+// ParseKernel parses the LITL-X kernel declaration syntax used by the
+// litlxc driver into a loop nest:
+//
+//	kernel <name> trips=<t0,t1,...> ops=<name:res:lat>,... deps=<f-t@d0:d1...>,...
+//
+// Example:
+//
+//	kernel stencil trips=64,8 ops=load:mem:3,fma:fpu:6,store:mem:1 \
+//	    deps=0-1@0:0,1-2@0:0,1-1@0:1
+//
+// resources: alu, mem, fpu. The dep distance vector has one entry per
+// trip level, ':'-separated.
+func ParseKernel(line string) (*loopir.Nest, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 3 || fields[0] != "kernel" {
+		return nil, fmt.Errorf("litlx: kernel wants: kernel <name> trips=... ops=... [deps=...]")
+	}
+	n := &loopir.Nest{Name: fields[1]}
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("litlx: kernel %q: expected key=value, got %q", n.Name, kv)
+		}
+		switch key {
+		case "trips":
+			for _, t := range strings.Split(val, ",") {
+				v, err := strconv.Atoi(t)
+				if err != nil {
+					return nil, fmt.Errorf("litlx: kernel %q: bad trip %q", n.Name, t)
+				}
+				n.Trips = append(n.Trips, v)
+			}
+		case "ops":
+			for i, o := range strings.Split(val, ",") {
+				parts := strings.Split(o, ":")
+				if len(parts) != 3 {
+					return nil, fmt.Errorf("litlx: kernel %q: op wants name:res:lat, got %q", n.Name, o)
+				}
+				res, err := parseResource(parts[1])
+				if err != nil {
+					return nil, fmt.Errorf("litlx: kernel %q: %w", n.Name, err)
+				}
+				lat, err := strconv.ParseInt(parts[2], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("litlx: kernel %q: bad latency %q", n.Name, parts[2])
+				}
+				n.Ops = append(n.Ops, loopir.Op{ID: i, Name: parts[0], Latency: lat, Resource: res})
+			}
+		case "deps":
+			for _, d := range strings.Split(val, ",") {
+				dep, err := parseDep(d)
+				if err != nil {
+					return nil, fmt.Errorf("litlx: kernel %q: %w", n.Name, err)
+				}
+				n.Deps = append(n.Deps, dep)
+			}
+		default:
+			return nil, fmt.Errorf("litlx: kernel %q: unknown key %q", n.Name, key)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func parseResource(s string) (loopir.Resource, error) {
+	switch s {
+	case "alu":
+		return loopir.ALU, nil
+	case "mem":
+		return loopir.MEM, nil
+	case "fpu":
+		return loopir.FPU, nil
+	}
+	return 0, fmt.Errorf("unknown resource %q", s)
+}
+
+// parseDep parses f-t@d0:d1:...
+func parseDep(s string) (loopir.Dep, error) {
+	ft, dist, ok := strings.Cut(s, "@")
+	if !ok {
+		return loopir.Dep{}, fmt.Errorf("dep wants f-t@d0:d1..., got %q", s)
+	}
+	f, t, ok := strings.Cut(ft, "-")
+	if !ok {
+		return loopir.Dep{}, fmt.Errorf("dep wants f-t, got %q", ft)
+	}
+	from, err := strconv.Atoi(f)
+	if err != nil {
+		return loopir.Dep{}, fmt.Errorf("bad dep source %q", f)
+	}
+	to, err := strconv.Atoi(t)
+	if err != nil {
+		return loopir.Dep{}, fmt.Errorf("bad dep target %q", t)
+	}
+	dep := loopir.Dep{From: from, To: to}
+	for _, d := range strings.Split(dist, ":") {
+		v, err := strconv.Atoi(d)
+		if err != nil {
+			return loopir.Dep{}, fmt.Errorf("bad distance %q", d)
+		}
+		dep.Distance = append(dep.Distance, v)
+	}
+	return dep, nil
+}

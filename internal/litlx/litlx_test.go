@@ -1,0 +1,163 @@
+package litlx
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/loopir"
+	"repro/internal/parcel"
+)
+
+func newSys(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSystemBootAndClose(t *testing.T) {
+	s := newSys(t, Config{Locales: 2, WorkersPerLocale: 2})
+	if s.RT == nil || s.Net == nil || s.Space == nil || s.Comp == nil {
+		t.Fatal("system incompletely wired")
+	}
+	if s.Space.Locales() != 2 {
+		t.Errorf("space locales = %d", s.Space.Locales())
+	}
+}
+
+func TestSystemScriptApplied(t *testing.T) {
+	s := newSys(t, Config{
+		Script: "hint h target=compiler category=computation-pattern priority=50 strategy=gss",
+	})
+	if _, ok := s.DB.Hint("h"); !ok {
+		t.Error("script hint not loaded")
+	}
+}
+
+func TestSystemBadScript(t *testing.T) {
+	if _, err := New(Config{Script: "garbage line"}); err == nil {
+		t.Error("expected script error")
+	}
+}
+
+func TestParallelForCoversAllIterations(t *testing.T) {
+	s := newSys(t, Config{WorkersPerLocale: 4})
+	const n = 10000
+	var hits [n]atomic.Int32
+	s.ParallelFor("loop", n, func(i int) { hits[i].Add(1) })
+	s.Wait()
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+	if s.Mon.Counter("litlx.loops").Value() != 1 {
+		t.Error("loop counter not bumped")
+	}
+}
+
+func TestParallelForRetunes(t *testing.T) {
+	s := newSys(t, Config{WorkersPerLocale: 2})
+	for round := 0; round < 3; round++ {
+		s.ParallelFor("hot", 4096, func(i int) {})
+	}
+	if h := s.Loops.Adaptive("hot").History(); len(h) != 3 {
+		t.Errorf("tuning history = %v, want 3 entries", h)
+	}
+}
+
+func TestLGTAndParcelIntegration(t *testing.T) {
+	// An LGT on locale 0 sends a parcel to locale 1; the handler result
+	// comes back through the parcel reply continuation.
+	s := newSys(t, Config{Locales: 2, WorkersPerLocale: 2})
+	s.Net.Register("double", func(c *parcel.Ctx) interface{} {
+		return c.Payload.(int) * 2
+	})
+	var got atomic.Int64
+	done := make(chan struct{})
+	s.SpawnLGT(0, func(l *core.LGT) {
+		s.Net.Call(l.Locale(), 1, "double", 21, func(sg *core.SGT, v interface{}) {
+			got.Store(int64(v.(int)))
+			close(done)
+		})
+	})
+	<-done
+	s.Wait()
+	if got.Load() != 42 {
+		t.Errorf("parcel reply = %d, want 42", got.Load())
+	}
+}
+
+func TestSnapshotPublishesFacts(t *testing.T) {
+	s := newSys(t, Config{WorkersPerLocale: 2})
+	s.Go(func(sg *core.SGT) {})
+	s.Wait()
+	rep := s.Snapshot()
+	if rep.Counters["core.sgt.spawn"] != 1 {
+		t.Errorf("snapshot spawn = %d", rep.Counters["core.sgt.spawn"])
+	}
+	if v, ok := s.DB.Fact("core.sgt.spawn"); !ok || v != 1 {
+		t.Errorf("fact not published: %v %v", v, ok)
+	}
+}
+
+func TestParseKernelFull(t *testing.T) {
+	n, err := ParseKernel("kernel stencil trips=64,8 ops=load:mem:3,fma:fpu:6,store:mem:1 deps=0-1@0:0,1-2@0:0,1-1@0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "stencil" || len(n.Trips) != 2 || len(n.Ops) != 3 || len(n.Deps) != 3 {
+		t.Errorf("parsed nest = %+v", n)
+	}
+	if n.Ops[1].Name != "fma" || n.Ops[1].Latency != 6 {
+		t.Errorf("op parse wrong: %+v", n.Ops[1])
+	}
+	if n.Deps[2].From != 1 || n.Deps[2].To != 1 || n.Deps[2].Distance[1] != 1 {
+		t.Errorf("dep parse wrong: %+v", n.Deps[2])
+	}
+}
+
+func TestParseKernelErrors(t *testing.T) {
+	cases := []string{
+		"notakernel x",
+		"kernel",
+		"kernel k trips=2 ops=a:mem:3 extra",
+		"kernel k trips=x ops=a:mem:3",
+		"kernel k trips=2 ops=a:warp:3",
+		"kernel k trips=2 ops=a:mem:x",
+		"kernel k trips=2 ops=a:mem",
+		"kernel k trips=2 ops=a:mem:3 deps=0-0",
+		"kernel k trips=2 ops=a:mem:3 deps=00@1",
+		"kernel k trips=2 ops=a:mem:3 deps=0-0@x",
+		"kernel k trips=2 ops=a:mem:3 deps=x-0@1",
+		"kernel k trips=2 ops=a:mem:3 deps=0-x@1",
+		"kernel k trips=2 ops=a:mem:3 badkey=1",
+		"kernel k trips=2 ops=a:mem:3 deps=0-0@-1", // lex-negative
+	}
+	for i, c := range cases {
+		if _, err := ParseKernel(c); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestParseKernelCompilable(t *testing.T) {
+	// A parsed kernel flows straight into the continuous compiler.
+	s := newSys(t, Config{WorkersPerLocale: 2})
+	n, err := ParseKernel("kernel vec trips=128 ops=load:mem:3,add:alu:1,store:mem:1 deps=0-1@0,1-2@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := s.Comp.Compile(&compiler.Program{Name: "p", Nests: []*loopir.Nest{n}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 || plans[0].Schedule == nil {
+		t.Fatalf("plans = %+v", plans)
+	}
+}

@@ -1,0 +1,212 @@
+package loopir
+
+import "fmt"
+
+// EffectiveLoop is a single-level loop derived from a nest by selecting
+// a pipelining level and fully unrolling the levels inside it: the body
+// contains one op instance per (op, inner-iteration) pair, intra-body
+// edges order instances within one iteration of the selected level, and
+// carried edges carry the dependence distance at that level. Modulo
+// scheduling (internal/ssp) then works on this one-dimensional loop —
+// the "single-dimension" view of SSP.
+type EffectiveLoop struct {
+	Nest  *Nest
+	Level int
+	Trip  int // trip count of the selected level
+	Ops   []Op
+	// Intra are loop-independent edges (within one iteration of Level).
+	Intra []EffDep
+	// Carried are edges with positive distance at Level.
+	Carried []EffDep
+}
+
+// EffDep is an edge of the effective loop.
+type EffDep struct {
+	From, To int
+	Distance int // distance at the selected level (0 for Intra)
+}
+
+// MaxUnroll bounds the body size EffectiveLoop will build; beyond it
+// the analysis falls back to coarser models.
+const MaxUnroll = 4096
+
+// EffectiveLoop builds the one-dimensional view of the nest at level.
+// It errors when the level is invalid, illegal to pipeline, or the
+// unrolled body exceeds MaxUnroll instances.
+func (n *Nest) EffectiveLoop(level int) (*EffectiveLoop, error) {
+	if level < 0 || level >= n.Depth() {
+		return nil, fmt.Errorf("loopir: level %d out of range for depth %d", level, n.Depth())
+	}
+	if !n.CanPipeline(level) {
+		return nil, fmt.Errorf("loopir: nest %q cannot be pipelined at level %d", n.Name, level)
+	}
+	inner := n.Trips[level+1:]
+	count := 1
+	for _, t := range inner {
+		count *= t
+	}
+	if count*len(n.Ops) > MaxUnroll {
+		return nil, fmt.Errorf("loopir: unrolled body of %d instances exceeds %d", count*len(n.Ops), MaxUnroll)
+	}
+
+	el := &EffectiveLoop{Nest: n, Level: level, Trip: n.Trips[level]}
+	// Instance id = tupleIndex*len(Ops) + opID, where tupleIndex ranges
+	// over the inner iteration space in row-major (outer-first) order.
+	for ti := 0; ti < count; ti++ {
+		for _, op := range n.Ops {
+			inst := op
+			inst.ID = ti*len(n.Ops) + op.ID
+			if count > 1 {
+				inst.Name = fmt.Sprintf("%s[%d]", op.Name, ti)
+			}
+			el.Ops = append(el.Ops, inst)
+		}
+	}
+
+	strides := make([]int, len(inner)) // row-major strides of the tuple space
+	s := 1
+	for i := len(inner) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= inner[i]
+	}
+	tupleOf := func(ti int) []int {
+		t := make([]int, len(inner))
+		for i := 0; i < len(inner); i++ {
+			t[i] = ti / strides[i] % inner[i]
+		}
+		return t
+	}
+
+	for _, d := range n.Deps {
+		distAt := d.Distance[level]
+		innerDist := d.Distance[level+1:]
+		// Distances at levels outside the selected one are handled by
+		// the sequential outer loops; within the effective loop they do
+		// not constrain the schedule.
+		outerPositive := false
+		for l := 0; l < level; l++ {
+			if d.Distance[l] != 0 {
+				outerPositive = true
+			}
+		}
+		if outerPositive {
+			continue
+		}
+		for ti := 0; ti < count; ti++ {
+			src := tupleOf(ti)
+			ok := true
+			dst := 0
+			for i := range src {
+				v := src[i] + innerDist[i]
+				if v < 0 || v >= inner[i] {
+					ok = false
+					break
+				}
+				dst += v * strides[i]
+			}
+			if !ok {
+				// The target tuple leaves the inner space. For carried
+				// deps this is a boundary effect we conservatively keep
+				// as a same-tuple constraint; for intra deps it vanishes.
+				if distAt > 0 {
+					el.Carried = append(el.Carried, EffDep{
+						From: ti*len(n.Ops) + d.From, To: ti*len(n.Ops) + d.To, Distance: distAt,
+					})
+				}
+				continue
+			}
+			e := EffDep{From: ti*len(n.Ops) + d.From, To: dst*len(n.Ops) + d.To, Distance: distAt}
+			if distAt == 0 {
+				el.Intra = append(el.Intra, e)
+			} else {
+				el.Carried = append(el.Carried, e)
+			}
+		}
+	}
+	return el, nil
+}
+
+// ResMII returns the resource-constrained minimum initiation interval
+// of the effective loop under the machine model.
+func (el *EffectiveLoop) ResMII(res Resources) int64 {
+	var counts [numResources]int64
+	for _, op := range el.Ops {
+		counts[op.Resource]++
+	}
+	var mii int64 = 1
+	for r := Resource(0); r < numResources; r++ {
+		u := int64(res.Units(r))
+		need := (counts[r] + u - 1) / u
+		if need > mii {
+			mii = need
+		}
+	}
+	return mii
+}
+
+// RecMII returns the recurrence-constrained minimum initiation interval:
+// the smallest II such that no dependence cycle requires more latency
+// than II times its distance. Computed by binary search over II with a
+// positive-cycle test (Bellman-Ford style relaxation) on edge weights
+// latency(from) - II*distance.
+func (el *EffectiveLoop) RecMII() int64 {
+	if len(el.Carried) == 0 {
+		return 1
+	}
+	var hi int64 = 1
+	for _, op := range el.Ops {
+		hi += op.Latency
+	}
+	lo := int64(1)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if el.feasibleII(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// feasibleII reports whether the dependence graph admits a schedule
+// with the given II (no positive cycle in the constraint graph).
+func (el *EffectiveLoop) feasibleII(ii int64) bool {
+	n := len(el.Ops)
+	dist := make([]int64, n)
+	type edge struct {
+		from, to int
+		w        int64
+	}
+	var edges []edge
+	for _, d := range el.Intra {
+		edges = append(edges, edge{d.From, d.To, el.Ops[d.From].Latency})
+	}
+	for _, d := range el.Carried {
+		edges = append(edges, edge{d.From, d.To, el.Ops[d.From].Latency - ii*int64(d.Distance)})
+	}
+	// Longest-path relaxation: converges within n rounds unless a
+	// positive cycle exists.
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, e := range edges {
+			if v := dist[e.from] + e.w; v > dist[e.to] {
+				dist[e.to] = v
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// MII returns max(ResMII, RecMII), the floor for modulo scheduling.
+func (el *EffectiveLoop) MII(res Resources) int64 {
+	r := el.ResMII(res)
+	if rec := el.RecMII(); rec > r {
+		return rec
+	}
+	return r
+}

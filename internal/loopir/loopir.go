@@ -1,0 +1,196 @@
+// Package loopir defines the loop-nest intermediate representation the
+// HTVM static compiler works on: operations with latencies and resource
+// classes, dependences with distance vectors over the loop levels, and
+// the analyses (legality, ResMII, RecMII) that single-dimension
+// software pipelining (internal/ssp) builds on.
+//
+// The representation follows the SSP papers [Rong et al., CGO 2004]:
+// a nest of depth d has levels 0 (outermost) .. d-1 (innermost); a
+// dependence carries a distance vector, one entry per level.
+package loopir
+
+import (
+	"fmt"
+)
+
+// Resource classifies the functional unit an operation occupies.
+type Resource int
+
+// Resource classes.
+const (
+	ALU Resource = iota
+	MEM
+	FPU
+	numResources
+)
+
+// String names the resource.
+func (r Resource) String() string {
+	switch r {
+	case ALU:
+		return "alu"
+	case MEM:
+		return "mem"
+	case FPU:
+		return "fpu"
+	}
+	return "res?"
+}
+
+// Resources gives the number of units of each resource class available
+// per cycle, the machine model for modulo scheduling.
+type Resources [numResources]int
+
+// DefaultResources models a simple in-order core: 2 ALUs, 1 memory
+// port, 1 FPU.
+func DefaultResources() Resources { return Resources{2, 1, 1} }
+
+// Units returns the unit count for r (minimum 1).
+func (rs Resources) Units(r Resource) int {
+	u := rs[r]
+	if u < 1 {
+		return 1
+	}
+	return u
+}
+
+// Op is one operation of the loop body.
+type Op struct {
+	ID       int
+	Name     string
+	Latency  int64
+	Resource Resource
+}
+
+// Dep is a dependence between two ops with a distance vector over the
+// nest levels (outermost first). A dependence with an all-zero vector
+// is loop-independent: To must follow From within the same iteration.
+type Dep struct {
+	From, To int
+	Distance []int
+}
+
+// Nest is a perfect loop nest.
+type Nest struct {
+	Name  string
+	Trips []int // trip count per level, outermost first
+	Ops   []Op
+	Deps  []Dep
+}
+
+// Depth returns the number of loop levels.
+func (n *Nest) Depth() int { return len(n.Trips) }
+
+// Validate checks structural invariants: positive trips, ids matching
+// indices, dependence vectors of the right length, known ops.
+func (n *Nest) Validate() error {
+	if len(n.Trips) == 0 {
+		return fmt.Errorf("loopir: nest %q has no levels", n.Name)
+	}
+	for l, t := range n.Trips {
+		if t <= 0 {
+			return fmt.Errorf("loopir: nest %q level %d has trip %d", n.Name, l, t)
+		}
+	}
+	if len(n.Ops) == 0 {
+		return fmt.Errorf("loopir: nest %q has no ops", n.Name)
+	}
+	for i, op := range n.Ops {
+		if op.ID != i {
+			return fmt.Errorf("loopir: op %d has ID %d", i, op.ID)
+		}
+		if op.Latency <= 0 {
+			return fmt.Errorf("loopir: op %q has latency %d", op.Name, op.Latency)
+		}
+	}
+	for _, d := range n.Deps {
+		if d.From < 0 || d.From >= len(n.Ops) || d.To < 0 || d.To >= len(n.Ops) {
+			return fmt.Errorf("loopir: dep references unknown op (%d->%d)", d.From, d.To)
+		}
+		if len(d.Distance) != len(n.Trips) {
+			return fmt.Errorf("loopir: dep %d->%d has %d-entry distance, nest depth %d",
+				d.From, d.To, len(d.Distance), len(n.Trips))
+		}
+		if !lexNonNegative(d.Distance) {
+			return fmt.Errorf("loopir: dep %d->%d has lexicographically negative distance %v",
+				d.From, d.To, d.Distance)
+		}
+	}
+	return nil
+}
+
+// lexNonNegative reports whether v >= 0 lexicographically.
+func lexNonNegative(v []int) bool {
+	for _, x := range v {
+		if x > 0 {
+			return true
+		}
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CanPipeline reports whether the nest may be software-pipelined at the
+// given level: rotating that level outermost must keep every dependence
+// distance lexicographically non-negative (the SSP legality condition —
+// dependences may not flow backwards across the pipelined dimension).
+func (n *Nest) CanPipeline(level int) bool {
+	if level < 0 || level >= n.Depth() {
+		return false
+	}
+	for _, d := range n.Deps {
+		rot := make([]int, 0, len(d.Distance))
+		rot = append(rot, d.Distance[level])
+		for i, x := range d.Distance {
+			if i != level {
+				rot = append(rot, x)
+			}
+		}
+		if !lexNonNegative(rot) {
+			return false
+		}
+	}
+	return true
+}
+
+// SumLatency returns the total latency of all ops — the serial body
+// cost of one innermost iteration.
+func (n *Nest) SumLatency() int64 {
+	var s int64
+	for _, op := range n.Ops {
+		s += op.Latency
+	}
+	return s
+}
+
+// InnerTripProduct returns the product of trip counts strictly inside
+// level (1 when level is innermost).
+func (n *Nest) InnerTripProduct(level int) int {
+	p := 1
+	for l := level + 1; l < n.Depth(); l++ {
+		p *= n.Trips[l]
+	}
+	return p
+}
+
+// OuterTripProduct returns the product of trip counts strictly outside
+// level (1 when level is outermost).
+func (n *Nest) OuterTripProduct(level int) int {
+	p := 1
+	for l := 0; l < level; l++ {
+		p *= n.Trips[l]
+	}
+	return p
+}
+
+// SerialCycles returns the fully serial execution time: every op of
+// every iteration in dependence order, no overlap.
+func (n *Nest) SerialCycles() int64 {
+	total := int64(1)
+	for _, t := range n.Trips {
+		total *= int64(t)
+	}
+	return total * n.SumLatency()
+}

@@ -1,0 +1,244 @@
+package loopir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// stencil2D builds the running example: a 2-deep nest with a recurrence
+// carried by the inner level only.
+//
+//	for i in 0..ni:          // level 0
+//	  for j in 0..nj:        // level 1
+//	    a[i][j] = f(a[i][j-1])   // load, fma, store
+func stencil2D(ni, nj int) *Nest {
+	return &Nest{
+		Name:  "stencil2d",
+		Trips: []int{ni, nj},
+		Ops: []Op{
+			{ID: 0, Name: "load", Latency: 3, Resource: MEM},
+			{ID: 1, Name: "fma", Latency: 4, Resource: FPU},
+			{ID: 2, Name: "store", Latency: 1, Resource: MEM},
+		},
+		Deps: []Dep{
+			{From: 0, To: 1, Distance: []int{0, 0}},
+			{From: 1, To: 2, Distance: []int{0, 0}},
+			{From: 2, To: 0, Distance: []int{0, 1}}, // carried by j
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := stencil2D(10, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Nest){
+		func(n *Nest) { n.Trips = nil },
+		func(n *Nest) { n.Trips[0] = 0 },
+		func(n *Nest) { n.Ops = nil },
+		func(n *Nest) { n.Ops[1].ID = 5 },
+		func(n *Nest) { n.Ops[0].Latency = 0 },
+		func(n *Nest) { n.Deps[0].From = 99 },
+		func(n *Nest) { n.Deps[0].Distance = []int{1} },
+		func(n *Nest) { n.Deps[0].Distance = []int{0, -1} },
+	}
+	for i, mutate := range cases {
+		n := stencil2D(10, 4)
+		mutate(n)
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCanPipeline(t *testing.T) {
+	n := stencil2D(10, 4)
+	if !n.CanPipeline(0) {
+		t.Error("level 0 should be pipelineable (dep carried by level 1 stays non-negative)")
+	}
+	if !n.CanPipeline(1) {
+		t.Error("level 1 should be pipelineable")
+	}
+	if n.CanPipeline(2) || n.CanPipeline(-1) {
+		t.Error("out-of-range levels must be rejected")
+	}
+}
+
+func TestCanPipelineRejectsBackwardFlow(t *testing.T) {
+	// Dependence (1,-1): legal nest order, but rotating level 1 first
+	// gives (-1,1) which flows backwards — level 1 must be rejected.
+	n := &Nest{
+		Name:  "skewed",
+		Trips: []int{4, 4},
+		Ops:   []Op{{ID: 0, Name: "x", Latency: 1}},
+		Deps:  []Dep{{From: 0, To: 0, Distance: []int{1, -1}}},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.CanPipeline(0) {
+		t.Error("level 0 legal")
+	}
+	if n.CanPipeline(1) {
+		t.Error("level 1 must be illegal (backward flow when rotated)")
+	}
+}
+
+func TestTripProducts(t *testing.T) {
+	n := &Nest{Trips: []int{2, 3, 5}, Ops: []Op{{ID: 0, Name: "x", Latency: 1}}}
+	if p := n.InnerTripProduct(0); p != 15 {
+		t.Errorf("InnerTripProduct(0) = %d, want 15", p)
+	}
+	if p := n.InnerTripProduct(2); p != 1 {
+		t.Errorf("InnerTripProduct(2) = %d, want 1", p)
+	}
+	if p := n.OuterTripProduct(0); p != 1 {
+		t.Errorf("OuterTripProduct(0) = %d, want 1", p)
+	}
+	if p := n.OuterTripProduct(2); p != 6 {
+		t.Errorf("OuterTripProduct(2) = %d, want 6", p)
+	}
+}
+
+func TestSerialCycles(t *testing.T) {
+	n := stencil2D(10, 4)
+	if got := n.SerialCycles(); got != 10*4*8 {
+		t.Errorf("SerialCycles = %d, want 320", got)
+	}
+}
+
+func TestEffectiveLoopInnermost(t *testing.T) {
+	n := stencil2D(10, 4)
+	el, err := n.EffectiveLoop(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Trip != 4 || len(el.Ops) != 3 {
+		t.Errorf("Trip=%d len(Ops)=%d, want 4/3", el.Trip, len(el.Ops))
+	}
+	if len(el.Intra) != 2 || len(el.Carried) != 1 {
+		t.Errorf("Intra=%d Carried=%d, want 2/1", len(el.Intra), len(el.Carried))
+	}
+}
+
+func TestEffectiveLoopOuterUnrolls(t *testing.T) {
+	n := stencil2D(10, 4)
+	el, err := n.EffectiveLoop(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(el.Ops) != 3*4 {
+		t.Errorf("unrolled body has %d instances, want 12", len(el.Ops))
+	}
+	// The j-carried dep becomes intra-body edges linking adjacent j
+	// copies: no carried edges remain at level 0.
+	if len(el.Carried) != 0 {
+		t.Errorf("Carried=%d, want 0 at level 0", len(el.Carried))
+	}
+	// Intra edges: load->fma, fma->store per copy (8) + store->load
+	// between adjacent copies (3).
+	if len(el.Intra) != 11 {
+		t.Errorf("Intra=%d, want 11", len(el.Intra))
+	}
+}
+
+func TestEffectiveLoopTooLarge(t *testing.T) {
+	n := stencil2D(4, 10000)
+	if _, err := n.EffectiveLoop(0); err == nil {
+		t.Error("expected unroll-size error")
+	}
+}
+
+func TestResMII(t *testing.T) {
+	n := stencil2D(10, 4)
+	el, _ := n.EffectiveLoop(1)
+	// 2 MEM ops / 1 MEM unit = 2; 1 FPU / 1 = 1 -> ResMII = 2.
+	if got := el.ResMII(DefaultResources()); got != 2 {
+		t.Errorf("ResMII = %d, want 2", got)
+	}
+}
+
+func TestRecMII(t *testing.T) {
+	n := stencil2D(10, 4)
+	el, _ := n.EffectiveLoop(1)
+	// Cycle load->fma->store->load with distance 1 and latencies
+	// 3+4+1 = 8 -> RecMII = 8.
+	if got := el.RecMII(); got != 8 {
+		t.Errorf("RecMII = %d, want 8", got)
+	}
+}
+
+func TestRecMIIAcyclic(t *testing.T) {
+	n := stencil2D(10, 4)
+	n.Deps = n.Deps[:2] // drop the carried dep
+	el, _ := n.EffectiveLoop(1)
+	if got := el.RecMII(); got != 1 {
+		t.Errorf("acyclic RecMII = %d, want 1", got)
+	}
+}
+
+func TestRecMIILongerDistanceLowersII(t *testing.T) {
+	mk := func(dist int) int64 {
+		n := stencil2D(10, 8)
+		n.Deps[2].Distance = []int{0, dist}
+		el, err := n.EffectiveLoop(1)
+		if err != nil {
+			panic(err)
+		}
+		return el.RecMII()
+	}
+	d1, d2, d4 := mk(1), mk(2), mk(4)
+	if !(d1 > d2 && d2 > d4) {
+		t.Errorf("RecMII should fall with distance: %d, %d, %d", d1, d2, d4)
+	}
+}
+
+func TestMIIDominance(t *testing.T) {
+	n := stencil2D(10, 4)
+	el, _ := n.EffectiveLoop(1)
+	mii := el.MII(DefaultResources())
+	if mii != 8 { // RecMII 8 dominates ResMII 2
+		t.Errorf("MII = %d, want 8", mii)
+	}
+}
+
+func TestMIIPropertyAtLeastBothBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		nOps := 2 + r.Intn(4)
+		ops := make([]Op, nOps)
+		for i := range ops {
+			ops[i] = Op{ID: i, Name: "op", Latency: 1 + int64(r.Intn(5)), Resource: Resource(r.Intn(3))}
+		}
+		deps := []Dep{}
+		for i := 1; i < nOps; i++ {
+			deps = append(deps, Dep{From: i - 1, To: i, Distance: []int{0}})
+		}
+		deps = append(deps, Dep{From: nOps - 1, To: 0, Distance: []int{1 + r.Intn(3)}})
+		n := &Nest{Name: "p", Trips: []int{8}, Ops: ops, Deps: deps}
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		el, err := n.EffectiveLoop(0)
+		if err != nil {
+			return false
+		}
+		res := DefaultResources()
+		mii := el.MII(res)
+		return mii >= el.ResMII(res) && mii >= el.RecMII()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if ALU.String() != "alu" || MEM.String() != "mem" || FPU.String() != "fpu" {
+		t.Error("resource names wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FrameArena allocates SGT frame storage. Under HTVM "an SGT invocation
+// will have its own private frame storage, where its local state is
+// stored"; frames are allocated and freed at very high rates, so the
+// arena recycles them through size-class pools rather than hitting the
+// garbage collector on every spawn.
+type FrameArena struct {
+	classes []int
+	pools   []sync.Pool
+	allocs  atomic.Int64 // frames handed out
+	fresh   atomic.Int64 // frames that had to be newly made
+}
+
+// defaultClasses covers frame sizes from 64 B to 16 KiB in powers of two.
+var defaultClasses = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// NewFrameArena creates an arena with the default size classes.
+func NewFrameArena() *FrameArena {
+	a := &FrameArena{classes: defaultClasses}
+	a.pools = make([]sync.Pool, len(a.classes))
+	for i := range a.pools {
+		size := a.classes[i]
+		a.pools[i].New = func() interface{} {
+			a.fresh.Add(1)
+			b := make([]byte, size)
+			return &b
+		}
+	}
+	return a
+}
+
+// classFor returns the index of the smallest class >= size, or -1 when
+// the request exceeds the largest class (the caller gets a one-off
+// allocation instead).
+func (a *FrameArena) classFor(size int) int {
+	for i, c := range a.classes {
+		if size <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a frame of at least size bytes, zeroed in its first size
+// bytes.
+func (a *FrameArena) Get(size int) []byte {
+	a.allocs.Add(1)
+	if size <= 0 {
+		size = 1
+	}
+	ci := a.classFor(size)
+	if ci < 0 {
+		a.fresh.Add(1)
+		return make([]byte, size)
+	}
+	bp := a.pools[ci].Get().(*[]byte)
+	b := (*bp)[:a.classes[ci]]
+	for i := 0; i < size; i++ {
+		b[i] = 0
+	}
+	return b[:size]
+}
+
+// Put recycles a frame previously returned by Get. Oversized one-off
+// frames are dropped for the GC.
+func (a *FrameArena) Put(b []byte) {
+	c := cap(b)
+	for i, cls := range a.classes {
+		if c == cls {
+			b = b[:cls]
+			a.pools[i].Put(&b)
+			return
+		}
+	}
+}
+
+// Allocs returns the number of frames handed out.
+func (a *FrameArena) Allocs() int64 { return a.allocs.Load() }
+
+// ReuseRatio returns the fraction of Get calls served from the pools.
+// It is approximate under concurrency (sync.Pool may drop items).
+func (a *FrameArena) ReuseRatio() float64 {
+	al := a.allocs.Load()
+	if al == 0 {
+		return 0
+	}
+	reused := al - a.fresh.Load()
+	if reused < 0 {
+		reused = 0
+	}
+	return float64(reused) / float64(al)
+}
+
+// PrivateHeap is an LGT's private memory: a simple bump allocator over a
+// growable region, with whole-heap reset on LGT completion. Private
+// allocation never contends with other LGTs.
+type PrivateHeap struct {
+	buf  []byte
+	off  int
+	grew int64
+}
+
+// NewPrivateHeap creates a heap with the given initial capacity.
+func NewPrivateHeap(capacity int) *PrivateHeap {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &PrivateHeap{buf: make([]byte, capacity)}
+}
+
+// Alloc returns a zeroed slice of the requested size from the heap,
+// growing the backing region when needed. Alignment is 8 bytes.
+func (h *PrivateHeap) Alloc(size int) []byte {
+	if size <= 0 {
+		size = 1
+	}
+	aligned := (size + 7) &^ 7
+	if h.off+aligned > len(h.buf) {
+		newCap := 2 * len(h.buf)
+		for newCap < h.off+aligned {
+			newCap *= 2
+		}
+		nb := make([]byte, newCap)
+		copy(nb, h.buf[:h.off])
+		h.buf = nb
+		h.grew++
+	}
+	b := h.buf[h.off : h.off+size]
+	for i := range b {
+		b[i] = 0
+	}
+	h.off += aligned
+	return b
+}
+
+// Used returns the number of bytes currently allocated.
+func (h *PrivateHeap) Used() int { return h.off }
+
+// Reset discards all allocations, retaining the backing region.
+func (h *PrivateHeap) Reset() { h.off = 0 }
+
+// Grows reports how many times the backing region was reallocated.
+func (h *PrivateHeap) Grows() int64 { return h.grew }

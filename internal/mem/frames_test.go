@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameArenaGetPut(t *testing.T) {
+	a := NewFrameArena()
+	f := a.Get(100)
+	if len(f) != 100 {
+		t.Errorf("len = %d, want 100", len(f))
+	}
+	for i := range f {
+		f[i] = 0xff
+	}
+	a.Put(f)
+	g := a.Get(100)
+	for i, b := range g {
+		if b != 0 {
+			t.Fatalf("reused frame not zeroed at %d", i)
+		}
+	}
+}
+
+func TestFrameArenaOversized(t *testing.T) {
+	a := NewFrameArena()
+	f := a.Get(1 << 20)
+	if len(f) != 1<<20 {
+		t.Errorf("oversized len = %d", len(f))
+	}
+	a.Put(f) // must not panic
+}
+
+func TestFrameArenaZeroSize(t *testing.T) {
+	a := NewFrameArena()
+	if f := a.Get(0); len(f) != 1 {
+		t.Errorf("Get(0) len = %d, want 1", len(f))
+	}
+}
+
+func TestFrameArenaReuse(t *testing.T) {
+	a := NewFrameArena()
+	for i := 0; i < 100; i++ {
+		f := a.Get(256)
+		a.Put(f)
+	}
+	if r := a.ReuseRatio(); r < 0.5 {
+		t.Errorf("ReuseRatio = %v, want >= 0.5 after serial reuse", r)
+	}
+	if a.Allocs() != 100 {
+		t.Errorf("Allocs = %d, want 100", a.Allocs())
+	}
+}
+
+func TestFrameArenaConcurrent(t *testing.T) {
+	a := NewFrameArena()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f := a.Get(64 + i%512)
+				f[0] = byte(i)
+				a.Put(f)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFrameSizeProperty(t *testing.T) {
+	a := NewFrameArena()
+	f := func(raw uint16) bool {
+		size := int(raw)%20000 + 1
+		fr := a.Get(size)
+		ok := len(fr) == size
+		a.Put(fr)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrivateHeapAlloc(t *testing.T) {
+	h := NewPrivateHeap(64)
+	a := h.Alloc(10)
+	b := h.Alloc(10)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatal("wrong sizes")
+	}
+	a[0] = 1
+	if b[0] != 0 {
+		t.Error("allocations alias")
+	}
+	if h.Used() != 32 { // two 16-byte aligned blocks
+		t.Errorf("Used = %d, want 32", h.Used())
+	}
+}
+
+func TestPrivateHeapGrow(t *testing.T) {
+	h := NewPrivateHeap(16)
+	h.Alloc(8)
+	h.Alloc(64) // must grow
+	if h.Grows() == 0 {
+		t.Error("expected growth")
+	}
+	big := h.Alloc(1000)
+	if len(big) != 1000 {
+		t.Errorf("len = %d", len(big))
+	}
+}
+
+func TestPrivateHeapReset(t *testing.T) {
+	h := NewPrivateHeap(128)
+	h.Alloc(100)
+	h.Reset()
+	if h.Used() != 0 {
+		t.Errorf("Used after reset = %d", h.Used())
+	}
+	f := h.Alloc(8)
+	if len(f) != 8 {
+		t.Error("alloc after reset failed")
+	}
+}
+
+func TestPrivateHeapZeroed(t *testing.T) {
+	h := NewPrivateHeap(64)
+	a := h.Alloc(32)
+	for i := range a {
+		a[i] = 0xaa
+	}
+	h.Reset()
+	b := h.Alloc(32)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("reused heap memory not zeroed at %d", i)
+		}
+	}
+}

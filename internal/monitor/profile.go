@@ -1,0 +1,86 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+)
+
+// LoopProfile accumulates per-chunk timing for one parallel loop: chunk
+// sizes and their execution durations. The loop-parallelism adaptation
+// controller derives the mean per-iteration cost and its coefficient of
+// variation from it to retune grain size, as Section 2's "loop
+// parallelism adaptation" prescribes.
+type LoopProfile struct {
+	mu       sync.Mutex
+	chunks   int64
+	iters    int64
+	sumDur   float64
+	sumIter  float64 // sum of per-iteration costs (duration/size)
+	sumIter2 float64
+}
+
+// RecordChunk records that a chunk of size iterations took dur units.
+func (p *LoopProfile) RecordChunk(size int, dur float64) {
+	if size <= 0 {
+		return
+	}
+	per := dur / float64(size)
+	p.mu.Lock()
+	p.chunks++
+	p.iters += int64(size)
+	p.sumDur += dur
+	p.sumIter += per
+	p.sumIter2 += per * per
+	p.mu.Unlock()
+}
+
+// Chunks returns the number of recorded chunks.
+func (p *LoopProfile) Chunks() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.chunks
+}
+
+// Iters returns the total iterations recorded.
+func (p *LoopProfile) Iters() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.iters
+}
+
+// MeanIterCost returns the mean per-iteration cost across chunks.
+func (p *LoopProfile) MeanIterCost() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.chunks == 0 {
+		return 0
+	}
+	return p.sumIter / float64(p.chunks)
+}
+
+// IterCostCV returns the coefficient of variation of per-iteration cost
+// across chunks — the imbalance signal for grain adaptation.
+func (p *LoopProfile) IterCostCV() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.chunks < 2 {
+		return 0
+	}
+	n := float64(p.chunks)
+	mean := p.sumIter / n
+	if mean == 0 {
+		return 0
+	}
+	variance := (p.sumIter2 - n*mean*mean) / (n - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean
+}
+
+// Reset clears the profile for the next execution phase.
+func (p *LoopProfile) Reset() {
+	p.mu.Lock()
+	p.chunks, p.iters, p.sumDur, p.sumIter, p.sumIter2 = 0, 0, 0, 0, 0
+	p.mu.Unlock()
+}

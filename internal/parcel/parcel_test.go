@@ -1,0 +1,164 @@
+package parcel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+)
+
+func newNet(t *testing.T, locales int) (*Net, *core.Runtime) {
+	t.Helper()
+	rt := core.NewRuntime(core.Config{Locales: locales, WorkersPerLocale: 2})
+	t.Cleanup(rt.Shutdown)
+	return NewNet(rt), rt
+}
+
+func TestSendRunsHandlerAtDest(t *testing.T) {
+	n, rt := newNet(t, 4)
+	var execLocale atomic.Int32
+	n.Register("probe", func(c *Ctx) interface{} {
+		execLocale.Store(int32(c.SGT.Locale()))
+		return nil
+	})
+	n.Send(0, 3, "probe", nil).Get()
+	rt.Wait()
+	if execLocale.Load() != 3 {
+		t.Errorf("handler ran at locale %d, want 3", execLocale.Load())
+	}
+}
+
+func TestSendPayloadAndResult(t *testing.T) {
+	n, rt := newNet(t, 2)
+	n.Register("double", func(c *Ctx) interface{} {
+		return c.Payload.(int) * 2
+	})
+	got := n.Send(0, 1, "double", 21).Get()
+	rt.Wait()
+	if got.(int) != 42 {
+		t.Errorf("result = %v, want 42", got)
+	}
+}
+
+func TestCallContinuationAtSource(t *testing.T) {
+	n, rt := newNet(t, 4)
+	n.Register("square", func(c *Ctx) interface{} {
+		v := c.Payload.(int)
+		return v * v
+	})
+	type res struct {
+		locale int
+		value  int
+	}
+	ch := make(chan res, 1)
+	n.Call(1, 2, "square", 7, func(s *core.SGT, v interface{}) {
+		ch <- res{locale: s.Locale(), value: v.(int)}
+	})
+	r := <-ch
+	rt.Wait()
+	if r.value != 49 {
+		t.Errorf("value = %d, want 49", r.value)
+	}
+	if r.locale != 1 {
+		t.Errorf("continuation ran at locale %d, want source 1", r.locale)
+	}
+}
+
+func TestCallNilContinuation(t *testing.T) {
+	n, rt := newNet(t, 2)
+	var ran atomic.Bool
+	n.Register("noop", func(c *Ctx) interface{} {
+		ran.Store(true)
+		return nil
+	})
+	n.Call(0, 1, "noop", nil, nil)
+	rt.Wait()
+	if !ran.Load() {
+		t.Error("handler did not run")
+	}
+}
+
+func TestForward(t *testing.T) {
+	n, rt := newNet(t, 4)
+	var finalLocale atomic.Int32
+	var from atomic.Int32
+	n.Register("hop", func(c *Ctx) interface{} {
+		if c.SGT.Locale() < 3 {
+			c.Forward(c.SGT.Locale()+1, "hop", c.Payload)
+			return nil
+		}
+		finalLocale.Store(int32(c.SGT.Locale()))
+		from.Store(int32(c.From))
+		return nil
+	})
+	n.Send(0, 1, "hop", "x")
+	rt.Wait()
+	if finalLocale.Load() != 3 {
+		t.Errorf("parcel stopped at %d, want 3", finalLocale.Load())
+	}
+	if from.Load() != 0 {
+		t.Errorf("original sender lost: From = %d, want 0", from.Load())
+	}
+}
+
+func TestUnknownHandlerPanics(t *testing.T) {
+	n, _ := newNet(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown handler")
+		}
+	}()
+	n.Send(0, 0, "missing", nil)
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	n, _ := newNet(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil handler")
+		}
+	}()
+	n.Register("bad", nil)
+}
+
+func TestMonitorCounts(t *testing.T) {
+	mon := monitor.New()
+	rt := core.NewRuntime(core.Config{Locales: 2, WorkersPerLocale: 2, Monitor: mon})
+	defer rt.Shutdown()
+	n := NewNet(rt)
+	n.Register("h", func(c *Ctx) interface{} { return nil })
+	n.Send(0, 1, "h", nil).Get()
+	n.Send(0, 0, "h", nil).Get()
+	done := make(chan struct{})
+	n.Call(0, 1, "h", nil, func(s *core.SGT, v interface{}) { close(done) })
+	<-done
+	rt.Wait()
+	snap := mon.Snapshot()
+	if snap.Counters["parcel.sent"] != 3 {
+		t.Errorf("sent = %d, want 3", snap.Counters["parcel.sent"])
+	}
+	if snap.Counters["parcel.remote"] != 2 {
+		t.Errorf("remote = %d, want 2", snap.Counters["parcel.remote"])
+	}
+	if snap.Counters["parcel.replies"] != 1 {
+		t.Errorf("replies = %d, want 1", snap.Counters["parcel.replies"])
+	}
+}
+
+func TestManyParcelsStress(t *testing.T) {
+	n, rt := newNet(t, 4)
+	var sum atomic.Int64
+	n.Register("add", func(c *Ctx) interface{} {
+		sum.Add(int64(c.Payload.(int)))
+		return nil
+	})
+	const k = 2000
+	for i := 0; i < k; i++ {
+		n.Send(i%4, (i+1)%4, "add", 1)
+	}
+	rt.Wait()
+	if sum.Load() != k {
+		t.Errorf("sum = %d, want %d", sum.Load(), k)
+	}
+}

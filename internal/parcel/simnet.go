@@ -1,0 +1,203 @@
+package parcel
+
+import (
+	"fmt"
+
+	"repro/internal/c64"
+)
+
+// SimHandler processes a parcel on the simulator: it runs as a tasklet
+// at the destination node and returns the reply payload.
+type SimHandler func(tu *c64.TU, from int, payload int64) int64
+
+// SimParcel is a parcel on the simulated machine. Payloads are int64
+// (an address or small scalar): parcels are small by design — that is
+// the point of moving work to data.
+type simParcel struct {
+	from    int
+	handler string
+	payload int64
+	reply   *c64.Chan[int64] // nil for one-way sends
+}
+
+// SimNet routes parcels between the nodes of a simulated machine. Each
+// node runs a dispatcher tasklet that receives parcels and spawns a
+// handler tasklet per parcel (the parcel activation = SGT analogy).
+//
+// SimNet also models code percolation (Section 3.2: "percolation of
+// program instruction blocks ... at the site of the intended
+// computation"): a handler registered with RegisterCode has a code
+// image that must be resident before the handler can run on a node.
+// The first parcel naming it on a cold node pays the transfer from the
+// code's home node; later parcels run warm. PrefetchCode installs the
+// image ahead of time, hiding that latency — percolation of code.
+type SimNet struct {
+	m        *c64.Machine
+	inboxes  []*c64.Chan[simParcel]
+	handlers map[string]SimHandler
+	code     map[string]codeInfo
+	resident map[string]map[int]bool // handler -> nodes holding the image
+	stopped  bool
+}
+
+// codeInfo describes a percolatable handler image.
+type codeInfo struct {
+	home int // node the image initially lives on
+	size int // bytes
+}
+
+// NewSimNet creates a parcel network over m and starts one dispatcher
+// tasklet per node. Dispatchers occupy a thread unit only while
+// distributing; handlers run as their own tasklets.
+func NewSimNet(m *c64.Machine) *SimNet {
+	n := &SimNet{
+		m:        m,
+		handlers: make(map[string]SimHandler),
+		code:     make(map[string]codeInfo),
+		resident: make(map[string]map[int]bool),
+	}
+	cfg := m.Config()
+	for node := 0; node < cfg.Nodes; node++ {
+		// Inbox latency 0: transport latency is charged by the sender
+		// per-destination (it depends on hop count).
+		n.inboxes = append(n.inboxes, c64.NewChan[simParcel](m, 0))
+	}
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		m.SpawnAfter(node, 0, func(tu *c64.TU) { n.dispatch(tu, node) })
+	}
+	return n
+}
+
+// Register installs a handler. Handlers must be registered before the
+// simulation Run starts delivering parcels to them.
+func (n *SimNet) Register(name string, h SimHandler) {
+	if h == nil {
+		panic("parcel: nil sim handler")
+	}
+	n.handlers[name] = h
+}
+
+// RegisterCode installs a handler whose code image of size bytes lives
+// on home; nodes must fetch the image before running it (lazily on
+// first use, or eagerly via PrefetchCode).
+func (n *SimNet) RegisterCode(name string, home, size int, h SimHandler) {
+	n.Register(name, h)
+	n.code[name] = codeInfo{home: home, size: size}
+	n.resident[name] = map[int]bool{home: true}
+}
+
+// PrefetchCode percolates the handler image to node ahead of use from
+// a tasklet on any node; the caller blocks for the transfer (issue it
+// from a helper tasklet to overlap).
+func (n *SimNet) PrefetchCode(tu *c64.TU, name string, node int) {
+	n.installCode(tu, name, node)
+}
+
+// installCode fetches the image to node if absent, charging the
+// transfer to the calling tasklet.
+func (n *SimNet) installCode(tu *c64.TU, name string, node int) {
+	ci, ok := n.code[name]
+	if !ok {
+		return // plain handler: code is everywhere for free
+	}
+	if n.resident[name][node] {
+		return
+	}
+	tu.MemCopy(
+		c64.Addr{Node: node, Region: c64.SRAM, Line: 0},
+		c64.Addr{Node: ci.home, Region: c64.DRAM, Line: 0},
+		ci.size,
+	)
+	n.resident[name][node] = true
+}
+
+// CodeResident reports whether the handler image is installed on node.
+func (n *SimNet) CodeResident(name string, node int) bool {
+	if _, ok := n.code[name]; !ok {
+		return true
+	}
+	return n.resident[name][node]
+}
+
+// dispatch is the per-node delivery loop. It exits when Stop is called
+// (signaled by a poison parcel), so simulations can quiesce.
+func (n *SimNet) dispatch(tu *c64.TU, node int) {
+	for {
+		p := n.inboxes[node].Recv(tu)
+		if p.handler == "" { // poison
+			return
+		}
+		h, ok := n.handlers[p.handler]
+		if !ok {
+			panic(fmt.Sprintf("parcel: no sim handler %q", p.handler))
+		}
+		pp := p
+		tu.Machine().Spawn(node, func(ht *c64.TU) {
+			n.installCode(ht, pp.handler, node) // cold-start cost, if any
+			v := h(ht, pp.from, pp.payload)
+			if pp.reply != nil {
+				pp.reply.Send(v)
+			}
+		})
+	}
+}
+
+// wireLat returns the one-way parcel latency between nodes: header cost
+// plus per-hop latency (parcels are one line, so no payload term).
+func (n *SimNet) wireLat(from, dest int) int64 {
+	cfg := n.m.Config()
+	return cfg.PortOcc + cfg.Hops(from, dest)*cfg.HopLat
+}
+
+// checkHandler validates the handler name at send time, on the sender's
+// goroutine, so misuse panics where the caller can see it.
+func (n *SimNet) checkHandler(name string) {
+	if _, ok := n.handlers[name]; !ok {
+		panic(fmt.Sprintf("parcel: no sim handler %q", name))
+	}
+}
+
+// Send dispatches a one-way parcel from a tasklet.
+func (n *SimNet) Send(tu *c64.TU, dest int, handler string, payload int64) {
+	n.checkHandler(handler)
+	p := simParcel{from: tu.Node(), handler: handler, payload: payload}
+	n.m.After(n.wireLat(tu.Node(), dest), func() { n.inboxes[dest].Send(p) })
+	tu.Compute(1) // issue slot
+}
+
+// Call performs a split transaction and blocks the caller until the
+// reply arrives. The caller's thread unit is free to be reassigned only
+// in the CallAsync form; Call models the naive blocking client.
+func (n *SimNet) Call(tu *c64.TU, dest int, handler string, payload int64) int64 {
+	n.checkHandler(handler)
+	reply := c64.NewChan[int64](n.m, n.wireLat(dest, tu.Node()))
+	p := simParcel{from: tu.Node(), handler: handler, payload: payload, reply: reply}
+	n.m.After(n.wireLat(tu.Node(), dest), func() { n.inboxes[dest].Send(p) })
+	tu.Compute(1)
+	return reply.Recv(tu)
+}
+
+// CallAsync issues the request and returns the reply channel so the
+// caller can overlap computation with the round trip (split-phase).
+func (n *SimNet) CallAsync(tu *c64.TU, dest int, handler string, payload int64) *c64.Chan[int64] {
+	n.checkHandler(handler)
+	reply := c64.NewChan[int64](n.m, n.wireLat(dest, tu.Node()))
+	p := simParcel{from: tu.Node(), handler: handler, payload: payload, reply: reply}
+	n.m.After(n.wireLat(tu.Node(), dest), func() { n.inboxes[dest].Send(p) })
+	tu.Compute(1)
+	return reply
+}
+
+// Stop terminates the dispatcher tasklets so Machine.Run can quiesce.
+// Call it (from any tasklet or via Machine.After) once no more parcels
+// will be sent.
+func (n *SimNet) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	for _, in := range n.inboxes {
+		in.Send(simParcel{}) // poison
+	}
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/monitor"
+)
+
+// Adaptive is a self-scheduler whose chunk size is retuned between loop
+// executions from observed per-iteration cost variance — the mechanism
+// of the paper's loop-parallelism adaptation (Section 2): "exploitable
+// parallelism in a loop nest, and the grain size of the parallelism,
+// are runtime dependent".
+//
+// Policy: start from an optimistic large chunk (n/(2p)); after each
+// execution, if the observed cost CV is high, shrink the chunk toward
+// the balance-friendly end, and if it is low, grow it to amortize
+// dispatch overhead. The chunk is clamped to [MinChunk, n/p].
+type Adaptive struct {
+	mu       sync.Mutex
+	chunk    int
+	MinChunk int
+	// HighCV and LowCV bound the dead zone: outside it the chunk halves
+	// or doubles.
+	HighCV float64
+	LowCV  float64
+	prof   *monitor.LoopProfile
+	tuning []int // chunk-size history, for the experiment reports
+}
+
+// NewAdaptive creates an adaptive scheduler controller. One controller
+// serves one loop nest across its repeated executions.
+func NewAdaptive() *Adaptive {
+	return &Adaptive{MinChunk: 1, HighCV: 0.5, LowCV: 0.1}
+}
+
+// Factory returns a Factory producing schedulers that use the current
+// chunk size and feed the controller's profile.
+func (a *Adaptive) Factory() Factory {
+	return func(n, p int) Scheduler {
+		a.mu.Lock()
+		if a.chunk == 0 {
+			a.chunk = n / (2 * p)
+			if a.chunk < a.MinChunk {
+				a.chunk = a.MinChunk
+			}
+		}
+		k := a.chunk
+		a.tuning = append(a.tuning, k)
+		a.mu.Unlock()
+		return &selfSched{n: n, k: k}
+	}
+}
+
+// Profile returns the profile to record chunk timings into (pass it to
+// RunSGT or record manually), creating it on first use.
+func (a *Adaptive) Profile() *monitor.LoopProfile {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.prof == nil {
+		a.prof = &monitor.LoopProfile{}
+	}
+	return a.prof
+}
+
+// Retune inspects the profile gathered during the last execution and
+// adjusts the chunk size, then resets the profile. It reports the new
+// chunk size.
+//
+// The profile records chunk-mean costs; averaging over a chunk of k
+// iterations shrinks the observed CV by about sqrt(k), so the raw
+// chunk-level CV is scaled back up to estimate the underlying
+// per-iteration variability before comparing against the thresholds.
+func (a *Adaptive) Retune(n, p int) int {
+	prof := a.Profile()
+	cv := prof.IterCostCV()
+	if ch := prof.Chunks(); ch > 0 {
+		meanSize := float64(prof.Iters()) / float64(ch)
+		if meanSize > 1 {
+			cv *= math.Sqrt(meanSize)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	maxChunk := n / p
+	if maxChunk < a.MinChunk {
+		maxChunk = a.MinChunk
+	}
+	switch {
+	case cv > a.HighCV:
+		a.chunk /= 2
+	case cv < a.LowCV:
+		a.chunk *= 2
+	}
+	if a.chunk < a.MinChunk {
+		a.chunk = a.MinChunk
+	}
+	if a.chunk > maxChunk {
+		a.chunk = maxChunk
+	}
+	prof.Reset()
+	return a.chunk
+}
+
+// Chunk returns the current chunk size (0 before first use).
+func (a *Adaptive) Chunk() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.chunk
+}
+
+// History returns the chunk sizes used by successive executions.
+func (a *Adaptive) History() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.tuning...)
+}
+
+// String describes the controller state.
+func (a *Adaptive) String() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return fmt.Sprintf("Adaptive(chunk=%d)", a.chunk)
+}

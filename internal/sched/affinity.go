@@ -1,0 +1,68 @@
+package sched
+
+import "sync"
+
+// affinity implements affinity scheduling (Markatos & LeBlanc):
+// iterations are pre-partitioned one block per worker (so repeated
+// executions touch the same data from the same worker), each dispatch
+// takes a 1/k fraction of the worker's own remaining block, and an idle
+// worker steals a 1/p fraction from the most loaded peer — locality
+// first, balance on demand.
+type affinity struct {
+	mu   sync.Mutex
+	lo   []int // per-worker remaining range [lo, hi)
+	hi   []int
+	p, k int
+}
+
+// Affinity returns the affinity-scheduling factory. k controls the
+// owner dispatch fraction (k <= 0 means p, the classic choice).
+func Affinity(k int) Factory {
+	return func(n, p int) Scheduler {
+		if p < 1 {
+			p = 1
+		}
+		kk := k
+		if kk <= 0 {
+			kk = p
+		}
+		a := &affinity{lo: make([]int, p), hi: make([]int, p), p: p, k: kk}
+		for w := 0; w < p; w++ {
+			a.lo[w] = w * n / p
+			a.hi[w] = (w + 1) * n / p
+		}
+		return a
+	}
+}
+
+func (a *affinity) Name() string { return "affinity" }
+
+func (a *affinity) Next(worker int) (Chunk, bool) {
+	if worker < 0 || worker >= a.p {
+		return Chunk{}, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Own block first: take 1/k of what remains, front-forward.
+	if a.lo[worker] < a.hi[worker] {
+		size := (a.hi[worker] - a.lo[worker] + a.k - 1) / a.k
+		c := Chunk{a.lo[worker], a.lo[worker] + size}
+		a.lo[worker] += size
+		return c, true
+	}
+	// Steal 1/p of the most loaded peer's remainder, from the back, so
+	// the owner keeps working front-forward on its own cache lines.
+	victim, most := -1, 0
+	for w := 0; w < a.p; w++ {
+		if rem := a.hi[w] - a.lo[w]; rem > most {
+			victim, most = w, rem
+		}
+	}
+	if victim < 0 {
+		return Chunk{}, false
+	}
+	size := (most + a.p - 1) / a.p
+	c := Chunk{a.hi[victim] - size, a.hi[victim]}
+	a.hi[victim] -= size
+	return c, true
+}

@@ -1,0 +1,77 @@
+package sched
+
+import "testing"
+
+func TestAffinityOwnerGetsOwnBlockFirst(t *testing.T) {
+	s := Affinity(0)(100, 4)
+	c, ok := s.Next(2)
+	if !ok {
+		t.Fatal("no chunk")
+	}
+	// Worker 2's block is [50, 75); the first dispatch must come from it.
+	if c.Begin < 50 || c.End > 75 {
+		t.Errorf("worker 2 first chunk %+v outside its block [50,75)", c)
+	}
+}
+
+func TestAffinityDispatchFractionShrinks(t *testing.T) {
+	s := Affinity(4)(1600, 4) // own block 400, k=4: 100, 75, 57, ...
+	var sizes []int
+	for i := 0; i < 3; i++ {
+		c, ok := s.Next(0)
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		sizes = append(sizes, c.Size())
+	}
+	if !(sizes[0] > sizes[1] && sizes[1] > sizes[2]) {
+		t.Errorf("owner chunks should shrink: %v", sizes)
+	}
+	if sizes[0] != 100 {
+		t.Errorf("first chunk = %d, want 400/4 = 100", sizes[0])
+	}
+}
+
+func TestAffinityStealsFromMostLoaded(t *testing.T) {
+	s := Affinity(1)(100, 4) // k=1: owner drains its block in one dispatch
+	// Worker 0 takes its whole block, then steals.
+	if _, ok := s.Next(0); !ok {
+		t.Fatal("own block missing")
+	}
+	c, ok := s.Next(0)
+	if !ok {
+		t.Fatal("steal failed with work remaining")
+	}
+	// All peers hold 25; the steal takes ceil(25/4) = 7 from the back
+	// of the first fully loaded victim (worker 1: [25,50)).
+	if c.Size() != 7 {
+		t.Errorf("steal size = %d, want 7", c.Size())
+	}
+	if c.End != 50 {
+		t.Errorf("steal should come from the victim's back: %+v", c)
+	}
+}
+
+func TestAffinityEvaluateCompetitive(t *testing.T) {
+	// On skewed costs affinity must stay within 1.5x of GSS (it trades
+	// some balance for locality, but stealing bounds the loss).
+	costs := make([]float64, 2000)
+	for i := range costs {
+		costs[i] = float64(i % 97)
+	}
+	aff := Evaluate(costs, 8, Affinity(0), 2)
+	gss := Evaluate(costs, 8, GSS(1), 2)
+	if aff.Makespan > gss.Makespan*3/2 {
+		t.Errorf("affinity %v too far behind gss %v", aff.Makespan, gss.Makespan)
+	}
+}
+
+func TestAffinityInvalidWorker(t *testing.T) {
+	s := Affinity(0)(10, 2)
+	if _, ok := s.Next(5); ok {
+		t.Error("invalid worker should get no work")
+	}
+	if _, ok := s.Next(-1); ok {
+		t.Error("negative worker should get no work")
+	}
+}

@@ -1,0 +1,40 @@
+package sched
+
+import "testing"
+
+func benchDispatch(b *testing.B, f Factory) {
+	b.Helper()
+	s := f(b.N, 8)
+	b.ResetTimer()
+	for {
+		if _, ok := s.Next(0); !ok {
+			return
+		}
+	}
+}
+
+func BenchmarkDispatchSelfSched(b *testing.B) { benchDispatch(b, SelfSched(1)) }
+func BenchmarkDispatchGSS(b *testing.B)       { benchDispatch(b, GSS(1)) }
+func BenchmarkDispatchFactoring(b *testing.B) { benchDispatch(b, Factoring(1)) }
+func BenchmarkDispatchTrapezoid(b *testing.B) { benchDispatch(b, Trapezoid(0, 0)) }
+func BenchmarkDispatchAffinity(b *testing.B)  { benchDispatch(b, Affinity(0)) }
+
+// BenchmarkEvaluate measures the makespan evaluator itself (it backs
+// the deterministic experiment tables, so its cost matters at scale).
+func BenchmarkEvaluate(b *testing.B) {
+	costs := make([]float64, 4096)
+	for i := range costs {
+		costs[i] = float64(i % 37)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(costs, 8, GSS(1), 2)
+	}
+}
+
+// BenchmarkRunGoroutines measures the wall-clock executor overhead on
+// an empty body.
+func BenchmarkRunGoroutines(b *testing.B) {
+	b.ResetTimer()
+	Run(b.N, 8, SelfSched(256), func(i int) {})
+}

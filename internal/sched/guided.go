@@ -1,0 +1,169 @@
+package sched
+
+import "sync"
+
+// gss implements guided self-scheduling (Polychronopoulos & Kuck):
+// each dispatch takes ceil(remaining/p) iterations, so early chunks are
+// large (low overhead) and late chunks shrink to smooth imbalance.
+type gss struct {
+	mu   sync.Mutex
+	next int
+	n, p int
+	min  int
+}
+
+// GSS returns the guided self-scheduling factory with a minimum chunk
+// size (minChunk <= 0 means 1).
+func GSS(minChunk int) Factory {
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	return func(n, p int) Scheduler {
+		if p < 1 {
+			p = 1
+		}
+		return &gss{n: n, p: p, min: minChunk}
+	}
+}
+
+func (g *gss) Name() string { return "gss" }
+
+func (g *gss) Next(worker int) (Chunk, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	remaining := g.n - g.next
+	if remaining <= 0 {
+		return Chunk{}, false
+	}
+	size := (remaining + g.p - 1) / g.p
+	if size < g.min {
+		size = g.min
+	}
+	if size > remaining {
+		size = remaining
+	}
+	lo := g.next
+	g.next += size
+	return Chunk{lo, lo + size}, true
+}
+
+// factoring implements Hummel/Schonberg/Flynn factoring: iterations are
+// released in batches of half the remaining work, each batch split into
+// p equal chunks. More robust than GSS under high variance because the
+// first chunks are not as greedy.
+type factoring struct {
+	mu        sync.Mutex
+	next      int
+	n, p      int
+	batchLeft int
+	chunk     int
+	min       int
+}
+
+// Factoring returns the factoring factory (minChunk <= 0 means 1).
+func Factoring(minChunk int) Factory {
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	return func(n, p int) Scheduler {
+		if p < 1 {
+			p = 1
+		}
+		return &factoring{n: n, p: p, min: minChunk}
+	}
+}
+
+func (f *factoring) Name() string { return "factoring" }
+
+func (f *factoring) Next(worker int) (Chunk, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	remaining := f.n - f.next
+	if remaining <= 0 {
+		return Chunk{}, false
+	}
+	if f.batchLeft == 0 {
+		// Start a new batch: half the remaining work in p equal chunks.
+		batch := (remaining + 1) / 2
+		f.chunk = batch / f.p
+		if f.chunk < f.min {
+			f.chunk = f.min
+		}
+		f.batchLeft = f.p
+	}
+	size := f.chunk
+	if size > remaining {
+		size = remaining
+	}
+	f.batchLeft--
+	lo := f.next
+	f.next += size
+	return Chunk{lo, lo + size}, true
+}
+
+// trapezoid implements trapezoid self-scheduling (Tzen & Ni): chunk
+// sizes decrease linearly from first to last, precomputed so dispatch
+// is cheap.
+type trapezoid struct {
+	mu          sync.Mutex
+	next        int
+	n           int
+	size, delta float64
+	last        int
+}
+
+// Trapezoid returns the trapezoid factory with the given first and last
+// chunk sizes; zero values pick the customary defaults n/(2p) and 1.
+func Trapezoid(first, last int) Factory {
+	return func(n, p int) Scheduler {
+		if p < 1 {
+			p = 1
+		}
+		f, l := first, last
+		if f <= 0 {
+			f = (n + 2*p - 1) / (2 * p)
+		}
+		if l <= 0 {
+			l = 1
+		}
+		if f < l {
+			f = l
+		}
+		// Number of chunks N ~ 2n/(f+l); delta decrements size by
+		// (f-l)/(N-1) each dispatch.
+		nc := 1
+		if f+l > 0 {
+			nc = (2*n + f + l - 1) / (f + l)
+		}
+		d := 0.0
+		if nc > 1 {
+			d = float64(f-l) / float64(nc-1)
+		}
+		return &trapezoid{n: n, size: float64(f), delta: d, last: l}
+	}
+}
+
+func (t *trapezoid) Name() string { return "trapezoid" }
+
+func (t *trapezoid) Next(worker int) (Chunk, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	remaining := t.n - t.next
+	if remaining <= 0 {
+		return Chunk{}, false
+	}
+	size := int(t.size)
+	if size < t.last {
+		size = t.last
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size > remaining {
+		size = remaining
+	}
+	t.size -= t.delta
+	lo := t.next
+	t.next += size
+	return Chunk{lo, lo + size}, true
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Evaluate invariants that must hold for every strategy on every
+// workload:
+//
+//  1. makespan >= total work / p (no super-linear scheduling);
+//  2. makespan >= the most expensive single iteration;
+//  3. makespan <= total work + chunks*overhead (one worker could do it
+//     all);
+//  4. chunk count is at least 1 for a non-empty loop.
+func TestEvaluateInvariantsProperty(t *testing.T) {
+	factories := allFactories()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 + r.Intn(300)
+		p := 1 + r.Intn(12)
+		overhead := float64(r.Intn(5))
+		costs := make([]float64, n)
+		var total, max float64
+		for i := range costs {
+			costs[i] = 1 + 20*r.Float64()
+			total += costs[i]
+			if costs[i] > max {
+				max = costs[i]
+			}
+		}
+		for name, fac := range factories {
+			res := Evaluate(costs, p, fac, overhead)
+			lower := total / float64(p)
+			if res.Makespan < lower-1e-9 {
+				t.Logf("%s: makespan %v below work bound %v", name, res.Makespan, lower)
+				return false
+			}
+			if res.Makespan < max-1e-9 {
+				t.Logf("%s: makespan %v below max iteration %v", name, res.Makespan, max)
+				return false
+			}
+			upper := total + float64(res.Chunks)*overhead
+			if res.Makespan > upper+1e-9 {
+				t.Logf("%s: makespan %v above serial bound %v", name, res.Makespan, upper)
+				return false
+			}
+			if res.Chunks < 1 {
+				return false
+			}
+			if res.WorkTotal != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// More workers never hurt the evaluated makespan for dynamic
+// strategies (greedy dispatch is monotone in p for a fixed chunking
+// rule that does not depend on p). SelfSched's chunking is p-free, so
+// it is the clean strategy to assert this on.
+func TestEvaluateMonotoneInWorkersProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 10 + r.Intn(200)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 1 + 10*r.Float64()
+		}
+		fac := SelfSched(1 + r.Intn(8))
+		prev := math.Inf(1)
+		for _, p := range []int{1, 2, 4, 8} {
+			res := Evaluate(costs, p, fac, 1)
+			if res.Makespan > prev+1e-9 {
+				return false
+			}
+			prev = res.Makespan
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The adaptive controller's chunk always stays within [MinChunk, n/p]
+// no matter what profile it is fed.
+func TestAdaptiveBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 64 + r.Intn(4096)
+		p := 1 + r.Intn(16)
+		a := NewAdaptive()
+		for round := 0; round < 6; round++ {
+			_ = a.Factory()(n, p)
+			prof := a.Profile()
+			for c := 0; c < 1+r.Intn(20); c++ {
+				prof.RecordChunk(1+r.Intn(50), r.Float64()*1000)
+			}
+			chunk := a.Retune(n, p)
+			maxChunk := n / p
+			if maxChunk < a.MinChunk {
+				maxChunk = a.MinChunk
+			}
+			if chunk < a.MinChunk || chunk > maxChunk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+)
+
+// Run executes body over [0, n) with p goroutine workers pulling chunks
+// from a fresh scheduler. It returns the number of chunks dispatched.
+// This is the wall-clock executor used by the native benchmarks.
+func Run(n, p int, factory Factory, body func(i int)) int {
+	if p < 1 {
+		p = 1
+	}
+	s := factory(n, p)
+	var chunks int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for {
+				c, ok := s.Next(w)
+				if !ok {
+					break
+				}
+				local++
+				for i := c.Begin; i < c.End; i++ {
+					body(i)
+				}
+			}
+			mu.Lock()
+			chunks += int64(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return int(chunks)
+}
+
+// RunSGT executes the loop on the HTVM runtime: one SGT per worker,
+// homed at locales round-robin, pulling from the shared scheduler.
+// Profiling data lands in prof when non-nil.
+func RunSGT(rt *core.Runtime, n, p int, factory Factory, prof *monitor.LoopProfile, body func(i int)) {
+	if p < 1 {
+		p = 1
+	}
+	s := factory(n, p)
+	locales := rt.Config().Locales
+	done := make(chan struct{}, p)
+	for w := 0; w < p; w++ {
+		w := w
+		rt.GoAt(w%locales, 0, func(sg *core.SGT) {
+			for {
+				c, ok := s.Next(w)
+				if !ok {
+					break
+				}
+				t0 := time.Now()
+				for i := c.Begin; i < c.End; i++ {
+					body(i)
+				}
+				if prof != nil {
+					prof.RecordChunk(c.Size(), float64(time.Since(t0).Nanoseconds()))
+				}
+			}
+			done <- struct{}{}
+		})
+	}
+	for w := 0; w < p; w++ {
+		<-done
+	}
+}
+
+// ---------------------------------------------------------------------
+// Deterministic makespan evaluation.
+
+// EvalResult reports a simulated loop execution.
+type EvalResult struct {
+	Makespan  float64 // finish time of the last worker
+	Chunks    int     // dispatches performed
+	WorkTotal float64 // sum of iteration costs (lower bound on p*Makespan)
+	Imbalance float64 // Makespan / (WorkTotal/p + overhead share): 1.0 is perfect
+}
+
+// workerClock orders workers by availability time for the greedy
+// dispatch simulation.
+type workerClock struct {
+	t  float64
+	id int
+}
+
+type clockHeap []workerClock
+
+func (h clockHeap) Len() int { return len(h) }
+func (h clockHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].id < h[j].id
+}
+func (h clockHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *clockHeap) Push(x interface{}) { *h = append(*h, x.(workerClock)) }
+func (h *clockHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Evaluate simulates executing a loop whose iteration i costs costs[i]
+// under the given scheduler with p workers and a fixed per-dispatch
+// overhead. Work is dispatched greedily to the earliest-available
+// worker, which is how a real dynamic scheduler behaves; the result is
+// deterministic, making it ideal for the experiment tables.
+func Evaluate(costs []float64, p int, factory Factory, overhead float64) EvalResult {
+	n := len(costs)
+	if p < 1 {
+		p = 1
+	}
+	s := factory(n, p)
+	var total float64
+	for _, c := range costs {
+		total += c
+	}
+	h := make(clockHeap, p)
+	for i := range h {
+		h[i] = workerClock{t: 0, id: i}
+	}
+	heap.Init(&h)
+	res := EvalResult{WorkTotal: total}
+	finished := make([]float64, p)
+	exhausted := make([]bool, p)
+	active := p
+	for active > 0 {
+		wc := heap.Pop(&h).(workerClock)
+		c, ok := s.Next(wc.id)
+		if !ok {
+			exhausted[wc.id] = true
+			finished[wc.id] = wc.t
+			active--
+			continue
+		}
+		res.Chunks++
+		t := wc.t + overhead
+		for i := c.Begin; i < c.End; i++ {
+			t += costs[i]
+		}
+		heap.Push(&h, workerClock{t: t, id: wc.id})
+	}
+	for _, f := range finished {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	ideal := total/float64(p) + overhead
+	if ideal > 0 {
+		res.Imbalance = res.Makespan / ideal
+	}
+	return res
+}

@@ -1,0 +1,146 @@
+// Package sched implements the loop-scheduling strategies of Section
+// 3.3: static scheduling (block, cyclic), the classical dynamic
+// self-scheduling family (fixed chunking, guided self-scheduling,
+// factoring, trapezoid), and an adaptive scheduler that retunes its
+// grain from monitor feedback — the paper's "loop parallelism
+// adaptation". The package also provides a deterministic makespan
+// evaluator used by the experiment harness to compare strategies under
+// controlled iteration-cost distributions, and a goroutine executor for
+// wall-clock measurements.
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Chunk is a half-open iteration range [Begin, End).
+type Chunk struct {
+	Begin, End int
+}
+
+// Size returns the number of iterations in the chunk.
+func (c Chunk) Size() int { return c.End - c.Begin }
+
+// Scheduler hands out chunks of a loop with iterations [0, N). A
+// scheduler instance serves exactly one loop execution. Next must be
+// safe for concurrent use.
+type Scheduler interface {
+	// Name identifies the strategy for reports.
+	Name() string
+	// Next returns the next chunk for the given worker, or ok=false
+	// when the loop is exhausted (for that worker, under static
+	// strategies; globally, under dynamic ones).
+	Next(worker int) (Chunk, bool)
+}
+
+// Factory creates a fresh scheduler for a loop of n iterations executed
+// by p workers.
+type Factory func(n, p int) Scheduler
+
+// ---------------------------------------------------------------------
+// Static scheduling.
+
+// staticBlock gives worker w the contiguous block w of ~n/p iterations.
+type staticBlock struct {
+	n, p  int
+	taken []atomic.Bool
+}
+
+// StaticBlock returns the static block-partitioning factory: the
+// classic compile-time schedule, perfectly balanced only when iteration
+// costs are uniform.
+func StaticBlock() Factory {
+	return func(n, p int) Scheduler {
+		return &staticBlock{n: n, p: p, taken: make([]atomic.Bool, p)}
+	}
+}
+
+func (s *staticBlock) Name() string { return "static-block" }
+
+func (s *staticBlock) Next(worker int) (Chunk, bool) {
+	if worker < 0 || worker >= s.p || s.taken[worker].Swap(true) {
+		return Chunk{}, false
+	}
+	lo := worker * s.n / s.p
+	hi := (worker + 1) * s.n / s.p
+	if lo >= hi {
+		return Chunk{}, false
+	}
+	return Chunk{lo, hi}, true
+}
+
+// staticCyclic deals iterations round-robin in chunks of k.
+type staticCyclic struct {
+	n, p, k int
+	cursor  []atomic.Int64 // per-worker next strip index
+}
+
+// StaticCyclic returns the cyclic (interleaved) static factory with
+// strip size k (k <= 0 means 1). Cyclic spreads spatially correlated
+// cost but destroys locality.
+func StaticCyclic(k int) Factory {
+	if k <= 0 {
+		k = 1
+	}
+	return func(n, p int) Scheduler {
+		return &staticCyclic{n: n, p: p, k: k, cursor: make([]atomic.Int64, p)}
+	}
+}
+
+func (s *staticCyclic) Name() string { return fmt.Sprintf("static-cyclic/%d", s.k) }
+
+func (s *staticCyclic) Next(worker int) (Chunk, bool) {
+	if worker < 0 || worker >= s.p {
+		return Chunk{}, false
+	}
+	strip := s.cursor[worker].Add(1) - 1
+	lo := (int(strip)*s.p + worker) * s.k
+	if lo >= s.n {
+		return Chunk{}, false
+	}
+	hi := lo + s.k
+	if hi > s.n {
+		hi = s.n
+	}
+	return Chunk{lo, hi}, true
+}
+
+// ---------------------------------------------------------------------
+// Dynamic self-scheduling family. All share an atomic cursor.
+
+// selfSched hands out fixed chunks of k from a shared counter.
+type selfSched struct {
+	n, k   int
+	cursor atomic.Int64
+}
+
+// SelfSched returns pure self-scheduling with chunk size k (k <= 0
+// means 1). k=1 is the textbook SS: perfect balance, maximal overhead.
+func SelfSched(k int) Factory {
+	if k <= 0 {
+		k = 1
+	}
+	return func(n, p int) Scheduler {
+		return &selfSched{n: n, k: k}
+	}
+}
+
+func (s *selfSched) Name() string {
+	if s.k == 1 {
+		return "self-sched"
+	}
+	return fmt.Sprintf("chunked/%d", s.k)
+}
+
+func (s *selfSched) Next(worker int) (Chunk, bool) {
+	lo := int(s.cursor.Add(int64(s.k))) - s.k
+	if lo >= s.n {
+		return Chunk{}, false
+	}
+	hi := lo + s.k
+	if hi > s.n {
+		hi = s.n
+	}
+	return Chunk{lo, hi}, true
+}

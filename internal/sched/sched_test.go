@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// allFactories enumerates every strategy for coverage-style properties.
+func allFactories() map[string]Factory {
+	return map[string]Factory{
+		"static-block":  StaticBlock(),
+		"static-cyclic": StaticCyclic(3),
+		"self-sched":    SelfSched(1),
+		"chunked":       SelfSched(8),
+		"gss":           GSS(1),
+		"factoring":     Factoring(1),
+		"trapezoid":     Trapezoid(0, 0),
+		"affinity":      Affinity(0),
+	}
+}
+
+// drain collects every chunk a scheduler will produce, emulating p
+// workers that keep asking until everyone is told "done".
+func drain(s Scheduler, p int) []Chunk {
+	var out []Chunk
+	live := make([]bool, p)
+	for i := range live {
+		live[i] = true
+	}
+	for {
+		progress := false
+		for w := 0; w < p; w++ {
+			if !live[w] {
+				continue
+			}
+			c, ok := s.Next(w)
+			if !ok {
+				live[w] = false
+				continue
+			}
+			out = append(out, c)
+			progress = true
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+func TestCoverageExactlyOnce(t *testing.T) {
+	for name, f := range allFactories() {
+		for _, tc := range []struct{ n, p int }{
+			{0, 1}, {1, 1}, {7, 3}, {100, 4}, {101, 4}, {5, 8}, {1000, 7},
+		} {
+			s := f(tc.n, tc.p)
+			seen := make([]int, tc.n)
+			for _, c := range drain(s, tc.p) {
+				if c.Begin < 0 || c.End > tc.n || c.Begin >= c.End {
+					t.Fatalf("%s n=%d p=%d: bad chunk %+v", name, tc.n, tc.p, c)
+				}
+				for i := c.Begin; i < c.End; i++ {
+					seen[i]++
+				}
+			}
+			for i, k := range seen {
+				if k != 1 {
+					t.Fatalf("%s n=%d p=%d: iteration %d covered %d times", name, tc.n, tc.p, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverageProperty(t *testing.T) {
+	factories := allFactories()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.Intn(500)
+		p := 1 + r.Intn(16)
+		for _, fac := range factories {
+			s := fac(n, p)
+			covered := make([]bool, n)
+			for _, c := range drain(s, p) {
+				for i := c.Begin; i < c.End; i++ {
+					if covered[i] {
+						return false
+					}
+					covered[i] = true
+				}
+			}
+			for _, c := range covered {
+				if !c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGSSChunksDecrease(t *testing.T) {
+	s := GSS(1)(1000, 4)
+	var prev int
+	first := true
+	for {
+		c, ok := s.Next(0)
+		if !ok {
+			break
+		}
+		if !first && c.Size() > prev {
+			t.Fatalf("GSS chunk grew: %d after %d", c.Size(), prev)
+		}
+		prev = c.Size()
+		first = false
+	}
+}
+
+func TestTrapezoidChunksDecrease(t *testing.T) {
+	s := Trapezoid(100, 4)(1000, 4)
+	var sizes []int
+	for {
+		c, ok := s.Next(0)
+		if !ok {
+			break
+		}
+		sizes = append(sizes, c.Size())
+	}
+	if len(sizes) < 2 {
+		t.Fatal("too few chunks")
+	}
+	if sizes[0] != 100 {
+		t.Errorf("first chunk = %d, want 100", sizes[0])
+	}
+	for i := 1; i < len(sizes)-1; i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Fatalf("trapezoid chunk grew at %d: %v", i, sizes)
+		}
+	}
+}
+
+func TestStaticBlockOneChunkPerWorker(t *testing.T) {
+	s := StaticBlock()(100, 4)
+	if _, ok := s.Next(1); !ok {
+		t.Fatal("first call should succeed")
+	}
+	if _, ok := s.Next(1); ok {
+		t.Fatal("second call for same worker should fail")
+	}
+}
+
+func TestConcurrentDispatchNoDuplicates(t *testing.T) {
+	for name, f := range map[string]Factory{
+		"self": SelfSched(4), "gss": GSS(1), "fact": Factoring(1), "trap": Trapezoid(0, 0),
+		"affinity": Affinity(0),
+	} {
+		const n, p = 10000, 8
+		s := f(n, p)
+		seen := make([]int32, n)
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c, ok := s.Next(w)
+					if !ok {
+						return
+					}
+					for i := c.Begin; i < c.End; i++ {
+						seen[i]++ // races only if scheduler double-issues
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, k := range seen {
+			if k != 1 {
+				t.Fatalf("%s: iteration %d covered %d times", name, i, k)
+			}
+		}
+	}
+}
+
+func TestRunExecutesAll(t *testing.T) {
+	const n = 5000
+	var hits [n]int32
+	var mu sync.Mutex
+	chunks := Run(n, 4, GSS(1), func(i int) {
+		mu.Lock()
+		hits[i]++
+		mu.Unlock()
+	})
+	if chunks <= 0 {
+		t.Error("no chunks dispatched")
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestEvaluateUniformCostsBalanced(t *testing.T) {
+	costs := make([]float64, 1000)
+	for i := range costs {
+		costs[i] = 1
+	}
+	res := Evaluate(costs, 4, StaticBlock(), 0)
+	if res.Makespan != 250 {
+		t.Errorf("uniform static makespan = %v, want 250", res.Makespan)
+	}
+	if res.Imbalance > 1.001 {
+		t.Errorf("imbalance = %v, want ~1", res.Imbalance)
+	}
+}
+
+func TestEvaluateImbalancedStaticVsDynamic(t *testing.T) {
+	// Linearly increasing costs: static block loads the last worker.
+	costs := make([]float64, 1000)
+	for i := range costs {
+		costs[i] = float64(i)
+	}
+	static := Evaluate(costs, 4, StaticBlock(), 0)
+	gss := Evaluate(costs, 4, GSS(1), 0)
+	if gss.Makespan >= static.Makespan {
+		t.Errorf("GSS (%v) should beat static (%v) on skewed costs", gss.Makespan, static.Makespan)
+	}
+}
+
+func TestEvaluateOverheadPenalizesFineGrain(t *testing.T) {
+	costs := make([]float64, 1000)
+	for i := range costs {
+		costs[i] = 1
+	}
+	ss := Evaluate(costs, 4, SelfSched(1), 5)       // 1000 dispatches x 5 overhead
+	chunked := Evaluate(costs, 4, SelfSched(50), 5) // 20 dispatches
+	if chunked.Makespan >= ss.Makespan {
+		t.Errorf("chunked (%v) should beat SS (%v) under overhead", chunked.Makespan, ss.Makespan)
+	}
+}
+
+func TestEvaluateChunkCount(t *testing.T) {
+	costs := make([]float64, 100)
+	res := Evaluate(costs, 4, SelfSched(10), 0)
+	if res.Chunks != 10 {
+		t.Errorf("Chunks = %d, want 10", res.Chunks)
+	}
+}
+
+func TestAdaptiveShrinksOnHighCV(t *testing.T) {
+	a := NewAdaptive()
+	fac := a.Factory()
+	_ = fac(1024, 4) // initialize chunk to n/(2p) = 128
+	start := a.Chunk()
+	prof := a.Profile()
+	// Feed wildly varying per-iteration costs.
+	prof.RecordChunk(10, 10)
+	prof.RecordChunk(10, 1000)
+	prof.RecordChunk(10, 5)
+	newChunk := a.Retune(1024, 4)
+	if newChunk >= start {
+		t.Errorf("chunk %d should shrink from %d under high CV", newChunk, start)
+	}
+}
+
+func TestAdaptiveGrowsOnLowCV(t *testing.T) {
+	a := NewAdaptive()
+	_ = a.Factory()(1024, 4)
+	start := a.Chunk()
+	prof := a.Profile()
+	for i := 0; i < 10; i++ {
+		prof.RecordChunk(10, 100) // constant cost
+	}
+	newChunk := a.Retune(1024, 4)
+	if newChunk <= start {
+		t.Errorf("chunk %d should grow from %d under low CV", newChunk, start)
+	}
+}
+
+func TestAdaptiveClampsToBounds(t *testing.T) {
+	a := NewAdaptive()
+	_ = a.Factory()(64, 4)
+	prof := a.Profile()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 5; i++ {
+			prof.RecordChunk(10, 100)
+		}
+		a.Retune(64, 4)
+	}
+	if c := a.Chunk(); c > 16 {
+		t.Errorf("chunk %d exceeds n/p = 16", c)
+	}
+	if h := a.History(); len(h) != 1 {
+		t.Errorf("history = %v, want one entry per Factory call", h)
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	if (Chunk{3, 10}).Size() != 7 {
+		t.Error("Size broken")
+	}
+}

@@ -1,0 +1,85 @@
+package ssp
+
+// Partition assigns the pipelined level's iterations to small-grain
+// threads in contiguous groups — the hybrid ILP+TLP execution of
+// Section 3.3: "the software pipelined code is partitioned into
+// threads, each thread composed of several iterations of the selected
+// loop level".
+type Partition struct {
+	Schedule *Schedule
+	Threads  int
+	Group    int // iterations per thread (last thread may have fewer)
+}
+
+// Partition splits the schedule's iterations across the given number of
+// threads.
+func (s *Schedule) Partition(threads int) *Partition {
+	if threads < 1 {
+		threads = 1
+	}
+	trip := s.Loop.Trip
+	if threads > trip {
+		threads = trip
+	}
+	group := (trip + threads - 1) / threads
+	return &Partition{Schedule: s, Threads: threads, Group: group}
+}
+
+// threadOf returns which thread executes iteration i.
+func (p *Partition) threadOf(i int) int { return i / p.Group }
+
+// Makespan computes the completion time of the partitioned pipelined
+// execution by propagating issue times iteration by iteration:
+//
+//   - within a thread, iterations issue II apart (pipeline steady
+//     state) after the thread's spawn time;
+//   - across iterations, a carried dependence (from -> to, distance d)
+//     requires issue(i) >= issue(i-d) + start(from) + latency(from) -
+//     start(to) — when i-d belongs to another thread this skews the
+//     downstream thread, which is exactly the synchronization the
+//     runtime inserts between SGTs.
+//
+// spawnCost is the per-thread activation cost (threads spawn at
+// spawnCost * threadIndex under a serial spawner, the conservative
+// model).
+func (p *Partition) Makespan(spawnCost int64) int64 {
+	s := p.Schedule
+	trip := s.Loop.Trip
+	issue := make([]int64, trip)
+	var makespan int64
+	for i := 0; i < trip; i++ {
+		th := p.threadOf(i)
+		t := spawnCost * int64(th+1)
+		if i > 0 && p.threadOf(i-1) == th {
+			if v := issue[i-1] + s.II; v > t {
+				t = v
+			}
+		}
+		for _, d := range s.Loop.Carried {
+			j := i - d.Distance
+			if j < 0 {
+				continue
+			}
+			v := issue[j] + s.Start[d.From] + s.Loop.Ops[d.From].Latency - s.Start[d.To]
+			if v > t {
+				t = v
+			}
+		}
+		issue[i] = t
+		if c := t + s.Span; c > makespan {
+			makespan = c
+		}
+	}
+	return makespan
+}
+
+// Speedup returns the single-thread pipelined time divided by the
+// partitioned time at the given thread count.
+func (p *Partition) Speedup(spawnCost int64) float64 {
+	single := p.Schedule.PipelinedCycles(p.Schedule.Loop.Trip)
+	multi := p.Makespan(spawnCost)
+	if multi <= 0 {
+		return 0
+	}
+	return float64(single) / float64(multi)
+}

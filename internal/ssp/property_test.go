@@ -1,0 +1,150 @@
+package ssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loopir"
+	"repro/internal/stats"
+)
+
+// randomChainNest builds a 1-deep nest with a dependence chain and an
+// optional back edge — the schedulable family the properties range
+// over.
+func randomChainNest(r *stats.RNG) *loopir.Nest {
+	nOps := 2 + r.Intn(5)
+	ops := make([]loopir.Op, nOps)
+	for i := range ops {
+		ops[i] = loopir.Op{
+			ID: i, Name: "op",
+			Latency:  1 + int64(r.Intn(6)),
+			Resource: loopir.Resource(r.Intn(3)),
+		}
+	}
+	deps := []loopir.Dep{}
+	for i := 1; i < nOps; i++ {
+		deps = append(deps, loopir.Dep{From: i - 1, To: i, Distance: []int{0}})
+	}
+	if r.Intn(2) == 0 {
+		deps = append(deps, loopir.Dep{From: nOps - 1, To: 0, Distance: []int{1 + r.Intn(3)}})
+	}
+	return &loopir.Nest{Name: "prop", Trips: []int{8 + r.Intn(120)}, Ops: ops, Deps: deps}
+}
+
+// Partition makespans never exceed the single-thread pipelined time
+// (adding threads cannot hurt when spawns are free) and never beat the
+// II * per-thread-iterations lower bound.
+func TestPartitionBoundsProperty(t *testing.T) {
+	res := loopir.DefaultResources()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := randomChainNest(r)
+		if n.Validate() != nil {
+			return true
+		}
+		s, err := Pipeline(n, 0, res)
+		if err != nil {
+			return true
+		}
+		single := s.Partition(1).Makespan(0)
+		for _, threads := range []int{2, 4, 8} {
+			p := s.Partition(threads)
+			m := p.Makespan(0)
+			if m > single {
+				t.Logf("threads=%d makespan %d > single %d", threads, m, single)
+				return false
+			}
+			// Lower bound: the last thread still runs its group's
+			// iterations II apart plus the span.
+			group := (s.Loop.Trip + p.Threads - 1) / p.Threads
+			lower := int64(group-1)*s.II + s.Span
+			if m < lower {
+				t.Logf("threads=%d makespan %d below bound %d", threads, m, lower)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The whole-nest makespan of any legal schedule never beats the
+// critical-path bound: trips * II is a floor on issue, and serial
+// execution is a ceiling.
+func TestNestMakespanBoundsProperty(t *testing.T) {
+	res := loopir.DefaultResources()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := randomChainNest(r)
+		if n.Validate() != nil {
+			return true
+		}
+		s, err := Pipeline(n, 0, res)
+		if err != nil {
+			return true
+		}
+		m := s.NestMakespan()
+		floor := int64(n.Trips[0]-1) * s.II
+		if m <= floor {
+			return false
+		}
+		if m > n.SerialCycles()+s.Span {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SelectLevel's choice is never worse than any individual level it
+// considered.
+func TestSelectLevelOptimalityProperty(t *testing.T) {
+	res := loopir.DefaultResources()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		// 2-deep nests with random carried deps.
+		nOps := 2 + r.Intn(3)
+		ops := make([]loopir.Op, nOps)
+		for i := range ops {
+			ops[i] = loopir.Op{ID: i, Name: "op", Latency: 1 + int64(r.Intn(5)), Resource: loopir.Resource(r.Intn(3))}
+		}
+		deps := []loopir.Dep{}
+		for i := 1; i < nOps; i++ {
+			deps = append(deps, loopir.Dep{From: i - 1, To: i, Distance: []int{0, 0}})
+		}
+		if r.Intn(2) == 0 {
+			deps = append(deps, loopir.Dep{From: nOps - 1, To: 0, Distance: []int{0, 1}})
+		}
+		n := &loopir.Nest{Name: "sel", Trips: []int{4 + r.Intn(40), 2 + r.Intn(6)}, Ops: ops, Deps: deps}
+		if n.Validate() != nil {
+			return true
+		}
+		level, best, err := ssp1(n, res)
+		if err != nil {
+			return true
+		}
+		for l := 0; l < n.Depth(); l++ {
+			s, err := Pipeline(n, l, res)
+			if err != nil {
+				continue
+			}
+			if s.NestMakespan() < best.NestMakespan() {
+				t.Logf("level %d (%d cycles) beats selected %d (%d)", l, s.NestMakespan(), level, best.NestMakespan())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ssp1 wraps SelectLevel for the property above.
+func ssp1(n *loopir.Nest, res loopir.Resources) (int, *Schedule, error) {
+	return SelectLevel(n, res)
+}

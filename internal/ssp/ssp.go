@@ -1,0 +1,221 @@
+// Package ssp implements Single-dimension Software Pipelining [Rong,
+// Tang, Govindarajan, Douillet, Gao — CGO 2004], the loop-nest
+// scheduling technology Section 3.3 builds its hybrid ILP+TLP proposal
+// on: choose the most profitable loop level of a nest, software-
+// pipeline that level (modulo scheduling against resource and
+// recurrence bounds), then partition the pipelined iterations into
+// small-grain threads so instruction-level and thread-level parallelism
+// are exploited simultaneously.
+package ssp
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+)
+
+// Schedule is a modulo schedule of a nest's effective loop at one level.
+type Schedule struct {
+	Loop   *loopir.EffectiveLoop
+	II     int64   // initiation interval
+	Start  []int64 // start cycle of each op instance within one iteration
+	Span   int64   // schedule length of one iteration
+	Stages int     // ceil(Span/II): pipeline depth in kernel stages
+}
+
+// maxIIFactor bounds the II search: II never needs to exceed the serial
+// body span, at which point scheduling trivially succeeds.
+const maxIIFactor = 2
+
+// ModuloSchedule builds a schedule for the effective loop under the
+// machine model, searching IIs upward from MII until placement and
+// verification succeed.
+func ModuloSchedule(el *loopir.EffectiveLoop, res loopir.Resources) (*Schedule, error) {
+	var serial int64
+	for _, op := range el.Ops {
+		serial += op.Latency
+	}
+	limit := serial*maxIIFactor + 1
+	for ii := el.MII(res); ii <= limit; ii++ {
+		if starts, ok := tryPlace(el, res, ii); ok {
+			s := &Schedule{Loop: el, II: ii, Start: starts}
+			for i, st := range starts {
+				if end := st + el.Ops[i].Latency; end > s.Span {
+					s.Span = end
+				}
+			}
+			s.Stages = int((s.Span + ii - 1) / ii)
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("ssp: no schedule found up to II=%d", limit)
+}
+
+// tryPlace attempts a placement at the given II: ops are placed in
+// topological order (by intra edges) at the earliest cycle that
+// respects placed dependences and the modulo resource table, then the
+// full constraint set (including carried edges) is verified.
+func tryPlace(el *loopir.EffectiveLoop, res loopir.Resources, ii int64) ([]int64, bool) {
+	n := len(el.Ops)
+	order, ok := topoOrder(n, el.Intra)
+	if !ok {
+		return nil, false // intra-iteration cycle: malformed input
+	}
+	// Modulo reservation table: usage[cycle mod II][resource].
+	usage := make([][3]int, ii)
+	start := make([]int64, n)
+	placed := make([]bool, n)
+
+	for _, id := range order {
+		est := int64(0)
+		for _, d := range el.Intra {
+			if d.To == id && placed[d.From] {
+				if v := start[d.From] + el.Ops[d.From].Latency; v > est {
+					est = v
+				}
+			}
+		}
+		for _, d := range el.Carried {
+			if d.To == id && placed[d.From] {
+				if v := start[d.From] + el.Ops[d.From].Latency - ii*int64(d.Distance); v > est {
+					est = v
+				}
+			}
+		}
+		r := el.Ops[id].Resource
+		units := res.Units(r)
+		placedAt := int64(-1)
+		for c := est; c < est+ii; c++ {
+			if usage[c%ii][r] < units {
+				placedAt = c
+				break
+			}
+		}
+		if placedAt < 0 {
+			return nil, false
+		}
+		usage[placedAt%ii][r]++
+		start[id] = placedAt
+		placed[id] = true
+	}
+
+	// Verify every constraint (carried edges whose source follows the
+	// sink in topological order were not known at placement time).
+	for _, d := range el.Intra {
+		if start[d.To] < start[d.From]+el.Ops[d.From].Latency {
+			return nil, false
+		}
+	}
+	for _, d := range el.Carried {
+		if start[d.To] < start[d.From]+el.Ops[d.From].Latency-ii*int64(d.Distance) {
+			return nil, false
+		}
+	}
+	return start, true
+}
+
+// topoOrder returns a topological order of the intra-edge DAG.
+func topoOrder(n int, edges []loopir.EffDep) ([]int, bool) {
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		indeg[e.To]++
+	}
+	var queue, order []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// PipelinedCycles returns the single-thread makespan of executing all
+// trip iterations of the pipelined level: (trip-1)*II + Span.
+func (s *Schedule) PipelinedCycles(trip int) int64 {
+	if trip <= 0 {
+		return 0
+	}
+	return int64(trip-1)*s.II + s.Span
+}
+
+// NestMakespan returns the whole-nest makespan when the selected level
+// is pipelined and the levels outside it run sequentially.
+func (s *Schedule) NestMakespan() int64 {
+	n := s.Loop.Nest
+	outer := n.OuterTripProduct(s.Loop.Level)
+	return int64(outer) * s.PipelinedCycles(s.Loop.Trip)
+}
+
+// Pipeline builds the effective loop at level and modulo-schedules it.
+func Pipeline(n *loopir.Nest, level int, res loopir.Resources) (*Schedule, error) {
+	el, err := n.EffectiveLoop(level)
+	if err != nil {
+		return nil, err
+	}
+	return ModuloSchedule(el, res)
+}
+
+// SelectLevel evaluates every legal level of the nest and returns the
+// level whose pipelined whole-nest makespan is smallest — the paper's
+// "most profitable loop level" — together with its schedule.
+func SelectLevel(n *loopir.Nest, res loopir.Resources) (int, *Schedule, error) {
+	bestLevel := -1
+	var best *Schedule
+	var bestCycles int64
+	for l := 0; l < n.Depth(); l++ {
+		s, err := Pipeline(n, l, res)
+		if err != nil {
+			continue
+		}
+		c := s.NestMakespan()
+		if bestLevel < 0 || c < bestCycles {
+			bestLevel, best, bestCycles = l, s, c
+		}
+	}
+	if bestLevel < 0 {
+		return 0, nil, fmt.Errorf("ssp: nest %q has no pipelineable level", n.Name)
+	}
+	return bestLevel, best, nil
+}
+
+// TLPOnlyMakespan models the dynamic-scheduling-only baseline of
+// Section 3.3: iterations of the given level are distributed over
+// threads with no instruction-level overlap inside a thread, under the
+// same serial-spawn cost model Partition.Makespan charges. A level with
+// carried dependences serializes entirely (threads cannot help).
+func TLPOnlyMakespan(n *loopir.Nest, level, threads int, spawnCost int64) int64 {
+	if threads < 1 {
+		threads = 1
+	}
+	body := n.SumLatency() * int64(n.InnerTripProduct(level))
+	trip := n.Trips[level]
+	carried := false
+	for _, d := range n.Deps {
+		if d.Distance[level] != 0 {
+			carried = true
+			break
+		}
+	}
+	outer := int64(n.OuterTripProduct(level))
+	if carried {
+		return spawnCost + outer*int64(trip)*body
+	}
+	if threads > trip {
+		threads = trip
+	}
+	per := (trip + threads - 1) / threads
+	return spawnCost*int64(threads) + outer*int64(per)*body
+}

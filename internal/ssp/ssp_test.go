@@ -1,0 +1,306 @@
+package ssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loopir"
+	"repro/internal/stats"
+)
+
+// vecAdd is a dependence-free 1-deep loop: load, add, store with no
+// carried dependence — the friendliest pipelining case.
+func vecAdd(n int) *loopir.Nest {
+	return &loopir.Nest{
+		Name:  "vecadd",
+		Trips: []int{n},
+		Ops: []loopir.Op{
+			{ID: 0, Name: "load", Latency: 3, Resource: loopir.MEM},
+			{ID: 1, Name: "add", Latency: 1, Resource: loopir.ALU},
+			{ID: 2, Name: "store", Latency: 1, Resource: loopir.MEM},
+		},
+		Deps: []loopir.Dep{
+			{From: 0, To: 1, Distance: []int{0}},
+			{From: 1, To: 2, Distance: []int{0}},
+		},
+	}
+}
+
+// recur2D has an innermost recurrence but a free outer level: the case
+// where SSP at the outer level beats innermost-only modulo scheduling.
+func recur2D(ni, nj int) *loopir.Nest {
+	return &loopir.Nest{
+		Name:  "recur2d",
+		Trips: []int{ni, nj},
+		Ops: []loopir.Op{
+			{ID: 0, Name: "load", Latency: 3, Resource: loopir.MEM},
+			{ID: 1, Name: "fma", Latency: 6, Resource: loopir.FPU},
+			{ID: 2, Name: "store", Latency: 1, Resource: loopir.MEM},
+		},
+		Deps: []loopir.Dep{
+			{From: 0, To: 1, Distance: []int{0, 0}},
+			{From: 1, To: 2, Distance: []int{0, 0}},
+			{From: 1, To: 1, Distance: []int{0, 1}}, // fma recurrence on j
+		},
+	}
+}
+
+func mustPipeline(t *testing.T, n *loopir.Nest, level int) *Schedule {
+	t.Helper()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Pipeline(n, level, loopir.DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// verifySchedule checks all modulo-scheduling invariants directly.
+func verifySchedule(t *testing.T, s *Schedule, res loopir.Resources) {
+	t.Helper()
+	el := s.Loop
+	for _, d := range el.Intra {
+		if s.Start[d.To] < s.Start[d.From]+el.Ops[d.From].Latency {
+			t.Fatalf("intra dep %d->%d violated", d.From, d.To)
+		}
+	}
+	for _, d := range el.Carried {
+		if s.Start[d.To] < s.Start[d.From]+el.Ops[d.From].Latency-s.II*int64(d.Distance) {
+			t.Fatalf("carried dep %d->%d violated", d.From, d.To)
+		}
+	}
+	usage := make(map[int64][3]int)
+	for i, st := range s.Start {
+		slot := st % s.II
+		u := usage[slot]
+		u[el.Ops[i].Resource]++
+		usage[slot] = u
+	}
+	for slot, u := range usage {
+		for r := 0; r < 3; r++ {
+			if u[r] > res.Units(loopir.Resource(r)) {
+				t.Fatalf("resource %v oversubscribed at slot %d: %d", loopir.Resource(r), slot, u[r])
+			}
+		}
+	}
+}
+
+func TestVecAddAchievesResMII(t *testing.T) {
+	s := mustPipeline(t, vecAdd(100), 0)
+	// 2 MEM ops on 1 port: ResMII = 2, no recurrence.
+	if s.II != 2 {
+		t.Errorf("II = %d, want 2", s.II)
+	}
+	verifySchedule(t, s, loopir.DefaultResources())
+}
+
+func TestPipelinedFasterThanSerial(t *testing.T) {
+	n := vecAdd(1000)
+	s := mustPipeline(t, n, 0)
+	if got, serial := s.NestMakespan(), n.SerialCycles(); got >= serial {
+		t.Errorf("pipelined %d should beat serial %d", got, serial)
+	}
+}
+
+func TestInnermostRecurrenceLimitsII(t *testing.T) {
+	n := recur2D(8, 64)
+	s := mustPipeline(t, n, 1)
+	// fma self-recurrence distance 1, latency 6 -> II >= 6.
+	if s.II < 6 {
+		t.Errorf("II = %d, want >= 6 (recurrence-bound)", s.II)
+	}
+	verifySchedule(t, s, loopir.DefaultResources())
+}
+
+func TestSSPOuterBeatsInnermost(t *testing.T) {
+	// The headline SSP claim: pipelining the recurrence-free outer
+	// level beats pipelining the recurrence-bound innermost level.
+	n := recur2D(64, 8)
+	inner := mustPipeline(t, n, 1)
+	outer := mustPipeline(t, n, 0)
+	if outer.NestMakespan() >= inner.NestMakespan() {
+		t.Errorf("SSP outer (%d) should beat innermost MS (%d)",
+			outer.NestMakespan(), inner.NestMakespan())
+	}
+}
+
+func TestSelectLevelPicksOuterForInnerRecurrence(t *testing.T) {
+	n := recur2D(64, 8)
+	level, s, err := SelectLevel(n, loopir.DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != 0 {
+		t.Errorf("selected level %d, want 0", level)
+	}
+	if s == nil || s.Loop.Level != 0 {
+		t.Error("schedule missing or at wrong level")
+	}
+}
+
+func TestSelectLevelNoLegalLevel(t *testing.T) {
+	// Level 1 is illegal (backward flow when rotated outermost) and
+	// level 0 exceeds the unroll limit: nothing is schedulable.
+	n := &loopir.Nest{
+		Name:  "hopeless",
+		Trips: []int{4, 100000},
+		Ops:   []loopir.Op{{ID: 0, Name: "x", Latency: 1}},
+		Deps:  []loopir.Dep{{From: 0, To: 0, Distance: []int{1, -1}}},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := SelectLevel(n, loopir.DefaultResources())
+	if err == nil {
+		t.Error("expected error when no level is schedulable")
+	}
+}
+
+func TestScheduleStages(t *testing.T) {
+	s := mustPipeline(t, vecAdd(10), 0)
+	wantStages := int((s.Span + s.II - 1) / s.II)
+	if s.Stages != wantStages {
+		t.Errorf("Stages = %d, want %d", s.Stages, wantStages)
+	}
+	if s.Stages < 2 {
+		t.Errorf("Stages = %d; pipelining should overlap >= 2 stages", s.Stages)
+	}
+}
+
+func TestPipelinedCyclesFormula(t *testing.T) {
+	s := mustPipeline(t, vecAdd(100), 0)
+	if got := s.PipelinedCycles(100); got != 99*s.II+s.Span {
+		t.Errorf("PipelinedCycles = %d, want %d", got, 99*s.II+s.Span)
+	}
+	if s.PipelinedCycles(0) != 0 {
+		t.Error("zero-trip should cost 0")
+	}
+}
+
+func TestPartitionIndependentScales(t *testing.T) {
+	n := vecAdd(1024)
+	s := mustPipeline(t, n, 0)
+	t1 := s.Partition(1).Makespan(30)
+	t4 := s.Partition(4).Makespan(30)
+	t16 := s.Partition(16).Makespan(30)
+	if !(t16 < t4 && t4 < t1) {
+		t.Errorf("independent partition should scale: %d, %d, %d", t1, t4, t16)
+	}
+	// With free spawns scaling is near linear; with costly serial
+	// spawns it degrades but must stay positive.
+	if sp := s.Partition(16).Speedup(0); sp < 8 {
+		t.Errorf("16-thread speedup = %v with free spawn, want >= 8", sp)
+	}
+	if sp := s.Partition(16).Speedup(30); sp < 2 {
+		t.Errorf("16-thread speedup = %v with spawn cost, want >= 2", sp)
+	}
+}
+
+func TestPartitionCarriedDepLimitsScaling(t *testing.T) {
+	// Outer-carried dependence: downstream threads are skewed; speedup
+	// must be well below linear but above 1 (pipeline skew still
+	// overlaps).
+	n := &loopir.Nest{
+		Name:  "chain",
+		Trips: []int{512},
+		Ops: []loopir.Op{
+			{ID: 0, Name: "a", Latency: 4, Resource: loopir.ALU},
+			{ID: 1, Name: "b", Latency: 4, Resource: loopir.FPU},
+		},
+		Deps: []loopir.Dep{
+			{From: 0, To: 1, Distance: []int{0}},
+			{From: 1, To: 0, Distance: []int{1}},
+		},
+	}
+	s := mustPipeline(t, n, 0)
+	t1 := s.Partition(1).Makespan(0)
+	t8 := s.Partition(8).Makespan(0)
+	if t8 > t1 {
+		t.Errorf("partitioned (%d) should not exceed single thread (%d)", t8, t1)
+	}
+	sp := float64(t1) / float64(t8)
+	if sp > 2 {
+		t.Errorf("speedup %v on a tight recurrence chain is implausible", sp)
+	}
+}
+
+func TestPartitionMoreThreadsThanIterations(t *testing.T) {
+	s := mustPipeline(t, vecAdd(4), 0)
+	p := s.Partition(16)
+	if p.Threads != 4 {
+		t.Errorf("Threads = %d, want clamped to 4", p.Threads)
+	}
+}
+
+func TestTLPOnlyMakespan(t *testing.T) {
+	n := recur2D(64, 8)
+	// Level 0 has no carried deps: parallelizes.
+	seq := TLPOnlyMakespan(n, 0, 1, 0)
+	par := TLPOnlyMakespan(n, 0, 8, 0)
+	if par*8 != seq {
+		t.Errorf("TLP-only at level 0: %d x8 != %d", par, seq)
+	}
+	// Level 1 carries the recurrence: no TLP speedup.
+	if TLPOnlyMakespan(n, 1, 8, 0) != TLPOnlyMakespan(n, 1, 1, 0) {
+		t.Error("level-1 TLP should not speed up a carried level")
+	}
+}
+
+func TestHybridBeatsTLPOnly(t *testing.T) {
+	// Section 3.3's claim: ILP+TLP (SSP then partition) beats TLP-only.
+	n := recur2D(256, 8)
+	s := mustPipeline(t, n, 0)
+	hybrid := s.Partition(8).Makespan(30)
+	tlpOnly := TLPOnlyMakespan(n, 0, 8, 30)
+	if hybrid >= tlpOnly {
+		t.Errorf("hybrid (%d) should beat TLP-only (%d)", hybrid, tlpOnly)
+	}
+}
+
+func TestSchedulePropertyValidAcrossRandomNests(t *testing.T) {
+	res := loopir.DefaultResources()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		nOps := 2 + r.Intn(5)
+		ops := make([]loopir.Op, nOps)
+		for i := range ops {
+			ops[i] = loopir.Op{
+				ID: i, Name: "op",
+				Latency:  1 + int64(r.Intn(6)),
+				Resource: loopir.Resource(r.Intn(3)),
+			}
+		}
+		deps := []loopir.Dep{}
+		for i := 1; i < nOps; i++ {
+			deps = append(deps, loopir.Dep{From: i - 1, To: i, Distance: []int{0}})
+		}
+		if r.Intn(2) == 0 {
+			deps = append(deps, loopir.Dep{From: nOps - 1, To: 0, Distance: []int{1 + r.Intn(3)}})
+		}
+		n := &loopir.Nest{Name: "rand", Trips: []int{4 + r.Intn(60)}, Ops: ops, Deps: deps}
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		s, err := Pipeline(n, 0, res)
+		if err != nil {
+			return false
+		}
+		// Inline verification (no *testing.T in quick properties).
+		for _, d := range s.Loop.Intra {
+			if s.Start[d.To] < s.Start[d.From]+s.Loop.Ops[d.From].Latency {
+				return false
+			}
+		}
+		for _, d := range s.Loop.Carried {
+			if s.Start[d.To] < s.Start[d.From]+s.Loop.Ops[d.From].Latency-s.II*int64(d.Distance) {
+				return false
+			}
+		}
+		return s.II >= s.Loop.MII(res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+	want := math.Sqrt(2.5)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.P50 != 7 || s.Stddev != 0 {
+		t.Fatalf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		got := Quantile(sorted, c.q)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty slice should be NaN")
+	}
+}
+
+func TestCV(t *testing.T) {
+	if cv := CV([]float64{5, 5, 5, 5}); cv != 0 {
+		t.Errorf("CV of constant sample = %v, want 0", cv)
+	}
+	if cv := CV([]float64{1, 3}); math.Abs(cv-math.Sqrt2/2) > 1e-12 {
+		t.Errorf("CV = %v, want %v", cv, math.Sqrt2/2)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10, 2); s != 5 {
+		t.Errorf("Speedup = %v, want 5", s)
+	}
+	if s := Speedup(1, 0); !math.IsInf(s, 1) {
+		t.Errorf("Speedup with zero denominator = %v, want +Inf", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42.0)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title in:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf("integral float not compact in:\n%s", out)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed should give same stream")
+		}
+	}
+	c := NewRNG(124)
+	same := true
+	a2 := NewRNG(123)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce the stuck all-zero state")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	base := NewRNG(7)
+	r1 := base.Split(1)
+	base2 := NewRNG(7)
+	_ = base2.Split(1)
+	r2 := base2.Split(2)
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if r1.Uint64() == r2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Errorf("split streams look correlated: %d/64 equal draws", equal)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + int(seed%57)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGNormFiniteMean(t *testing.T) {
+	r := NewRNG(99)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.NormFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal sample mean = %v, want near 0", mean)
+	}
+}
+
+func TestRNGParetoLowerBound(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Pareto(2.0, 1.5)
+		if v < 2.0 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestQuantilePropertyMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 2 + int(seed%40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMatchesSummarize(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + int(seed%20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		return math.Abs(Mean(xs)-Summarize(xs).Mean) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package syncx
+
+import (
+	"sort"
+	"sync"
+)
+
+// AtomicTable implements LITL-X atomic blocks over named locations: a
+// striped lock table keyed by abstract addresses. A block that touches
+// several locations acquires their stripes in canonical order, so
+// concurrent atomic blocks cannot deadlock against each other.
+type AtomicTable struct {
+	stripes []sync.Mutex
+	mask    uint64
+}
+
+// NewAtomicTable creates a table with the given number of stripes,
+// rounded up to a power of two (default 64 when n <= 0).
+func NewAtomicTable(n int) *AtomicTable {
+	if n <= 0 {
+		n = 64
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &AtomicTable{stripes: make([]sync.Mutex, size), mask: uint64(size - 1)}
+}
+
+// stripe maps a key to a stripe index with a multiplicative hash.
+func (t *AtomicTable) stripe(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15 >> 17) & t.mask
+}
+
+// Atomic runs fn with the stripes covering keys held, giving fn
+// exclusive access to all named locations at once.
+func (t *AtomicTable) Atomic(keys []uint64, fn func()) {
+	idx := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		idx = append(idx, t.stripe(k))
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	// Deduplicate so a stripe shared by two keys is locked once.
+	n := 0
+	for i, v := range idx {
+		if i == 0 || v != idx[i-1] {
+			idx[n] = v
+			n++
+		}
+	}
+	idx = idx[:n]
+	for _, i := range idx {
+		t.stripes[i].Lock()
+	}
+	defer func() {
+		for j := len(idx) - 1; j >= 0; j-- {
+			t.stripes[idx[j]].Unlock()
+		}
+	}()
+	fn()
+}
+
+// Atomic1 is the single-location fast path.
+func (t *AtomicTable) Atomic1(key uint64, fn func()) {
+	s := &t.stripes[t.stripe(key)]
+	s.Lock()
+	defer s.Unlock()
+	fn()
+}
+
+// Barrier is a reusable phased barrier for goroutines. Unlike
+// sync.WaitGroup it supports repeated phases: the n-th arrival releases
+// the phase and the barrier re-arms.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	phase   uint64
+}
+
+// NewBarrier creates a barrier for n participants (n >= 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("syncx: barrier size must be >= 1")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Arrive blocks until all n participants of the current phase arrive.
+// It returns the phase number that was completed.
+func (b *Barrier) Arrive() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		return phase
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	return phase
+}
+
+// Phase returns the number of completed phases.
+func (b *Barrier) Phase() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.phase
+}

@@ -1,0 +1,125 @@
+package syncx
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomic1Exclusion(t *testing.T) {
+	tab := NewAtomicTable(8)
+	counter := 0
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tab.Atomic1(42, func() { counter++ })
+		}()
+	}
+	wg.Wait()
+	if counter != n {
+		t.Errorf("counter = %d, want %d (lost updates)", counter, n)
+	}
+}
+
+func TestAtomicMultiKeyNoDeadlock(t *testing.T) {
+	tab := NewAtomicTable(4) // few stripes force overlap
+	accounts := map[uint64]int{1: 100, 2: 100, 3: 100}
+	var wg sync.WaitGroup
+	transfer := func(from, to uint64) {
+		defer wg.Done()
+		tab.Atomic([]uint64{from, to}, func() {
+			accounts[from]--
+			accounts[to]++
+		})
+	}
+	for i := 0; i < 100; i++ {
+		wg.Add(3)
+		go transfer(1, 2)
+		go transfer(2, 3)
+		go transfer(3, 1) // cyclic key order would deadlock naive locking
+	}
+	wg.Wait()
+	total := accounts[1] + accounts[2] + accounts[3]
+	if total != 300 {
+		t.Errorf("total = %d, want 300 (atomicity violated)", total)
+	}
+}
+
+func TestAtomicDuplicateKeys(t *testing.T) {
+	tab := NewAtomicTable(8)
+	ran := false
+	// Duplicate keys map to the same stripe; must not self-deadlock.
+	tab.Atomic([]uint64{5, 5, 5}, func() { ran = true })
+	if !ran {
+		t.Error("atomic block with duplicate keys did not run")
+	}
+}
+
+func TestAtomicEmptyKeys(t *testing.T) {
+	tab := NewAtomicTable(8)
+	ran := false
+	tab.Atomic(nil, func() { ran = true })
+	if !ran {
+		t.Error("atomic block with no keys did not run")
+	}
+}
+
+func TestAtomicTableSizing(t *testing.T) {
+	tab := NewAtomicTable(0)
+	if len(tab.stripes) != 64 {
+		t.Errorf("default stripes = %d, want 64", len(tab.stripes))
+	}
+	tab = NewAtomicTable(100)
+	if len(tab.stripes) != 128 {
+		t.Errorf("stripes = %d, want 128 (next pow2)", len(tab.stripes))
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n, phases = 4, 10
+	b := NewBarrier(n)
+	var wg sync.WaitGroup
+	counts := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				ph := b.Arrive()
+				if ph != uint64(p) {
+					t.Errorf("participant %d: phase %d, want %d", i, ph, p)
+					return
+				}
+				counts[i]++
+			}
+		}()
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != phases {
+			t.Errorf("participant %d completed %d phases", i, c)
+		}
+	}
+	if b.Phase() != phases {
+		t.Errorf("Phase = %d, want %d", b.Phase(), phases)
+	}
+}
+
+func TestBarrierSingle(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 5; i++ {
+		b.Arrive() // must never block
+	}
+}
+
+func TestBarrierZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) should panic")
+		}
+	}()
+	NewBarrier(0)
+}

@@ -1,0 +1,64 @@
+package syncx
+
+import "testing"
+
+func BenchmarkSlotSignal(b *testing.B) {
+	s := NewSlot(b.N+1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Signal()
+	}
+}
+
+func BenchmarkCellPutGet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCell[int]()
+		c.Put(i)
+		c.Get()
+	}
+}
+
+func BenchmarkCellOnFull(b *testing.B) {
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		c := NewCell[int]()
+		c.OnFull(func(v int) { sink += v })
+		c.Put(i)
+	}
+	_ = sink
+}
+
+func BenchmarkAtomic1(b *testing.B) {
+	t := NewAtomicTable(256)
+	counter := 0
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			t.Atomic1(i%1024, func() { counter++ })
+		}
+	})
+}
+
+func BenchmarkAtomicMultiKey(b *testing.B) {
+	t := NewAtomicTable(256)
+	keys := []uint64{1, 99, 42}
+	for i := 0; i < b.N; i++ {
+		t.Atomic(keys, func() {})
+	}
+}
+
+func BenchmarkBarrierPingPong(b *testing.B) {
+	bar := NewBarrier(2)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < b.N; i++ {
+			bar.Arrive()
+		}
+		close(done)
+	}()
+	for i := 0; i < b.N; i++ {
+		bar.Arrive()
+	}
+	<-done
+}

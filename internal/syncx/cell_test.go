@@ -1,0 +1,153 @@
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellPutGet(t *testing.T) {
+	c := NewCell[int]()
+	go c.Put(42)
+	if v := c.Get(); v != 42 {
+		t.Errorf("Get = %d, want 42", v)
+	}
+	// Repeated Gets return the same value without blocking.
+	if v := c.Get(); v != 42 {
+		t.Errorf("second Get = %d, want 42", v)
+	}
+}
+
+func TestCellDoublePutPanics(t *testing.T) {
+	c := NewCell[int]()
+	c.Put(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put should panic")
+		}
+	}()
+	c.Put(2)
+}
+
+func TestCellTryPut(t *testing.T) {
+	c := NewCell[string]()
+	if !c.TryPut("a") {
+		t.Error("first TryPut should succeed")
+	}
+	if c.TryPut("b") {
+		t.Error("second TryPut should fail")
+	}
+	if v, ok := c.Peek(); !ok || v != "a" {
+		t.Errorf("Peek = %q,%v", v, ok)
+	}
+}
+
+func TestCellOnFullBeforePut(t *testing.T) {
+	c := NewCell[int]()
+	var got atomic.Int64
+	c.OnFull(func(v int) { got.Store(int64(v)) })
+	c.Put(7)
+	if got.Load() != 7 {
+		t.Errorf("continuation saw %d, want 7", got.Load())
+	}
+}
+
+func TestCellOnFullAfterPut(t *testing.T) {
+	c := NewCell[int]()
+	c.Put(9)
+	ran := false
+	c.OnFull(func(v int) { ran = v == 9 })
+	if !ran {
+		t.Error("continuation on full cell should run immediately")
+	}
+}
+
+func TestCellManyWaiters(t *testing.T) {
+	c := NewCell[int]()
+	const n = 32
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum.Add(int64(c.Get()))
+		}()
+	}
+	c.Put(3)
+	wg.Wait()
+	if sum.Load() != 3*n {
+		t.Errorf("sum = %d, want %d", sum.Load(), 3*n)
+	}
+}
+
+func TestCellFull(t *testing.T) {
+	c := NewCell[int]()
+	if c.Full() {
+		t.Error("new cell should be empty")
+	}
+	c.Put(1)
+	if !c.Full() {
+		t.Error("cell should be full after Put")
+	}
+}
+
+func TestIArray(t *testing.T) {
+	a := NewIArray[int](10)
+	if a.Len() != 10 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	var wg sync.WaitGroup
+	results := make([]int, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = a.Get(i)
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		a.Put(i, i*i)
+	}
+	wg.Wait()
+	for i, v := range results {
+		if v != i*i {
+			t.Errorf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if !a.Full(3) {
+		t.Error("element 3 should be full")
+	}
+}
+
+func TestIArrayOnFullChaining(t *testing.T) {
+	// Dataflow chain: element i+1 is produced by the continuation on i.
+	a := NewIArray[int](5)
+	for i := 0; i < 4; i++ {
+		i := i
+		a.OnFull(i, func(v int) { a.Put(i+1, v+1) })
+	}
+	a.Put(0, 100)
+	if got := a.Get(4); got != 104 {
+		t.Errorf("chain result = %d, want 104", got)
+	}
+}
+
+func TestCellPropertyFirstWriteWins(t *testing.T) {
+	f := func(vals []int) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCell[int]()
+		for _, v := range vals {
+			c.TryPut(v)
+		}
+		got, ok := c.Peek()
+		return ok && got == vals[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

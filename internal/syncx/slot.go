@@ -1,0 +1,170 @@
+// Package syncx implements the HTVM synchronization model (Section 3.1):
+// dataflow-style synchronization slots in the EARTH tradition (a counter
+// that fires a continuation when all inputs have arrived), write-once
+// dataflow cells (I-structures) backing futures, atomic blocks over named
+// locations, and reusable phased barriers.
+//
+// These primitives serve the native goroutine-backed runtime; the
+// simulator substrate has its own virtual-time counterparts in
+// internal/c64.
+package syncx
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Slot is an EARTH-style synchronization slot: it is armed with a count
+// and a continuation, and the count-th Signal fires the continuation
+// exactly once. Slots are the enabling mechanism for tiny-grain threads
+// (fibers): a TGT becomes runnable when its sync slot reaches zero.
+//
+// Signal is safe for concurrent use and lock-free on the fast path.
+type Slot struct {
+	count atomic.Int64
+	fire  func()
+}
+
+// NewSlot arms a slot that fires fn after count signals.
+// A count of zero fires immediately. Negative counts panic.
+func NewSlot(count int, fn func()) *Slot {
+	if count < 0 {
+		panic("syncx: negative sync count")
+	}
+	s := &Slot{fire: fn}
+	s.count.Store(int64(count))
+	if count == 0 && fn != nil {
+		fn()
+	}
+	return s
+}
+
+// Signal decrements the count; the decrement that reaches zero runs the
+// continuation on the signaling goroutine. Signaling below zero panics:
+// it means the dataflow graph was mis-constructed (more producers than
+// the slot was armed for), which the EARTH model treats as a program
+// error rather than something to silently absorb.
+func (s *Slot) Signal() {
+	n := s.count.Add(-1)
+	switch {
+	case n == 0:
+		if s.fire != nil {
+			s.fire()
+		}
+	case n < 0:
+		panic("syncx: sync slot signaled below zero")
+	}
+}
+
+// SignalN delivers n signals at once (n >= 1).
+func (s *Slot) SignalN(n int) {
+	if n < 1 {
+		panic("syncx: SignalN requires n >= 1")
+	}
+	v := s.count.Add(int64(-n))
+	switch {
+	case v == 0:
+		if s.fire != nil {
+			s.fire()
+		}
+	case v < 0:
+		panic("syncx: sync slot signaled below zero")
+	}
+}
+
+// Pending returns the number of signals still required (>= 0).
+func (s *Slot) Pending() int {
+	n := s.count.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Reset re-arms a fired slot with a new count and continuation, enabling
+// slot reuse across iterations (the common EARTH idiom for loops).
+// Resetting a slot that has not fired yet panics.
+func (s *Slot) Reset(count int, fn func()) {
+	if s.count.Load() > 0 {
+		panic("syncx: reset of an unfired sync slot")
+	}
+	if count < 0 {
+		panic("syncx: negative sync count")
+	}
+	s.fire = fn
+	s.count.Store(int64(count))
+	if count == 0 && fn != nil {
+		fn()
+	}
+}
+
+// Counter is a split-phase completion counter: producers call Done,
+// consumers Wait for the total to be reached. Unlike sync.WaitGroup the
+// expected total may be declared after work has begun (split-phase),
+// which parcel-driven computation needs: the number of replies is often
+// discovered while requests are still being issued.
+type Counter struct {
+	mu      sync.Mutex
+	done    int64
+	target  int64
+	hasTgt  bool
+	waiters []chan struct{}
+}
+
+// Done records n completions (n >= 1).
+func (c *Counter) Done(n int) {
+	if n < 1 {
+		panic("syncx: Counter.Done requires n >= 1")
+	}
+	c.mu.Lock()
+	c.done += int64(n)
+	c.maybeReleaseLocked()
+	c.mu.Unlock()
+}
+
+// SetTarget declares the total number of completions to wait for. It may
+// be called at most once.
+func (c *Counter) SetTarget(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hasTgt {
+		panic("syncx: Counter target set twice")
+	}
+	c.target = int64(n)
+	c.hasTgt = true
+	c.maybeReleaseLocked()
+}
+
+func (c *Counter) maybeReleaseLocked() {
+	if !c.hasTgt || c.done < c.target {
+		return
+	}
+	for _, w := range c.waiters {
+		close(w)
+	}
+	c.waiters = nil
+}
+
+// Wait blocks until the declared target has been reached.
+func (c *Counter) Wait() {
+	c.mu.Lock()
+	if c.hasTgt && c.done >= c.target {
+		c.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+	<-ch
+}
+
+// String reports the counter state for debugging.
+func (c *Counter) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.hasTgt {
+		return fmt.Sprintf("Counter(done=%d target=?)", c.done)
+	}
+	return fmt.Sprintf("Counter(done=%d target=%d)", c.done, c.target)
+}

@@ -1,0 +1,181 @@
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlotFiresOnce(t *testing.T) {
+	var fired atomic.Int32
+	s := NewSlot(3, func() { fired.Add(1) })
+	s.Signal()
+	s.Signal()
+	if fired.Load() != 0 {
+		t.Fatal("fired early")
+	}
+	s.Signal()
+	if fired.Load() != 1 {
+		t.Fatalf("fired = %d, want 1", fired.Load())
+	}
+}
+
+func TestSlotZeroCountFiresImmediately(t *testing.T) {
+	fired := false
+	NewSlot(0, func() { fired = true })
+	if !fired {
+		t.Error("zero-count slot did not fire at creation")
+	}
+}
+
+func TestSlotNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count should panic")
+		}
+	}()
+	NewSlot(-1, nil)
+}
+
+func TestSlotOverSignalPanics(t *testing.T) {
+	s := NewSlot(1, nil)
+	s.Signal()
+	defer func() {
+		if recover() == nil {
+			t.Error("over-signal should panic")
+		}
+	}()
+	s.Signal()
+}
+
+func TestSlotConcurrentSignals(t *testing.T) {
+	const n = 1000
+	var fired atomic.Int32
+	s := NewSlot(n, func() { fired.Add(1) })
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Signal()
+		}()
+	}
+	wg.Wait()
+	if fired.Load() != 1 {
+		t.Errorf("fired = %d, want exactly 1", fired.Load())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestSlotSignalN(t *testing.T) {
+	var fired bool
+	s := NewSlot(10, func() { fired = true })
+	s.SignalN(4)
+	s.SignalN(6)
+	if !fired {
+		t.Error("SignalN did not fire slot")
+	}
+}
+
+func TestSlotReset(t *testing.T) {
+	count := 0
+	s := NewSlot(1, func() { count++ })
+	s.Signal()
+	s.Reset(2, func() { count += 10 })
+	s.Signal()
+	s.Signal()
+	if count != 11 {
+		t.Errorf("count = %d, want 11", count)
+	}
+}
+
+func TestSlotResetUnfiredPanics(t *testing.T) {
+	s := NewSlot(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("reset of unfired slot should panic")
+		}
+	}()
+	s.Reset(1, nil)
+}
+
+func TestSlotPropertyFiresExactlyAtCount(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%50) + 1
+		fired := 0
+		s := NewSlot(n, func() { fired++ })
+		for i := 0; i < n; i++ {
+			if fired != 0 && i < n {
+				return false
+			}
+			s.Signal()
+		}
+		return fired == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterSplitPhase(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	go func() {
+		c.Wait()
+		close(done)
+	}()
+	c.Done(2)
+	select {
+	case <-done:
+		t.Fatal("Wait returned before target declared")
+	default:
+	}
+	c.SetTarget(2)
+	<-done
+}
+
+func TestCounterTargetFirst(t *testing.T) {
+	var c Counter
+	c.SetTarget(3)
+	go func() {
+		c.Done(1)
+		c.Done(2)
+	}()
+	c.Wait() // must return
+}
+
+func TestCounterDoubleTargetPanics(t *testing.T) {
+	var c Counter
+	c.SetTarget(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double SetTarget should panic")
+		}
+	}()
+	c.SetTarget(2)
+}
+
+func TestCounterDoneZeroPanics(t *testing.T) {
+	var c Counter
+	defer func() {
+		if recover() == nil {
+			t.Error("Done(0) should panic")
+		}
+	}()
+	c.Done(0)
+}
+
+func TestCounterString(t *testing.T) {
+	var c Counter
+	if c.String() != "Counter(done=0 target=?)" {
+		t.Errorf("String = %q", c.String())
+	}
+	c.SetTarget(5)
+	c.Done(2)
+	if c.String() != "Counter(done=2 target=5)" {
+		t.Errorf("String = %q", c.String())
+	}
+}

@@ -1,0 +1,160 @@
+// Package trace provides a lightweight, lock-minimal event tracing
+// facility shared by the HTVM runtime monitor and the Cyclops-64-like
+// simulator. Events are appended to per-producer shards and merged on
+// read, so tracing perturbs the traced execution as little as possible.
+//
+// The paper's Section 4.2 calls for a monitoring methodology whose
+// records feed the adaptive compiler and runtime; this package is the
+// raw event substrate under internal/monitor.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds recorded by the runtime and simulator.
+const (
+	KindThreadSpawn Kind = iota
+	KindThreadStart
+	KindThreadEnd
+	KindParcelSend
+	KindParcelRecv
+	KindMemAccess
+	KindMigration
+	KindSteal
+	KindSyncFire
+	KindPercolate
+	KindAdapt
+	KindUser
+)
+
+var kindNames = [...]string{
+	"spawn", "start", "end", "parcel-send", "parcel-recv", "mem",
+	"migrate", "steal", "sync-fire", "percolate", "adapt", "user",
+}
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record. Time is in the producer's clock domain:
+// nanoseconds for the native runtime, cycles for the simulator.
+type Event struct {
+	Time   int64
+	Kind   Kind
+	Locale int    // node or worker the event occurred on
+	Arg    int64  // event-specific argument (thread id, address, bytes...)
+	Label  string // optional, interned by the caller
+}
+
+// shard is a per-producer event buffer padded to avoid false sharing.
+type shard struct {
+	mu     sync.Mutex
+	events []Event
+	_      [32]byte
+}
+
+// Tracer collects events from many producers. A nil *Tracer is valid and
+// drops all events, so hot paths can trace unconditionally.
+type Tracer struct {
+	shards  []shard
+	enabled atomic.Bool
+	dropped atomic.Int64
+	limit   int
+}
+
+// New creates a tracer with the given number of producer shards and a
+// per-shard event cap (0 means a default of 1<<16). Producers index
+// shards by worker/locale id modulo the shard count.
+func New(shards, limit int) *Tracer {
+	if shards <= 0 {
+		shards = 1
+	}
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	t := &Tracer{shards: make([]shard, shards), limit: limit}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled toggles collection. Disabled tracers drop events cheaply.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Emit records one event. Safe for concurrent use; nil-safe.
+func (t *Tracer) Emit(producer int, e Event) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	s := &t.shards[producer%len(t.shards)]
+	s.mu.Lock()
+	if len(s.events) >= t.limit {
+		s.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Dropped reports how many events were discarded due to the shard cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Snapshot returns all collected events merged and sorted by time.
+// The tracer keeps its events; call Reset to clear.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	var all []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		all = append(all, s.events...)
+		s.mu.Unlock()
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	return all
+}
+
+// Reset discards all collected events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.events = s.events[:0]
+		s.mu.Unlock()
+	}
+	t.dropped.Store(0)
+}
+
+// CountByKind tallies a snapshot by event kind.
+func CountByKind(events []Event) map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range events {
+		m[e.Kind]++
+	}
+	return m
+}

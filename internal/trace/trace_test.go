@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, Event{Kind: KindUser})
+	tr.SetEnabled(true)
+	tr.Reset()
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil tracer snapshot = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Error("nil tracer should report zero drops")
+	}
+}
+
+func TestEmitAndSnapshotSorted(t *testing.T) {
+	tr := New(4, 0)
+	tr.Emit(0, Event{Time: 30, Kind: KindThreadEnd})
+	tr.Emit(1, Event{Time: 10, Kind: KindThreadSpawn})
+	tr.Emit(2, Event{Time: 20, Kind: KindThreadStart})
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("snapshot not sorted: %v", evs)
+		}
+	}
+}
+
+func TestDisabledDropsEvents(t *testing.T) {
+	tr := New(1, 0)
+	tr.SetEnabled(false)
+	tr.Emit(0, Event{Time: 1})
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Errorf("disabled tracer collected %d events", n)
+	}
+}
+
+func TestShardCapDrops(t *testing.T) {
+	tr := New(1, 2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(0, Event{Time: int64(i)})
+	}
+	if n := len(tr.Snapshot()); n != 2 {
+		t.Errorf("got %d events, want 2 (capped)", n)
+	}
+	if d := tr.Dropped(); d != 3 {
+		t.Errorf("Dropped = %d, want 3", d)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(8, 1<<20)
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(w, Event{Time: int64(i), Locale: w, Kind: KindMemAccess})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(tr.Snapshot()); n != workers*per {
+		t.Errorf("got %d events, want %d", n, workers*per)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	tr := New(2, 1)
+	tr.Emit(0, Event{Time: 1})
+	tr.Emit(0, Event{Time: 2}) // dropped
+	tr.Reset()
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Errorf("after reset got %d events", n)
+	}
+	if tr.Dropped() != 0 {
+		t.Error("reset should clear drop counter")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	evs := []Event{
+		{Kind: KindSteal}, {Kind: KindSteal}, {Kind: KindParcelSend},
+	}
+	m := CountByKind(evs)
+	if m[KindSteal] != 2 || m[KindParcelSend] != 1 {
+		t.Errorf("CountByKind = %v", m)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSteal.String() != "steal" {
+		t.Errorf("KindSteal.String() = %q", KindSteal.String())
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
