@@ -78,3 +78,7 @@ func BenchmarkExpM1MD(b *testing.B) { benchExp(b, "M1") }
 
 // Section 3.1: the thread-grain cost model.
 func BenchmarkExpG1GrainCost(b *testing.B) { benchExp(b, "G1") }
+
+// internal/serve: the job service layer under open-loop load, with
+// percolation warm-up (serve-loadtest).
+func BenchmarkExpV1ServeLoadtest(b *testing.B) { benchExp(b, "V1") }

@@ -1,0 +1,133 @@
+// Command htserved runs the parcel-driven job service layer
+// (internal/serve) against a synthetic open-loop load generator and
+// reports throughput, latency quantiles, shed rate, and cold-vs-warm
+// first-request latency. It is the serving-path harness: sharded
+// admission, request batching, deadline shedding, and percolation
+// warm-up, all on one shared litlx.System.
+//
+// Example:
+//
+//	htserved -rate 5000 -tenants 64 -shards 8 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/litlx"
+	"repro/internal/serve"
+	"repro/internal/spinwork"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		rate     = flag.Float64("rate", 5000, "offered load, jobs/second (open loop)")
+		duration = flag.Duration("duration", 2*time.Second, "load generation time")
+		tenants  = flag.Int("tenants", 64, "tenant count")
+		shards   = flag.Int("shards", 8, "admission shards / dispatcher LGTs")
+		depth    = flag.Int("depth", 256, "per-shard queue bound")
+		batch    = flag.Int("batch", 32, "max jobs per dispatcher wakeup")
+		locales  = flag.Int("locales", 2, "litlx locales")
+		workers  = flag.Int("workers", 8, "SGT workers per locale")
+		work     = flag.Int64("work", 200, "handler cost in spin units (~0.5us each)")
+		skew     = flag.Float64("skew", 1.0, "Zipf exponent over tenants (0 = uniform)")
+		keys     = flag.Uint64("keys", 4096, "key space per tenant")
+		tight    = flag.Duration("tight", 10*time.Millisecond, "tight deadline")
+		loose    = flag.Duration("loose", 100*time.Millisecond, "loose deadline (0 = none)")
+		tfrac    = flag.Float64("tightfrac", 0.5, "fraction of jobs with the tight deadline")
+		imgKB    = flag.Int("image-kb", 1024, "tenant handler code image size (KB)")
+		warmFrac = flag.Float64("warmfrac", 0.5, "fraction of tenants percolated at registration")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *tenants < 1 {
+		fmt.Fprintln(os.Stderr, "htserved: -tenants must be >= 1")
+		os.Exit(2)
+	}
+	if *rate <= 0 {
+		fmt.Fprintln(os.Stderr, "htserved: -rate must be > 0")
+		os.Exit(2)
+	}
+	if *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "htserved: -duration must be > 0")
+		os.Exit(2)
+	}
+
+	sys, err := litlx.New(litlx.Config{Locales: *locales, WorkersPerLocale: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htserved:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	srv := serve.New(sys, serve.Config{Shards: *shards, QueueDepth: *depth, Batch: *batch})
+	defer srv.Close()
+
+	handler := func(_ *core.SGT, key uint64, _ interface{}) interface{} {
+		spinwork.Work(*work)
+		return key
+	}
+	names := make([]string, *tenants)
+	warmed := 0
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant%03d", i)
+		warm := float64(i) < *warmFrac*float64(*tenants)
+		if warm {
+			warmed++
+		}
+		if err := srv.RegisterTenant(serve.TenantConfig{
+			Name:     names[i],
+			Handler:  handler,
+			CodeSize: *imgKB << 10,
+			Warm:     warm,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "htserved:", err)
+			os.Exit(1)
+		}
+	}
+	coldC, warmC, _ := srv.TenantModel(names[0])
+	fmt.Printf("htserved: %d tenants (%d warm) on %d shards, image %dKB "+
+		"(modeled first request: cold %d cycles, warm %d cycles)\n",
+		*tenants, warmed, *shards, *imgKB, coldC, warmC)
+	fmt.Printf("offering %.0f jobs/s for %v (open loop, skew %.2f)...\n", *rate, *duration, *skew)
+
+	rep := serve.RunLoad(srv, serve.LoadConfig{
+		Rate:      *rate,
+		Duration:  *duration,
+		Tenants:   names,
+		Skew:      *skew,
+		KeySpace:  *keys,
+		TightFrac: *tfrac,
+		Tight:     *tight,
+		Loose:     *loose,
+		Seed:      *seed,
+	})
+
+	tab := stats.NewTable("htserved load report", "metric", "value")
+	tab.AddRow("offered", rep.Offered)
+	tab.AddRow("completed", rep.Completed)
+	tab.AddRow("rejected (backpressure)", rep.Rejected)
+	tab.AddRow("shed (deadline)", rep.Shed)
+	tab.AddRow("failed", rep.Failed)
+	tab.AddRow("shed+reject rate", fmt.Sprintf("%.1f%%", 100*rep.ShedRate()))
+	tab.AddRow("throughput jobs/s", fmt.Sprintf("%.1f", rep.Throughput))
+	tab.AddRow("p50 latency", rep.P50)
+	tab.AddRow("p99 latency", rep.P99)
+	tab.AddRow("max latency", rep.Max)
+	fmt.Println(tab.String())
+
+	st := srv.Stats()
+	fmt.Printf("server: %d batches for %d jobs (%.1f jobs/batch), %d cold code transfers, latency EWMA %.0fus\n",
+		st.Batches, st.Done, float64(st.Done)/float64(max64(st.Batches, 1)), st.CodeTransfers, st.LatencyEWMAus)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

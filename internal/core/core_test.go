@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/monitor"
 )
@@ -200,17 +201,23 @@ func TestStealGlobalMigrates(t *testing.T) {
 	mon := monitor.New()
 	rt := newTestRT(t, Config{Locales: 2, WorkersPerLocale: 2, Steal: StealGlobal, Monitor: mon})
 	// All work homed at locale 0; locale-1 workers must migrate some.
+	// Whether they wake before the queue drains is timing-dependent
+	// (single-core machines under -race can drain first), so feed
+	// batches until a migration lands, bounded by a deadline.
 	var busy atomic.Int64
-	for i := 0; i < 400; i++ {
-		rt.GoAt(0, 0, func(s *SGT) {
-			x := int64(1)
-			for j := 0; j < 20000; j++ {
-				x = x*31 + 7
-			}
-			busy.Add(x & 1)
-		})
+	deadline := time.Now().Add(10 * time.Second)
+	for mon.Counter("core.migrations").Value() == 0 && time.Now().Before(deadline) {
+		for i := 0; i < 400; i++ {
+			rt.GoAt(0, 0, func(s *SGT) {
+				x := int64(1)
+				for j := 0; j < 20000; j++ {
+					x = x*31 + 7
+				}
+				busy.Add(x & 1)
+			})
+		}
+		rt.Wait()
 	}
-	rt.Wait()
 	if v := mon.Counter("core.migrations").Value(); v == 0 {
 		t.Error("expected cross-locale migrations under StealGlobal with skewed load")
 	}

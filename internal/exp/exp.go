@@ -12,9 +12,9 @@ package exp
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/spinwork"
 	"repro/internal/stats"
 )
 
@@ -81,20 +81,11 @@ func timeIt(fn func()) float64 {
 	return float64(time.Since(t0).Microseconds()) / 1000.0
 }
 
-// spin burns roughly units of deterministic CPU work; the calibration
-// constant keeps one unit near a microsecond-scale grain without
-// depending on wall time.
-func spin(units int64) int64 {
-	var x int64 = 1
-	for i := int64(0); i < units*400; i++ {
-		x = x*6364136223846793005 + 1442695040888963407
-	}
-	return x
-}
-
-var spinSink atomic.Int64
+// spin burns roughly units of deterministic CPU work; the shared
+// calibration (internal/spinwork) keeps one unit near a
+// microsecond-scale grain without depending on wall time, and keeps
+// the harness commensurate with the serve layer's cold-start charge.
+func spin(units int64) int64 { return spinwork.Spin(units) }
 
 // spinWork is spin with a global sink so the compiler cannot elide it.
-func spinWork(units int64) {
-	spinSink.Add(spin(units))
-}
+func spinWork(units int64) { spinwork.Work(units) }

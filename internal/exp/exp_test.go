@@ -35,7 +35,7 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3"}
+	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3", "V1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -134,6 +134,26 @@ func TestShapeG1GrainOrdering(t *testing.T) {
 	// of magnitude.)
 	if !(tgt < sgt && sgt < lgt) {
 		t.Errorf("grain cost ordering violated: lgt=%v sgt=%v tgt=%v", lgt, sgt, tgt)
+	}
+}
+
+func TestShapeV1ServeWarmupAndShedding(t *testing.T) {
+	res, _ := Run("V1", 1)
+	cold := res.Metrics["cold_first_us"]
+	warm := res.Metrics["warm_first_us"]
+	modeled := res.Metrics["modeled_xfer_ms"] * 1000
+	if warm >= cold {
+		t.Errorf("warm first request (%v us) must beat cold (%v us)", warm, cold)
+	}
+	// The gap is the modeled code-transfer cost; allow half for noise.
+	if cold-warm < modeled/2 {
+		t.Errorf("cold-warm gap %v us, want >= half the modeled transfer (%v us)", cold-warm, modeled)
+	}
+	if r := res.Metrics["overload_shed_rate"]; r <= 0 {
+		t.Errorf("open-loop overload shed rate = %v, want > 0 (bounded queues must shed)", r)
+	}
+	if r := res.Metrics["nominal_shed_rate"]; r > 0.5 {
+		t.Errorf("nominal load shed rate = %v; server is shedding under nominal load", r)
 	}
 }
 

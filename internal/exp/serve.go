@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/litlx"
+	"repro/internal/serve"
+)
+
+func init() {
+	register("V1", ExpServeLoadtest)
+}
+
+// ExpServeLoadtest is the serve-loadtest experiment: the parcel-driven
+// job service layer (internal/serve) under synthetic open-loop load.
+// It reports three regimes — nominal load, overload (where bounded
+// queues must shed rather than collapse), and first-request latency
+// cold versus warm (percolation warm-up, Section 3.2 applied to
+// serving). Wall clock, so machine-dependent but shape-stable: warm
+// first requests beat cold ones by the modeled code-transfer cost, and
+// overload sheds instead of queueing unboundedly.
+func ExpServeLoadtest(scale int) *Result {
+	res := newResult("V1", "EXP-V1: serve-loadtest — sharded admission, batching, shedding, warm-up",
+		"scenario", "offered", "done", "shed_pct", "p50_us", "p99_us", "tput_s")
+
+	sys, err := litlx.New(litlx.Config{Locales: 2, WorkersPerLocale: 8})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+	srv := serve.New(sys, serve.Config{Shards: 8, QueueDepth: 256, Batch: 32})
+	defer srv.Close()
+
+	// A fleet of tenants with ~0.5ms handlers (spin is deterministic
+	// CPU work, so capacity is worker-bound and overload is reachable
+	// even on a single-core machine).
+	const handlerUnits = 1000
+	tenants := make([]string, 16)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant%02d", i)
+		if err := srv.RegisterTenant(serve.TenantConfig{
+			Name: tenants[i],
+			Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} {
+				spinWork(handlerUnits)
+				return key
+			},
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	// First-request probes: same handler image size, cold tenants
+	// versus tenants percolated at registration. Three pairs, keeping
+	// the minimum per class: a first request can only be slowed by
+	// scheduling noise, never sped up, so the minimum is the honest
+	// estimate on a loaded machine.
+	const img = 2 << 20
+	probe := func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key }
+	firstReq := func(name string) float64 {
+		tk, err := srv.Submit(name, 1, nil, time.Time{})
+		if err != nil {
+			panic(err)
+		}
+		r := tk.Wait()
+		if r.Status != serve.StatusOK {
+			panic("serve-loadtest: probe failed: " + r.Status.String())
+		}
+		return float64(r.Total) / float64(time.Microsecond)
+	}
+	coldUS, warmUS := 0.0, 0.0
+	for i := 0; i < 3; i++ {
+		cold, warm := fmt.Sprintf("probe-cold%d", i), fmt.Sprintf("probe-warm%d", i)
+		must(srv.RegisterTenant(serve.TenantConfig{Name: cold, Handler: probe, CodeSize: img}))
+		must(srv.RegisterTenant(serve.TenantConfig{Name: warm, Handler: probe, CodeSize: img, Warm: true}))
+		if w := firstReq(warm); i == 0 || w < warmUS {
+			warmUS = w
+		}
+		if c := firstReq(cold); i == 0 || c < coldUS {
+			coldUS = c
+		}
+	}
+	coldCycles, warmCycles, _ := srv.TenantModel("probe-cold0")
+	// The native price of the modeled transfer, measured with the same
+	// spin calibration and cycle conversion the server charges cold
+	// starts with.
+	modeledMS := timeIt(func() { spinWork(serve.TransferSpinUnits(coldCycles - warmCycles)) })
+	res.Table.AddRow("first-req/cold", 1, 1, 0.0, coldUS, coldUS, 0.0)
+	res.Table.AddRow("first-req/warm", 1, 1, 0.0, warmUS, warmUS, 0.0)
+
+	// Load sweep: nominal (under capacity) and open-loop overload. The
+	// overload rate scales with the machine's parallelism: capacity is
+	// roughly cores/handler-time (~2000 jobs/s per core at 0.5ms), so
+	// 8000/s per core keeps the offered load ~4x over capacity whether
+	// this runs on one core or sixteen.
+	cores := runtime.GOMAXPROCS(0)
+	if cores > 16 {
+		cores = 16 // the system only has 16 workers
+	}
+	overloadRate := 8000 * float64(cores) * float64(scale)
+	for i, rate := range []float64{400, overloadRate} {
+		rep := serve.RunLoad(srv, serve.LoadConfig{
+			Rate:       rate,
+			Duration:   250 * time.Millisecond,
+			Tenants:    tenants,
+			Skew:       1.0,
+			KeySpace:   4096,
+			TightFrac:  0.5,
+			Tight:      10 * time.Millisecond,
+			Loose:      100 * time.Millisecond,
+			Seed:       uint64(90 + i),
+			MaxSamples: 1 << 15, // ample for 250ms runs; keeps GC pressure off later experiments
+		})
+		res.Table.AddRow(
+			fmt.Sprintf("open-loop@%.0f/s", rate),
+			rep.Offered, rep.Completed, 100*rep.ShedRate(),
+			float64(rep.P50)/float64(time.Microsecond),
+			float64(rep.P99)/float64(time.Microsecond),
+			rep.Throughput,
+		)
+		if i == 0 {
+			res.Metrics["nominal_tput_s"] = rep.Throughput
+			res.Metrics["nominal_p99_us"] = float64(rep.P99) / float64(time.Microsecond)
+			res.Metrics["nominal_shed_rate"] = rep.ShedRate()
+		} else {
+			res.Metrics["overload_tput_s"] = rep.Throughput
+			res.Metrics["overload_shed_rate"] = rep.ShedRate()
+		}
+	}
+	res.Metrics["cold_first_us"] = coldUS
+	res.Metrics["warm_first_us"] = warmUS
+	res.Metrics["modeled_xfer_ms"] = modeledMS
+	return res
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -112,6 +112,14 @@ func (s *System) SpawnLGT(locale int, fn func(*core.LGT)) *core.LGT {
 // Go spawns a small-grain thread at locale 0.
 func (s *System) Go(fn func(*core.SGT)) *core.SGT { return s.RT.Go(fn) }
 
+// GoAt spawns a small-grain thread homed at the given locale.
+func (s *System) GoAt(locale int, fn func(*core.SGT)) *core.SGT {
+	return s.RT.GoAt(locale, 0, fn)
+}
+
+// Locales returns the number of locales the system was booted with.
+func (s *System) Locales() int { return s.RT.Config().Locales }
+
 // ParallelFor executes body over [0, n) using the hint-resolved,
 // adaptively tuned scheduling strategy for the named loop, recording a
 // profile and retuning the grain for the next execution.

@@ -32,12 +32,14 @@ type simParcel struct {
 // code's home node; later parcels run warm. PrefetchCode installs the
 // image ahead of time, hiding that latency — percolation of code.
 type SimNet struct {
-	m        *c64.Machine
-	inboxes  []*c64.Chan[simParcel]
-	handlers map[string]SimHandler
-	code     map[string]codeInfo
-	resident map[string]map[int]bool // handler -> nodes holding the image
-	stopped  bool
+	m          *c64.Machine
+	inboxes    []*c64.Chan[simParcel]
+	handlers   map[string]SimHandler
+	code       map[string]codeInfo
+	resident   map[string]map[int]bool    // handler -> nodes holding the image
+	installing map[string]map[int]*c64.WG // handler -> in-flight transfers
+	transfers  map[string]int             // handler -> completed image transfers
+	stopped    bool
 }
 
 // codeInfo describes a percolatable handler image.
@@ -51,10 +53,12 @@ type codeInfo struct {
 // distributing; handlers run as their own tasklets.
 func NewSimNet(m *c64.Machine) *SimNet {
 	n := &SimNet{
-		m:        m,
-		handlers: make(map[string]SimHandler),
-		code:     make(map[string]codeInfo),
-		resident: make(map[string]map[int]bool),
+		m:          m,
+		handlers:   make(map[string]SimHandler),
+		code:       make(map[string]codeInfo),
+		resident:   make(map[string]map[int]bool),
+		installing: make(map[string]map[int]*c64.WG),
+		transfers:  make(map[string]int),
 	}
 	cfg := m.Config()
 	for node := 0; node < cfg.Nodes; node++ {
@@ -95,7 +99,10 @@ func (n *SimNet) PrefetchCode(tu *c64.TU, name string, node int) {
 }
 
 // installCode fetches the image to node if absent, charging the
-// transfer to the calling tasklet.
+// transfer to the calling tasklet. Concurrent requesters of the same
+// cold image single-flight: the first pays the transfer, the rest wait
+// for it to land, so a burst of parcels racing a cold handler moves the
+// image across the network exactly once.
 func (n *SimNet) installCode(tu *c64.TU, name string, node int) {
 	ci, ok := n.code[name]
 	if !ok {
@@ -104,13 +111,30 @@ func (n *SimNet) installCode(tu *c64.TU, name string, node int) {
 	if n.resident[name][node] {
 		return
 	}
+	if wg, busy := n.installing[name][node]; busy {
+		wg.Wait(tu)
+		return
+	}
+	wg := c64.NewWG(n.m)
+	wg.Add(1)
+	if n.installing[name] == nil {
+		n.installing[name] = make(map[int]*c64.WG)
+	}
+	n.installing[name][node] = wg
 	tu.MemCopy(
 		c64.Addr{Node: node, Region: c64.SRAM, Line: 0},
 		c64.Addr{Node: ci.home, Region: c64.DRAM, Line: 0},
 		ci.size,
 	)
 	n.resident[name][node] = true
+	n.transfers[name]++
+	delete(n.installing[name], node)
+	wg.Done()
 }
+
+// Transfers reports how many times the named handler's code image has
+// actually crossed the network (lazy installs and prefetches alike).
+func (n *SimNet) Transfers(name string) int { return n.transfers[name] }
 
 // CodeResident reports whether the handler image is installed on node.
 func (n *SimNet) CodeResident(name string, node int) bool {

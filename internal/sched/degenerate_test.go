@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// degenerateFactories names every factory strategy the package ships,
+// so the edge-case sweep cannot silently skip one.
+func degenerateFactories() map[string]Factory {
+	return map[string]Factory{
+		"block":     StaticBlock(),
+		"cyclic":    StaticCyclic(2),
+		"fixed":     SelfSched(4),
+		"guided":    GSS(1),
+		"factoring": Factoring(1),
+		"trapezoid": Trapezoid(0, 0),
+	}
+}
+
+// drainAll pulls chunks for p concurrent workers until every worker is
+// exhausted, marking each iteration it receives. It fails the test on
+// out-of-range chunks and returns the per-iteration dispatch counts.
+func drainAll(t *testing.T, f Factory, n, p int) []int32 {
+	t.Helper()
+	s := f(n, p)
+	counts := make([]int32, n)
+	var overflow atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c, ok := s.Next(w)
+				if !ok {
+					return
+				}
+				if c.Begin < 0 || c.End > n || c.Begin >= c.End {
+					overflow.Add(1)
+					return
+				}
+				for i := c.Begin; i < c.End; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if overflow.Load() != 0 {
+		t.Fatalf("scheduler handed out chunks outside [0, %d) or empty ones", n)
+	}
+	out := make([]int32, n)
+	for i := range counts {
+		out[i] = atomic.LoadInt32(&counts[i])
+	}
+	return out
+}
+
+// checkExactCoverage asserts every iteration in [0, n) was dispatched
+// exactly once.
+func checkExactCoverage(t *testing.T, name string, counts []int32) {
+	t.Helper()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("%s: iteration %d dispatched %d times, want exactly once", name, i, c)
+		}
+	}
+}
+
+// TestDegenerateInputs sweeps every strategy across the edge shapes the
+// experiment harness can produce: empty loops, single iterations, more
+// workers than iterations, and tiny loops with worker counts around n.
+// Each run must terminate and cover [0, n) exactly once.
+func TestDegenerateInputs(t *testing.T) {
+	shapes := []struct{ n, p int }{
+		{0, 1},  // empty loop, one worker
+		{0, 8},  // empty loop, many workers
+		{1, 1},  // single iteration
+		{1, 8},  // single iteration, p > n
+		{3, 8},  // p > n with a few iterations
+		{7, 7},  // p == n
+		{8, 3},  // n slightly above p
+		{5, 16}, // p >> n
+	}
+	for name, f := range degenerateFactories() {
+		name, f := name, f
+		for _, sh := range shapes {
+			sh := sh
+			t.Run(fmt.Sprintf("%s/n=%d,p=%d", name, sh.n, sh.p), func(t *testing.T) {
+				counts := drainAll(t, f, sh.n, sh.p)
+				checkExactCoverage(t, name, counts)
+			})
+		}
+	}
+}
+
+// TestDegenerateOutOfRangeWorker: a worker index outside [0, p) must be
+// refused by the static strategies rather than crash or double-issue
+// (dynamic strategies ignore the index by design).
+func TestDegenerateOutOfRangeWorker(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		f    Factory
+	}{
+		{"block", StaticBlock()},
+		{"cyclic", StaticCyclic(1)},
+	} {
+		s := mk.f(4, 2)
+		if _, ok := s.Next(-1); ok {
+			t.Errorf("%s: Next(-1) should refuse", mk.name)
+		}
+		if _, ok := s.Next(2); ok {
+			t.Errorf("%s: Next(p) should refuse", mk.name)
+		}
+	}
+}
+
+// TestDegenerateExhaustionIsSticky: after a loop is exhausted, every
+// further Next must keep returning ok=false for all strategies.
+func TestDegenerateExhaustionIsSticky(t *testing.T) {
+	for name, f := range degenerateFactories() {
+		s := f(2, 2)
+		for w := 0; w < 2; w++ {
+			for {
+				if _, ok := s.Next(w); !ok {
+					break
+				}
+			}
+		}
+		for w := 0; w < 2; w++ {
+			if _, ok := s.Next(w); ok {
+				t.Errorf("%s: Next after exhaustion returned a chunk", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/syncx"
+)
+
+// Handler executes one job for a tenant. It runs on an SGT of the
+// shared litlx system, at the locale of the admitting shard's
+// dispatcher; the returned value becomes the job's result.
+type Handler func(s *core.SGT, key uint64, payload interface{}) interface{}
+
+// Status classifies how a job left the server.
+type Status uint8
+
+const (
+	// StatusOK: the handler ran and produced a value.
+	StatusOK Status = iota
+	// StatusRejected: the shard queue was full at admission
+	// (backpressure; the job never entered the system).
+	StatusRejected
+	// StatusShed: the job was admitted but its deadline expired before
+	// a dispatcher could start it (load shedding).
+	StatusShed
+	// StatusFailed: the handler panicked.
+	StatusFailed
+)
+
+// String names the status for reports.
+func (st Status) String() string {
+	switch st {
+	case StatusOK:
+		return "ok"
+	case StatusRejected:
+		return "rejected"
+	case StatusShed:
+		return "shed"
+	case StatusFailed:
+		return "failed"
+	}
+	return "status?"
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Status Status
+	Value  interface{} // handler return value (StatusOK only)
+	Wait   time.Duration
+	Total  time.Duration // admission to completion, queue wait included
+}
+
+// Job is one admitted unit of work, queued on a shard until a
+// dispatcher drains it.
+type Job struct {
+	tenant   *tenant
+	key      uint64
+	payload  interface{}
+	deadline time.Time // zero means none
+	enqueued time.Time
+	done     func(Result) // invoked exactly once, on the executing SGT
+}
+
+// Ticket follows a submitted job to completion.
+type Ticket struct {
+	cell *syncx.Cell[Result]
+}
+
+// Wait blocks until the job completes (or is shed) and returns its
+// result.
+func (t *Ticket) Wait() Result { return t.cell.Get() }

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LoadConfig parameterizes the synthetic open-loop load generator: an
+// arrival process that submits at the configured rate regardless of how
+// the server is coping — the regime where backpressure and shedding
+// matter.
+type LoadConfig struct {
+	// Rate is the target arrival rate in jobs/second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Tenants is the tenant population to draw from (all must be
+	// registered).
+	Tenants []string
+	// Skew is the Zipf exponent over Tenants: 0 is uniform, 1 is the
+	// classic heavy head where a few tenants dominate.
+	Skew float64
+	// KeySpace is the number of distinct keys per tenant (default 1024).
+	KeySpace uint64
+	// TightFrac of jobs carry the Tight deadline; the rest carry Loose
+	// (zero Loose means no deadline).
+	TightFrac    float64
+	Tight, Loose time.Duration
+	// Seed fixes the generator's randomness.
+	Seed uint64
+	// MaxSamples bounds the latency reservoir (default 1<<20).
+	MaxSamples int
+}
+
+// LoadReport summarizes one generator run against a server.
+type LoadReport struct {
+	Offered, Rejected, Shed, Completed, Failed int64
+	Elapsed                                    time.Duration
+	// Throughput is completed jobs per second of generation time.
+	Throughput float64
+	// Latency quantiles over completed jobs (admission to completion).
+	P50, P99, Max time.Duration
+}
+
+// ShedRate is the fraction of offered jobs dropped by backpressure or
+// deadline shedding.
+func (r LoadReport) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Rejected+r.Shed) / float64(r.Offered)
+}
+
+// RunLoad drives the server with an open-loop arrival stream and blocks
+// until every admitted job has resolved.
+func RunLoad(s *Server, cfg LoadConfig) LoadReport {
+	if len(cfg.Tenants) == 0 {
+		return LoadReport{}
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1024
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = 1 << 20
+	}
+	rng := stats.NewRNG(cfg.Seed | 1)
+	pickTenant := zipfPicker(len(cfg.Tenants), cfg.Skew)
+
+	var rep LoadReport
+	var outstanding atomic.Int64
+	var completed, shed, failed atomic.Int64
+	samples := make([]float64, cfg.MaxSamples)
+	var nsamples atomic.Int64
+	onDone := func(r Result) {
+		switch r.Status {
+		case StatusOK:
+			completed.Add(1)
+			if i := nsamples.Add(1) - 1; int(i) < len(samples) {
+				samples[i] = float64(r.Total)
+			}
+		case StatusShed:
+			shed.Add(1)
+		default:
+			failed.Add(1)
+		}
+		outstanding.Add(-1)
+	}
+
+	start := time.Now()
+	last := start
+	owed := 0.0
+	for {
+		now := time.Now()
+		if now.Sub(start) >= cfg.Duration {
+			break
+		}
+		owed += cfg.Rate * now.Sub(last).Seconds()
+		last = now
+		for ; owed >= 1; owed-- {
+			rep.Offered++
+			name := cfg.Tenants[pickTenant(rng)]
+			key := rng.Uint64() % cfg.KeySpace
+			var deadline time.Time
+			if cfg.TightFrac > 0 && rng.Float64() < cfg.TightFrac {
+				deadline = now.Add(cfg.Tight)
+			} else if cfg.Loose > 0 {
+				deadline = now.Add(cfg.Loose)
+			}
+			outstanding.Add(1)
+			if err := s.SubmitFunc(name, key, nil, deadline, onDone); err != nil {
+				rep.Rejected++
+				outstanding.Add(-1)
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	// Drain: every admitted job resolves through onDone.
+	for outstanding.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Completed = completed.Load()
+	rep.Shed = shed.Load()
+	rep.Failed = failed.Load()
+	rep.Throughput = float64(rep.Completed) / rep.Elapsed.Seconds()
+
+	n := nsamples.Load()
+	if int(n) > len(samples) {
+		n = int64(len(samples))
+	}
+	lats := samples[:n]
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		rep.P50 = time.Duration(stats.Quantile(lats, 0.50))
+		rep.P99 = time.Duration(stats.Quantile(lats, 0.99))
+		rep.Max = time.Duration(lats[len(lats)-1])
+	}
+	return rep
+}
+
+// zipfPicker returns a sampler over [0, n) with P(i) proportional to
+// 1/(i+1)^skew (uniform at skew 0).
+func zipfPicker(n int, skew float64) func(*stats.RNG) int {
+	if n <= 1 {
+		return func(*stats.RNG) int { return 0 }
+	}
+	if skew <= 0 {
+		return func(r *stats.RNG) int { return r.Intn(n) }
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), skew)
+		cum[i] = total
+	}
+	return func(r *stats.RNG) int {
+		x := r.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+}

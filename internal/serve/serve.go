@@ -1,0 +1,284 @@
+// Package serve is the job service layer over a litlx.System: the front
+// door that turns the batch-oriented HTVM reproduction into a
+// long-running multi-tenant server. It applies the paper's ideas to
+// request serving:
+//
+//   - sharded admission — jobs hash by (tenant, key) onto independent
+//     bounded queues, each drained by a dedicated dispatcher LGT, so the
+//     admission hot path takes one per-shard lock and nothing global;
+//   - batching — a dispatcher drains up to Batch jobs per wakeup and
+//     submits them as one SGT fan-out, amortizing spawn overhead the way
+//     parcels amortize round trips;
+//   - backpressure and load shedding — full queues reject at admission
+//     and dispatchers shed jobs whose deadline has already passed, so
+//     overload degrades by dropping rather than by collapsing;
+//   - percolation warm-up — tenant registration can percolate the
+//     tenant's handler code image ahead of traffic (the Section 3.2
+//     percolation idea, priced by the parcel.SimNet code-transfer
+//     model), so first requests run warm.
+//
+// Accounting flows through the system's internal/monitor instance:
+// servers and tenants publish counters under the "serve." prefix.
+//
+// Close the server before closing or waiting on the underlying system —
+// dispatcher LGTs run until Close.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/litlx"
+	"repro/internal/monitor"
+	"repro/internal/percolate"
+	"repro/internal/syncx"
+)
+
+// ErrOverload reports an admission rejected by backpressure.
+var ErrOverload = fmt.Errorf("serve: shard queue full")
+
+// Config sizes a server.
+type Config struct {
+	// Shards is the number of admission queues and dispatcher LGTs
+	// (default 8).
+	Shards int
+	// QueueDepth bounds each shard queue (default 1024).
+	QueueDepth int
+	// Batch is the maximum jobs one dispatcher wakeup drains into a
+	// single SGT fan-out (default 32).
+	Batch int
+	// InflightBatches bounds how many batch SGTs one shard may have
+	// executing at once (default 2). This is what makes the shard queue
+	// a real bound: when execution falls behind, jobs accumulate in the
+	// bounded queue and admission rejects, instead of the backlog
+	// leaking into an unbounded SGT pile.
+	InflightBatches int
+	// DefaultDeadline is applied to jobs submitted without one; zero
+	// means such jobs never expire.
+	DefaultDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.InflightBatches <= 0 {
+		c.InflightBatches = 2
+	}
+	return c
+}
+
+// Server accepts job streams from many concurrent clients and executes
+// them on a shared litlx.System.
+type Server struct {
+	sys *litlx.System
+	cfg Config
+
+	shards  []*shard
+	tenants sync.Map // name -> *tenant
+
+	dispatchers sync.WaitGroup
+	inflight    sync.WaitGroup
+	closed      atomic.Bool
+
+	modelMu sync.Mutex
+	models  map[int]percolate.CodeModel
+
+	// Instruments are resolved once here so the hot path never touches
+	// the monitor's name table.
+	accepted, rejected, shedc, done, failed *monitor.Counter
+	batches, codexfer                       *monitor.Counter
+	latencyUS                               *monitor.EWMA
+}
+
+// tenant is one registered traffic source with its own accounting and
+// code-residency state.
+type tenant struct {
+	name          string
+	hash          uint64
+	handler       Handler
+	codeSize      int
+	model         percolate.CodeModel
+	transferUnits int64         // spin units modeling one cold code fetch
+	resident      []atomic.Bool // per shard: image already percolated/fetched
+
+	acc, rej, shed, ok *monitor.Counter
+}
+
+// New starts a server over sys: Shards dispatcher LGTs are spawned
+// immediately, homed round-robin across the system's locales.
+func New(sys *litlx.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:       sys,
+		cfg:       cfg,
+		models:    make(map[int]percolate.CodeModel),
+		accepted:  sys.Mon.Counter("serve.accepted"),
+		rejected:  sys.Mon.Counter("serve.rejected"),
+		shedc:     sys.Mon.Counter("serve.shed"),
+		done:      sys.Mon.Counter("serve.done"),
+		failed:    sys.Mon.Counter("serve.failed"),
+		batches:   sys.Mon.Counter("serve.batches"),
+		codexfer:  sys.Mon.Counter("serve.codexfer"),
+		latencyUS: sys.Mon.EWMA("serve.latency_us", 0.05),
+	}
+	locales := sys.Locales()
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(i, cfg.QueueDepth)
+		s.shards = append(s.shards, sh)
+		s.dispatchers.Add(1)
+		sys.SpawnLGT(i%locales, func(l *core.LGT) { s.dispatch(l, sh) })
+	}
+	return s
+}
+
+// Submit admits one job for the named tenant and returns a ticket that
+// resolves when the job completes or is shed. A full shard returns
+// ErrOverload immediately (backpressure); the job never queues.
+func (s *Server) Submit(tenantName string, key uint64, payload interface{}, deadline time.Time) (*Ticket, error) {
+	cell := syncx.NewCell[Result]()
+	if err := s.SubmitFunc(tenantName, key, payload, deadline, func(r Result) { cell.Put(r) }); err != nil {
+		return nil, err
+	}
+	return &Ticket{cell: cell}, nil
+}
+
+// SubmitFunc admits one job, invoking done exactly once — on the
+// executing SGT for completed jobs; for shed ones, on the dispatcher
+// (expired in queue) or on the batch SGT (expired after draining).
+// Rejected jobs return ErrOverload and done is never invoked.
+func (s *Server) SubmitFunc(tenantName string, key uint64, payload interface{}, deadline time.Time, done func(Result)) error {
+	v, ok := s.tenants.Load(tenantName)
+	if !ok {
+		return fmt.Errorf("serve: unknown tenant %q", tenantName)
+	}
+	t := v.(*tenant)
+	now := time.Now()
+	if deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
+		deadline = now.Add(s.cfg.DefaultDeadline)
+	}
+	j := &Job{tenant: t, key: key, payload: payload, deadline: deadline, enqueued: now, done: done}
+	sh := s.shards[shardIndex(t.hash, key, len(s.shards))]
+	if !sh.enqueue(j) {
+		t.rej.Inc()
+		s.rejected.Inc()
+		return ErrOverload
+	}
+	t.acc.Inc()
+	s.accepted.Inc()
+	return nil
+}
+
+// execute runs one admitted job on the batch SGT, paying the modeled
+// code-transfer cost if the tenant's image is not yet resident at this
+// shard (percolated tenants pre-marked it everywhere). Jobs whose
+// deadline expired after draining — waiting for a batch slot, or behind
+// a slow sibling in the same batch — are shed here rather than run
+// uselessly late.
+func (s *Server) execute(sg *core.SGT, shardID int, j *Job) {
+	if !j.deadline.IsZero() {
+		if now := time.Now(); now.After(j.deadline) {
+			s.shed(j, now)
+			return
+		}
+	}
+	t := j.tenant
+	if !t.resident[shardID].Load() {
+		spinWork(t.transferUnits)
+		t.resident[shardID].Store(true)
+		s.codexfer.Inc()
+	}
+	start := time.Now()
+	res := Result{Wait: start.Sub(j.enqueued)}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Status = StatusFailed
+				res.Value = nil
+			}
+		}()
+		res.Value = t.handler(sg, j.key, j.payload)
+		res.Status = StatusOK
+	}()
+	res.Total = time.Since(j.enqueued)
+	if res.Status == StatusFailed {
+		s.failed.Inc()
+	} else {
+		t.ok.Inc()
+	}
+	s.done.Inc()
+	s.latencyUS.Observe(float64(res.Total) / float64(time.Microsecond))
+	j.done(res)
+}
+
+// shed completes an expired job without running its handler.
+func (s *Server) shed(j *Job, now time.Time) {
+	j.tenant.shed.Inc()
+	s.shedc.Inc()
+	age := now.Sub(j.enqueued)
+	j.done(Result{Status: StatusShed, Wait: age, Total: age})
+}
+
+// Close shuts the admission queues, drains the tails, and waits for all
+// dispatcher LGTs and in-flight batches to finish. Jobs still queued at
+// Close are executed (or shed if expired), not dropped.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, sh := range s.shards {
+		sh.shutdown()
+	}
+	s.dispatchers.Wait()
+	s.inflight.Wait()
+}
+
+// Stats is a point-in-time view of the server's monitor counters.
+type Stats struct {
+	Accepted, Rejected, Shed, Done, Failed int64
+	Batches, CodeTransfers                 int64
+	LatencyEWMAus                          float64
+}
+
+// Stats snapshots the server-level accounting.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:      s.accepted.Value(),
+		Rejected:      s.rejected.Value(),
+		Shed:          s.shedc.Value(),
+		Done:          s.done.Value(),
+		Failed:        s.failed.Value(),
+		Batches:       s.batches.Value(),
+		CodeTransfers: s.codexfer.Value(),
+		LatencyEWMAus: s.latencyUS.Value(),
+	}
+}
+
+// shardIndex mixes the tenant hash with the key so one hot tenant still
+// spreads across shards by key, while (tenant, key) stays sticky.
+func shardIndex(tenantHash, key uint64, shards int) int {
+	h := tenantHash ^ (key * 0x9E3779B97F4A7C15)
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(shards))
+}
+
+// fnv64a hashes a tenant name once at registration.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/litlx"
+	"repro/internal/stats"
+)
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(7) }
+
+func newTestSystem(t *testing.T) *litlx.System {
+	t.Helper()
+	sys, err := litlx.New(litlx.Config{Locales: 2, WorkersPerLocale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSubmitExecutes(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 4})
+	defer s.Close()
+
+	if err := s.RegisterTenant(TenantConfig{
+		Name:    "double",
+		Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key * 2 },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]*Ticket, 100)
+	for i := range tickets {
+		tk, err := s.Submit("double", uint64(i), nil, time.Time{})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	for i, tk := range tickets {
+		res := tk.Wait()
+		if res.Status != StatusOK {
+			t.Fatalf("job %d: status %v", i, res.Status)
+		}
+		if got := res.Value.(uint64); got != uint64(i)*2 {
+			t.Fatalf("job %d: value %d, want %d", i, got, i*2)
+		}
+	}
+	st := s.Stats()
+	if st.Accepted != 100 || st.Done != 100 || st.Rejected != 0 || st.Shed != 0 {
+		t.Errorf("stats = %+v, want 100 accepted+done", st)
+	}
+	if st.Batches == 0 || st.Batches > 100 {
+		t.Errorf("batches = %d, want in (0, 100]", st.Batches)
+	}
+}
+
+func TestUnknownTenantRejected(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1})
+	defer s.Close()
+	if _, err := s.Submit("nobody", 0, nil, time.Time{}); err == nil {
+		t.Error("expected error for unknown tenant")
+	}
+}
+
+func TestBackpressureRejects(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1, QueueDepth: 2, Batch: 1, InflightBatches: 1})
+
+	release := make(chan struct{})
+	if err := s.RegisterTenant(TenantConfig{
+		Name: "slow",
+		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} {
+			<-release
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood an open-loop burst: with one in-flight batch of one job and
+	// a queue of two, admission must start rejecting rather than queue
+	// unboundedly.
+	var accepted, rejected int
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		err := s.SubmitFunc("slow", uint64(i), nil, time.Time{}, func(Result) { wg.Done() })
+		if err == ErrOverload {
+			rejected++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		accepted++
+		time.Sleep(time.Millisecond) // let the dispatcher drain between offers
+	}
+	if rejected == 0 {
+		t.Fatal("overloaded shard never rejected")
+	}
+	if accepted > 2+1+1 {
+		// queue depth + in-flight batch + the drain in progress
+		t.Errorf("accepted %d jobs; bounded queue should have capped near 4", accepted)
+	}
+	close(release)
+	wg.Wait()
+	s.Close()
+	st := s.Stats()
+	if st.Rejected != int64(rejected) || st.Done != int64(accepted) {
+		t.Errorf("stats = %+v, want rejected=%d done=%d", st, rejected, accepted)
+	}
+}
+
+func TestDeadlineShed(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1})
+	defer s.Close()
+
+	var ran atomic.Int64
+	if err := s.RegisterTenant(TenantConfig{
+		Name: "t",
+		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} {
+			ran.Add(1)
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Deadline already expired at admission: the dispatcher must shed
+	// instead of running the handler.
+	expired := time.Now().Add(-time.Millisecond)
+	tk, err := s.Submit("t", 1, nil, expired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusShed {
+		t.Fatalf("status = %v, want shed", res.Status)
+	}
+	if ran.Load() != 0 {
+		t.Error("handler ran for an expired job")
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", st.Shed)
+	}
+	// A live deadline must still execute.
+	tk, err = s.Submit("t", 2, nil, time.Now().Add(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusOK {
+		t.Fatalf("status = %v, want ok", res.Status)
+	}
+}
+
+func TestDefaultDeadlineApplied(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1, DefaultDeadline: -time.Millisecond})
+	defer s.Close()
+	if err := s.RegisterTenant(TenantConfig{
+		Name:    "t",
+		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A negative default deadline expires every job instantly — it must
+	// be applied to deadline-less submissions.
+	tk, err := s.Submit("t", 1, nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusShed {
+		t.Fatalf("status = %v, want shed via default deadline", res.Status)
+	}
+}
+
+func TestHandlerPanicIsolated(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1})
+	defer s.Close()
+	if err := s.RegisterTenant(TenantConfig{
+		Name:    "boom",
+		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} { panic("boom") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterTenant(TenantConfig{
+		Name:    "fine",
+		Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit("boom", 1, nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusFailed {
+		t.Fatalf("status = %v, want failed", res.Status)
+	}
+	// The server (and the batch SGT's siblings) must survive.
+	tk, err = s.Submit("fine", 7, nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusOK || res.Value.(uint64) != 7 {
+		t.Fatalf("follow-up job broken: %+v", res)
+	}
+}
+
+func TestColdVsWarmFirstRequest(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 2})
+	defer s.Close()
+
+	handler := func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key }
+	const img = 1 << 20
+	if err := s.RegisterTenant(TenantConfig{Name: "cold", Handler: handler, CodeSize: img}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterTenant(TenantConfig{Name: "warm", Handler: handler, CodeSize: img, Warm: true}); err != nil {
+		t.Fatal(err)
+	}
+	coldC, warmC, err := s.TenantModel("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldC <= warmC {
+		t.Fatalf("modeled cold (%d cycles) must exceed warm (%d)", coldC, warmC)
+	}
+
+	first := func(name string, key uint64) time.Duration {
+		tk, err := s.Submit(name, key, nil, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := tk.Wait()
+		if res.Status != StatusOK {
+			t.Fatalf("%s: status %v", name, res.Status)
+		}
+		return res.Total
+	}
+	warmLat := first("warm", 1)
+	if n := s.Stats().CodeTransfers; n != 0 {
+		t.Fatalf("warm tenant paid %d code transfers; percolation should have prepaid", n)
+	}
+	coldLat := first("cold", 1)
+	if n := s.Stats().CodeTransfers; n != 1 {
+		t.Fatalf("cold first request paid %d transfers, want exactly 1", n)
+	}
+	if coldLat <= warmLat {
+		t.Errorf("cold first request (%v) should exceed warm (%v)", coldLat, warmLat)
+	}
+	// Same key lands on the same shard: the image is now resident, so
+	// the repeat request runs warm and pays no further transfer.
+	repeat := first("cold", 1)
+	if n := s.Stats().CodeTransfers; n != 1 {
+		t.Fatalf("repeat request paid a transfer (total %d), image should be resident", n)
+	}
+	if repeat >= coldLat {
+		t.Errorf("repeat request (%v) should run warm, cold was %v", repeat, coldLat)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 8, QueueDepth: 4096})
+	defer s.Close()
+
+	var sum atomic.Int64
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if err := s.RegisterTenant(TenantConfig{
+			Name: name,
+			Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} {
+				sum.Add(int64(key))
+				return nil
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const clients, each = 8, 400
+	var wg sync.WaitGroup
+	var want, rejected atomic.Int64
+	var done sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			names := []string{"a", "b", "c", "d"}
+			for i := 0; i < each; i++ {
+				k := uint64(c*each + i)
+				done.Add(1)
+				err := s.SubmitFunc(names[i%4], k, nil, time.Time{}, func(Result) { done.Done() })
+				if err == ErrOverload {
+					rejected.Add(1)
+					done.Done()
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					done.Done()
+					return
+				}
+				want.Add(int64(k))
+			}
+		}()
+	}
+	wg.Wait()
+	done.Wait()
+	if sum.Load() != want.Load() {
+		t.Errorf("handler key sum = %d, want %d (rejected %d)", sum.Load(), want.Load(), rejected.Load())
+	}
+	st := s.Stats()
+	if st.Accepted+st.Rejected != clients*each {
+		t.Errorf("accounting leak: accepted %d + rejected %d != %d", st.Accepted, st.Rejected, clients*each)
+	}
+}
+
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 2})
+	if err := s.RegisterTenant(TenantConfig{
+		Name:    "t",
+		Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var completed atomic.Int64
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.SubmitFunc("t", uint64(i), nil, time.Time{}, func(r Result) {
+			if r.Status == StatusOK {
+				completed.Add(1)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // must drain the tail, not drop it
+	if completed.Load() != n {
+		t.Errorf("completed %d of %d after Close", completed.Load(), n)
+	}
+	// Submissions after Close are refused.
+	if _, err := s.Submit("t", 0, nil, time.Time{}); err == nil {
+		t.Error("submit after Close should fail")
+	}
+}
+
+func TestLoadGenShedsUnderOverload(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 2, QueueDepth: 64, Batch: 8})
+	defer s.Close()
+	// ~4ms of spin per job on 2 shards: capacity far below the offered
+	// 5000/s, so the generator must observe rejection/shedding, and the
+	// server must stay responsive.
+	if err := s.RegisterTenant(TenantConfig{
+		Name:    "hog",
+		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} { spinWork(20000); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := RunLoad(s, LoadConfig{
+		Rate:      5000,
+		Duration:  300 * time.Millisecond,
+		Tenants:   []string{"hog"},
+		TightFrac: 0.5,
+		Tight:     5 * time.Millisecond,
+		Loose:     0,
+		Seed:      42,
+	})
+	if rep.Offered == 0 || rep.Completed == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if rep.Rejected+rep.Shed == 0 {
+		t.Errorf("open-loop overload must shed or reject: %+v", rep)
+	}
+	if got := rep.Offered - rep.Completed - rep.Rejected - rep.Shed - rep.Failed; got != 0 {
+		t.Errorf("job accounting leak: %d unaccounted of %+v", got, rep)
+	}
+}
+
+func TestZipfPickerSkews(t *testing.T) {
+	pick := zipfPicker(8, 1.2)
+	r := newTestRNG()
+	counts := make([]int, 8)
+	for i := 0; i < 10000; i++ {
+		counts[pick(r)]++
+	}
+	if counts[0] <= counts[7] {
+		t.Errorf("skewed picker should favor tenant 0: %v", counts)
+	}
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10000 {
+		t.Errorf("picker out of range: %v", counts)
+	}
+}

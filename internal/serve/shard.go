@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// shard is one admission queue: a bounded FIFO guarded by its own lock,
+// drained by one dedicated dispatcher LGT. Jobs hash onto shards by
+// (tenant, key), so the admission hot path touches exactly one shard
+// lock and never anything global.
+type shard struct {
+	id   int
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*Job
+	cap  int
+	shut bool
+}
+
+func newShard(id, depth int) *shard {
+	sh := &shard{id: id, cap: depth, q: make([]*Job, 0, depth)}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// enqueue admits j, or refuses when the queue is at capacity or the
+// server is closing (backpressure: the caller sheds at admission rather
+// than queueing unboundedly).
+func (sh *shard) enqueue(j *Job) bool {
+	sh.mu.Lock()
+	if sh.shut || len(sh.q) >= sh.cap {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.q = append(sh.q, j)
+	if len(sh.q) == 1 {
+		sh.cond.Signal()
+	}
+	sh.mu.Unlock()
+	return true
+}
+
+// drain blocks until at least one job is queued, then removes and
+// returns up to max jobs in admission order. It returns ok=false once
+// the shard is shut and empty.
+func (sh *shard) drain(max int, buf []*Job) ([]*Job, bool) {
+	sh.mu.Lock()
+	for len(sh.q) == 0 && !sh.shut {
+		sh.cond.Wait()
+	}
+	if len(sh.q) == 0 {
+		sh.mu.Unlock()
+		return buf, false
+	}
+	n := len(sh.q)
+	if n > max {
+		n = max
+	}
+	buf = append(buf, sh.q[:n]...)
+	rest := copy(sh.q, sh.q[n:])
+	for i := rest; i < len(sh.q); i++ {
+		sh.q[i] = nil
+	}
+	sh.q = sh.q[:rest]
+	sh.mu.Unlock()
+	return buf, true
+}
+
+// shutdown wakes the dispatcher so it can drain the tail and exit.
+func (sh *shard) shutdown() {
+	sh.mu.Lock()
+	sh.shut = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// dispatch is the dispatcher body, run on a dedicated LGT. Each wakeup
+// drains up to Batch queued jobs, sheds the expired ones, and submits
+// the survivors as a single SGT fan-out — one spawn per batch, not per
+// job, amortizing spawn and scheduling overhead across the batch.
+func (s *Server) dispatch(l *core.LGT, sh *shard) {
+	defer s.dispatchers.Done()
+	buf := make([]*Job, 0, s.cfg.Batch)
+	tokens := make(chan struct{}, s.cfg.InflightBatches)
+	for {
+		batch, ok := sh.drain(s.cfg.Batch, buf[:0])
+		if !ok {
+			return
+		}
+		now := time.Now()
+		live := batch[:0]
+		for _, j := range batch {
+			if !j.deadline.IsZero() && now.After(j.deadline) {
+				s.shed(j, now)
+				continue
+			}
+			live = append(live, j)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		jobs := make([]*Job, len(live))
+		copy(jobs, live)
+		tokens <- struct{}{} // bound in-flight batches for this shard
+		s.batches.Inc()
+		s.inflight.Add(1)
+		l.Go(func(sg *core.SGT) {
+			defer func() { s.inflight.Done(); <-tokens }()
+			for _, j := range jobs {
+				s.execute(sg, sh.id, j)
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// TenantConfig registers one traffic source.
+type TenantConfig struct {
+	// Name identifies the tenant; submissions name it.
+	Name string
+	// Handler executes the tenant's jobs.
+	Handler Handler
+	// CodeSize is the tenant's handler code image in bytes. Non-zero
+	// sizes engage the percolation model: the first job on each shard
+	// pays the modeled code-transfer cost unless the image was warmed.
+	CodeSize int
+	// Warm percolates the code image at registration time (the paper's
+	// percolation applied to serving): first requests run warm on every
+	// shard.
+	Warm bool
+}
+
+// RegisterTenant installs a tenant. With CodeSize > 0 the server prices
+// the tenant's cold start through the percolate/parcel.SimNet code
+// model; with Warm it pays the percolation up front so no request ever
+// sees it.
+func (s *Server) RegisterTenant(cfg TenantConfig) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("serve: tenant name required")
+	}
+	if cfg.Handler == nil {
+		return fmt.Errorf("serve: tenant %q has no handler", cfg.Name)
+	}
+	t := &tenant{
+		name:     cfg.Name,
+		hash:     fnv64a(cfg.Name),
+		handler:  cfg.Handler,
+		codeSize: cfg.CodeSize,
+		resident: make([]atomic.Bool, len(s.shards)),
+		acc:      s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".accepted"),
+		rej:      s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".rejected"),
+		shed:     s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".shed"),
+		ok:       s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".done"),
+	}
+	if cfg.CodeSize > 0 {
+		t.model = s.codeModel(cfg.CodeSize)
+		t.transferUnits = spinUnitsForCycles(t.model.TransferCycles())
+	}
+	if cfg.CodeSize == 0 || cfg.Warm {
+		// No image to move, or it was percolated ahead of traffic.
+		for i := range t.resident {
+			t.resident[i].Store(true)
+		}
+	}
+	if _, loaded := s.tenants.LoadOrStore(cfg.Name, t); loaded {
+		return fmt.Errorf("serve: tenant %q already registered", cfg.Name)
+	}
+	return nil
+}
+
+// TenantModel returns the modeled cold/warm first-request cycle counts
+// for a registered tenant (zeros when the tenant has no code image).
+func (s *Server) TenantModel(name string) (coldCycles, warmCycles int64, err error) {
+	v, ok := s.tenants.Load(name)
+	if !ok {
+		return 0, 0, fmt.Errorf("serve: unknown tenant %q", name)
+	}
+	t := v.(*tenant)
+	return t.model.ColdCycles, t.model.WarmCycles, nil
+}

@@ -1,0 +1,27 @@
+// Package spinwork is the shared deterministic CPU-burn used wherever
+// native wall-clock experiments need synthetic work: the experiment
+// harness, the serve layer's modeled cold-start charge, and the
+// htserved handler bodies. One unit is 400 LCG steps (~0.5us on a
+// laptop-class core). Keeping a single copy is load-bearing: the V1
+// cold-vs-warm comparison only holds if the server's charge and the
+// harness's "modeled cost" burn identical work per unit.
+package spinwork
+
+import "sync/atomic"
+
+// Spin burns roughly units of deterministic CPU work and returns the
+// LCG state so callers can assert determinism.
+func Spin(units int64) int64 {
+	var x int64 = 1
+	for i := int64(0); i < units*400; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	return x
+}
+
+var sink atomic.Int64
+
+// Work is Spin with a global sink so the compiler cannot elide it.
+func Work(units int64) {
+	sink.Add(Spin(units))
+}
