@@ -3,7 +3,10 @@
 // reports throughput, latency quantiles, shed rate, and cold-vs-warm
 // first-request latency. It is the serving-path harness: sharded
 // admission, request batching, deadline shedding, and percolation
-// warm-up, all on one shared litlx.System.
+// warm-up, all on one shared litlx.System. Tenants are driven through
+// the v2 handle API (identity resolved once at registration); -burst
+// admits each wakeup's arrivals through the shard-grouped SubmitMany
+// path.
 //
 // Example:
 //
@@ -16,7 +19,6 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/litlx"
 	"repro/internal/serve"
 	"repro/internal/spinwork"
@@ -41,6 +43,7 @@ func main() {
 		tfrac    = flag.Float64("tightfrac", 0.5, "fraction of jobs with the tight deadline")
 		imgKB    = flag.Int("image-kb", 1024, "tenant handler code image size (KB)")
 		warmFrac = flag.Float64("warmfrac", 0.5, "fraction of tenants percolated at registration")
+		burst    = flag.Bool("burst", false, "admit each wakeup's arrivals as shard-grouped bursts (SubmitMany)")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 	)
 	flag.Parse()
@@ -67,11 +70,12 @@ func main() {
 	srv := serve.New(sys, serve.Config{Shards: *shards, QueueDepth: *depth, Batch: *batch})
 	defer srv.Close()
 
-	handler := func(_ *core.SGT, key uint64, _ interface{}) interface{} {
+	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
 		spinwork.Work(*work)
-		return key
+		return req.Key, nil
 	}
 	names := make([]string, *tenants)
+	var first *serve.Tenant
 	warmed := 0
 	for i := range names {
 		names[i] = fmt.Sprintf("tenant%03d", i)
@@ -79,21 +83,30 @@ func main() {
 		if warm {
 			warmed++
 		}
-		if err := srv.RegisterTenant(serve.TenantConfig{
+		tn, err := srv.RegisterTenant(serve.TenantConfig{
 			Name:     names[i],
 			Handler:  handler,
 			CodeSize: *imgKB << 10,
 			Warm:     warm,
-		}); err != nil {
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "htserved:", err)
 			os.Exit(1)
 		}
+		if i == 0 {
+			first = tn
+		}
 	}
-	coldC, warmC, _ := srv.TenantModel(names[0])
+	coldC, warmC := first.Model()
 	fmt.Printf("htserved: %d tenants (%d warm) on %d shards, image %dKB "+
 		"(modeled first request: cold %d cycles, warm %d cycles)\n",
 		*tenants, warmed, *shards, *imgKB, coldC, warmC)
-	fmt.Printf("offering %.0f jobs/s for %v (open loop, skew %.2f)...\n", *rate, *duration, *skew)
+	mode := "per-request"
+	if *burst {
+		mode = "burst (SubmitMany)"
+	}
+	fmt.Printf("offering %.0f jobs/s for %v (open loop, skew %.2f, %s admission)...\n",
+		*rate, *duration, *skew, mode)
 
 	rep := serve.RunLoad(srv, serve.LoadConfig{
 		Rate:      *rate,
@@ -104,6 +117,7 @@ func main() {
 		TightFrac: *tfrac,
 		Tight:     *tight,
 		Loose:     *loose,
+		Burst:     *burst,
 		Seed:      *seed,
 	})
 

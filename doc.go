@@ -13,8 +13,10 @@
 // paper-versus-measured results. Entry points:
 //
 //	internal/litlx    — the one-object API most programs want
-//	internal/serve    — the job service layer: sharded admission,
-//	                    batching, shedding, percolation warm-up
+//	internal/serve    — the job service layer (API v2): tenant handles,
+//	                    error-aware handlers + middleware, sharded
+//	                    admission, batching + burst admission, shedding,
+//	                    percolation warm-up
 //	cmd/htvmbench     — regenerates every experiment table
 //	cmd/htserved      — the job server under synthetic open-loop load
 //	cmd/litlxc        — the LITL-X script compiler/driver

@@ -4,8 +4,9 @@
 //
 // It spawns a coarse-grain thread (LGT), fans work out as small-grain
 // threads (SGTs), wires tiny-grain fibers (TGTs) through dataflow sync
-// slots, ships a parcel to another locale, chains futures, and runs an
-// adaptively scheduled parallel loop.
+// slots, ships a parcel to another locale, chains futures, runs an
+// adaptively scheduled parallel loop, and serves a request burst
+// through the job service layer's tenant-handle API.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"repro/internal/future"
 	"repro/internal/litlx"
 	"repro/internal/parcel"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -83,7 +85,42 @@ func main() {
 	sys.Wait()
 	fmt.Printf("parallel for: sum 0..999 -> %d\n", loopSum.Load())
 
-	// 6. The monitor saw all of it.
+	// 6. The serving layer: register a tenant once, get a handle, and
+	// submit through it — no per-request name lookup. Middleware wraps
+	// the handler; SubmitMany admits a burst with one shard lock per
+	// destination shard.
+	srv := serve.New(sys, serve.Config{Shards: 2})
+	var served atomic.Int64
+	counting := func(next serve.Handler) serve.Handler {
+		return func(ctx *serve.Ctx, req serve.Request) (any, error) {
+			served.Add(1)
+			return next(ctx, req)
+		}
+	}
+	cubes, err := srv.RegisterTenant(serve.TenantConfig{
+		Name:       "cubes",
+		Middleware: []serve.Middleware{counting},
+		Handler: func(_ *serve.Ctx, req serve.Request) (any, error) {
+			return req.Key * req.Key * req.Key, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	reqs := make([]serve.Request, 5)
+	for i := range reqs {
+		reqs[i] = serve.Request{Key: uint64(i + 1)}
+	}
+	sum := uint64(0)
+	for _, tk := range cubes.SubmitMany(reqs) {
+		if res := tk.Wait(); res.Status == serve.StatusOK {
+			sum += res.Value.(uint64)
+		}
+	}
+	srv.Close()
+	fmt.Printf("serve: sum of cubes 1..5 -> %d (%d through middleware)\n", sum, served.Load())
+
+	// 7. The monitor saw all of it.
 	rep := sys.Snapshot()
 	fmt.Printf("monitor: %d SGTs spawned, %d fibers run\n",
 		rep.Counters["core.sgt.spawn"], rep.Counters["core.tgt.run"])

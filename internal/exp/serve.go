@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/litlx"
 	"repro/internal/serve"
 )
@@ -41,11 +40,11 @@ func ExpServeLoadtest(scale int) *Result {
 	tenants := make([]string, 16)
 	for i := range tenants {
 		tenants[i] = fmt.Sprintf("tenant%02d", i)
-		if err := srv.RegisterTenant(serve.TenantConfig{
+		if _, err := srv.RegisterTenant(serve.TenantConfig{
 			Name: tenants[i],
-			Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} {
+			Handler: func(_ *serve.Ctx, req serve.Request) (any, error) {
 				spinWork(handlerUnits)
-				return key
+				return req.Key, nil
 			},
 		}); err != nil {
 			panic(err)
@@ -58,9 +57,9 @@ func ExpServeLoadtest(scale int) *Result {
 	// scheduling noise, never sped up, so the minimum is the honest
 	// estimate on a loaded machine.
 	const img = 2 << 20
-	probe := func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key }
-	firstReq := func(name string) float64 {
-		tk, err := srv.Submit(name, 1, nil, time.Time{})
+	probe := func(_ *serve.Ctx, req serve.Request) (any, error) { return req.Key, nil }
+	firstReq := func(t *serve.Tenant) float64 {
+		tk, err := t.Submit(serve.Request{Key: 1})
 		if err != nil {
 			panic(err)
 		}
@@ -71,10 +70,17 @@ func ExpServeLoadtest(scale int) *Result {
 		return float64(r.Total) / float64(time.Microsecond)
 	}
 	coldUS, warmUS := 0.0, 0.0
+	var coldProbe *serve.Tenant
 	for i := 0; i < 3; i++ {
-		cold, warm := fmt.Sprintf("probe-cold%d", i), fmt.Sprintf("probe-warm%d", i)
-		must(srv.RegisterTenant(serve.TenantConfig{Name: cold, Handler: probe, CodeSize: img}))
-		must(srv.RegisterTenant(serve.TenantConfig{Name: warm, Handler: probe, CodeSize: img, Warm: true}))
+		cold, err := srv.RegisterTenant(serve.TenantConfig{
+			Name: fmt.Sprintf("probe-cold%d", i), Handler: probe, CodeSize: img})
+		must(err)
+		warm, err := srv.RegisterTenant(serve.TenantConfig{
+			Name: fmt.Sprintf("probe-warm%d", i), Handler: probe, CodeSize: img, Warm: true})
+		must(err)
+		if i == 0 {
+			coldProbe = cold
+		}
 		if w := firstReq(warm); i == 0 || w < warmUS {
 			warmUS = w
 		}
@@ -82,7 +88,7 @@ func ExpServeLoadtest(scale int) *Result {
 			coldUS = c
 		}
 	}
-	coldCycles, warmCycles, _ := srv.TenantModel("probe-cold0")
+	coldCycles, warmCycles := coldProbe.Model()
 	// The native price of the modeled transfer, measured with the same
 	// spin calibration and cycle conversion the server charges cold
 	// starts with.
@@ -94,7 +100,8 @@ func ExpServeLoadtest(scale int) *Result {
 	// overload rate scales with the machine's parallelism: capacity is
 	// roughly cores/handler-time (~2000 jobs/s per core at 0.5ms), so
 	// 8000/s per core keeps the offered load ~4x over capacity whether
-	// this runs on one core or sixteen.
+	// this runs on one core or sixteen. The overload leg submits in
+	// burst mode, exercising the shard-grouped SubmitMany admission.
 	cores := runtime.GOMAXPROCS(0)
 	if cores > 16 {
 		cores = 16 // the system only has 16 workers
@@ -110,6 +117,7 @@ func ExpServeLoadtest(scale int) *Result {
 			TightFrac:  0.5,
 			Tight:      10 * time.Millisecond,
 			Loose:      100 * time.Millisecond,
+			Burst:      i == 1,
 			Seed:       uint64(90 + i),
 			MaxSamples: 1 << 15, // ample for 250ms runs; keeps GC pressure off later experiments
 		})

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/litlx"
+)
+
+// The admission benchmarks compare the v2 handle path (identity
+// resolved once at registration: no map lookup, no string hashing per
+// call) against the legacy string-keyed shim, and single submits
+// against shard-grouped bursts. Handlers are no-ops and the queues are
+// deep, so the measured cost is admission itself.
+
+func newBenchServer(b *testing.B) (*Server, *Tenant) {
+	b.Helper()
+	sys, err := litlx.New(litlx.Config{Locales: 2, WorkersPerLocale: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	s := New(sys, Config{Shards: 8, QueueDepth: 1 << 16, Batch: 64})
+	b.Cleanup(s.Close)
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "bench",
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Key, nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, tn
+}
+
+// The Resolve pair isolates the per-call work the handle API removes:
+// the legacy surface pays a sync.Map lookup (which hashes the tenant
+// name string) on every submission before routing; the handle has its
+// identity bound at registration and goes straight to shard routing.
+// The end-to-end Submit pair below includes queueing and dispatcher
+// contention, which dominate and are common to both surfaces.
+
+func BenchmarkResolveLegacyString(b *testing.B) {
+	s, _ := newBenchServer(b)
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn, ok := s.Tenant("bench")
+		if !ok {
+			b.Fatal("tenant vanished")
+		}
+		sink += shardIndex(tn.hash, uint64(i), len(s.shards))
+	}
+	_ = sink
+}
+
+func BenchmarkResolveHandle(b *testing.B) {
+	s, tn := newBenchServer(b)
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += shardIndex(tn.hash, uint64(i), len(s.shards))
+	}
+	_ = sink
+}
+
+func BenchmarkSubmitHandle(b *testing.B) {
+	_, tn := newBenchServer(b)
+	done := func(Result) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tn.SubmitFunc(Request{Key: uint64(i)}, done) == ErrOverload {
+		}
+	}
+}
+
+func BenchmarkSubmitLegacyString(b *testing.B) {
+	s, _ := newBenchServer(b)
+	done := func(Result) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s.SubmitFunc("bench", uint64(i), nil, time.Time{}, done) == ErrOverload {
+		}
+	}
+}
+
+func BenchmarkSubmitManyBurst(b *testing.B) {
+	_, tn := newBenchServer(b)
+	const burst = 64
+	reqs := make([]Request, burst)
+	done := func(int, Result) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range reqs {
+			reqs[j].Key = uint64(i*burst + j)
+		}
+		tn.SubmitManyFunc(reqs, done)
+	}
+}

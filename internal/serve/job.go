@@ -7,24 +7,66 @@ import (
 	"repro/internal/syncx"
 )
 
-// Handler executes one job for a tenant. It runs on an SGT of the
-// shared litlx system, at the locale of the admitting shard's
-// dispatcher; the returned value becomes the job's result.
-type Handler func(s *core.SGT, key uint64, payload interface{}) interface{}
+// Request describes one unit of work submitted to a tenant. Key routes
+// the request (requests with the same key for the same tenant land on
+// the same shard, in admission order); Payload is handed to the handler
+// untouched; a zero Deadline picks up the server's DefaultDeadline.
+type Request struct {
+	Key      uint64
+	Payload  any
+	Deadline time.Time
+}
 
-// Status classifies how a job left the server.
+// Handler executes one request for a tenant. It runs on an SGT of the
+// shared litlx system, at the locale of the admitting shard's
+// dispatcher. The returned value becomes Result.Value on success; a
+// non-nil error marks the result StatusFailed and becomes Result.Err.
+// A panic is recovered and reported the same way.
+type Handler func(ctx *Ctx, req Request) (any, error)
+
+// Middleware wraps a Handler with a cross-cutting concern — accounting,
+// tracing, admission policy, result rewriting. Chains compose at tenant
+// registration (never on the hot path): server-wide middleware runs
+// outermost, then per-tenant middleware, then the handler.
+type Middleware func(Handler) Handler
+
+// Ctx is the per-request execution context handed to handlers and
+// middleware. It is valid only for the duration of the handler call.
+type Ctx struct {
+	sgt      *core.SGT
+	shard    int
+	tenant   *Tenant
+	deadline time.Time
+}
+
+// SGT returns the small-grain thread the request is executing on.
+func (c *Ctx) SGT() *core.SGT { return c.sgt }
+
+// Shard returns the admission shard the request was queued on.
+func (c *Ctx) Shard() int { return c.shard }
+
+// Tenant returns the name of the tenant the request belongs to.
+func (c *Ctx) Tenant() string { return c.tenant.name }
+
+// Deadline returns the request's effective deadline (after the server
+// default was applied); zero means none.
+func (c *Ctx) Deadline() time.Time { return c.deadline }
+
+// Status classifies how a request left the server.
 type Status uint8
 
 const (
 	// StatusOK: the handler ran and produced a value.
 	StatusOK Status = iota
-	// StatusRejected: the shard queue was full at admission
-	// (backpressure; the job never entered the system).
+	// StatusRejected: the shard queue was full at admission, or the
+	// server was closed (backpressure; the request never entered the
+	// system). Surfaced through Result by SubmitMany; single submits
+	// report the same condition as ErrOverload / ErrClosed.
 	StatusRejected
-	// StatusShed: the job was admitted but its deadline expired before
-	// a dispatcher could start it (load shedding).
+	// StatusShed: the request was admitted but its deadline expired
+	// before a dispatcher could start it (load shedding).
 	StatusShed
-	// StatusFailed: the handler panicked.
+	// StatusFailed: the handler returned an error or panicked.
 	StatusFailed
 )
 
@@ -43,10 +85,11 @@ func (st Status) String() string {
 	return "status?"
 }
 
-// Result is the outcome of one job.
+// Result is the outcome of one request.
 type Result struct {
 	Status Status
-	Value  interface{} // handler return value (StatusOK only)
+	Value  any   // handler return value (StatusOK only)
+	Err    error // StatusFailed: handler error or recovered panic; StatusRejected: ErrOverload or ErrClosed
 	Wait   time.Duration
 	Total  time.Duration // admission to completion, queue wait included
 }
@@ -54,19 +97,16 @@ type Result struct {
 // Job is one admitted unit of work, queued on a shard until a
 // dispatcher drains it.
 type Job struct {
-	tenant   *tenant
-	key      uint64
-	payload  interface{}
-	deadline time.Time // zero means none
+	tenant   *Tenant
+	req      Request // Deadline already defaulted; zero means none
 	enqueued time.Time
 	done     func(Result) // invoked exactly once, on the executing SGT
 }
 
-// Ticket follows a submitted job to completion.
+// Ticket follows a submitted request to completion.
 type Ticket struct {
 	cell *syncx.Cell[Result]
 }
 
-// Wait blocks until the job completes (or is shed) and returns its
-// result.
+// Wait blocks until the request resolves and returns its result.
 func (t *Ticket) Wait() Result { return t.cell.Get() }

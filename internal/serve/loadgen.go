@@ -18,8 +18,9 @@ type LoadConfig struct {
 	Rate float64
 	// Duration is how long arrivals are generated.
 	Duration time.Duration
-	// Tenants is the tenant population to draw from (all must be
-	// registered).
+	// Tenants is the tenant population to draw from; RunLoad panics on
+	// an unregistered name. Handles are resolved once before the run,
+	// so the generation loop submits through the zero-lookup path.
 	Tenants []string
 	// Skew is the Zipf exponent over Tenants: 0 is uniform, 1 is the
 	// classic heavy head where a few tenants dominate.
@@ -30,6 +31,12 @@ type LoadConfig struct {
 	// (zero Loose means no deadline).
 	TightFrac    float64
 	Tight, Loose time.Duration
+	// Burst, when true, groups each wakeup's arrivals by tenant and
+	// admits them through Tenant.SubmitManyFunc — one shard lock per
+	// (tenant, shard) per wakeup instead of per request. Rejections then
+	// surface as StatusRejected results rather than submission errors;
+	// the report counts them the same either way.
+	Burst bool
 	// Seed fixes the generator's randomness.
 	Seed uint64
 	// MaxSamples bounds the latency reservoir (default 1<<20).
@@ -67,12 +74,23 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 	if cfg.MaxSamples <= 0 {
 		cfg.MaxSamples = 1 << 20
 	}
+	handles := make([]*Tenant, len(cfg.Tenants))
+	for i, name := range cfg.Tenants {
+		t, ok := s.Tenant(name)
+		if !ok {
+			// A misconfigured population is programmer error in a load
+			// harness: fail loudly rather than return a zero report that
+			// reads like "the server did nothing wrong".
+			panic("serve: RunLoad: unknown tenant " + name)
+		}
+		handles[i] = t
+	}
 	rng := stats.NewRNG(cfg.Seed | 1)
 	pickTenant := zipfPicker(len(cfg.Tenants), cfg.Skew)
 
 	var rep LoadReport
 	var outstanding atomic.Int64
-	var completed, shed, failed atomic.Int64
+	var completed, rejected, shed, failed atomic.Int64
 	samples := make([]float64, cfg.MaxSamples)
 	var nsamples atomic.Int64
 	onDone := func(r Result) {
@@ -82,12 +100,22 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 			if i := nsamples.Add(1) - 1; int(i) < len(samples) {
 				samples[i] = float64(r.Total)
 			}
+		case StatusRejected:
+			rejected.Add(1)
 		case StatusShed:
 			shed.Add(1)
 		default:
 			failed.Add(1)
 		}
 		outstanding.Add(-1)
+	}
+	onDoneIdx := func(_ int, r Result) { onDone(r) }
+
+	// Burst mode accumulates one wakeup's arrivals per tenant and admits
+	// each group as a unit.
+	var pending [][]Request
+	if cfg.Burst {
+		pending = make([][]Request, len(handles))
 	}
 
 	start := time.Now()
@@ -102,7 +130,7 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 		last = now
 		for ; owed >= 1; owed-- {
 			rep.Offered++
-			name := cfg.Tenants[pickTenant(rng)]
+			ti := pickTenant(rng)
 			key := rng.Uint64() % cfg.KeySpace
 			var deadline time.Time
 			if cfg.TightFrac > 0 && rng.Float64() < cfg.TightFrac {
@@ -110,10 +138,25 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 			} else if cfg.Loose > 0 {
 				deadline = now.Add(cfg.Loose)
 			}
+			req := Request{Key: key, Deadline: deadline}
+			if cfg.Burst {
+				pending[ti] = append(pending[ti], req)
+				continue
+			}
 			outstanding.Add(1)
-			if err := s.SubmitFunc(name, key, nil, deadline, onDone); err != nil {
+			if err := handles[ti].SubmitFunc(req, onDone); err != nil {
 				rep.Rejected++
 				outstanding.Add(-1)
+			}
+		}
+		if cfg.Burst {
+			for ti, reqs := range pending {
+				if len(reqs) == 0 {
+					continue
+				}
+				outstanding.Add(int64(len(reqs)))
+				handles[ti].SubmitManyFunc(reqs, onDoneIdx)
+				pending[ti] = pending[ti][:0]
 			}
 		}
 		time.Sleep(200 * time.Microsecond)
@@ -123,6 +166,7 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 		time.Sleep(time.Millisecond)
 	}
 	rep.Elapsed = time.Since(start)
+	rep.Rejected += rejected.Load()
 	rep.Completed = completed.Load()
 	rep.Shed = shed.Load()
 	rep.Failed = failed.Load()

@@ -3,19 +3,30 @@
 // long-running multi-tenant server. It applies the paper's ideas to
 // request serving:
 //
-//   - sharded admission — jobs hash by (tenant, key) onto independent
-//     bounded queues, each drained by a dedicated dispatcher LGT, so the
-//     admission hot path takes one per-shard lock and nothing global;
-//   - batching — a dispatcher drains up to Batch jobs per wakeup and
-//     submits them as one SGT fan-out, amortizing spawn overhead the way
-//     parcels amortize round trips;
+//   - sharded admission — requests hash by (tenant, key) onto
+//     independent bounded queues, each drained by a dedicated dispatcher
+//     LGT, so the admission hot path takes one per-shard lock and
+//     nothing global;
+//   - batching — a dispatcher drains up to Batch requests per wakeup
+//     and submits them as one SGT fan-out, amortizing spawn overhead the
+//     way parcels amortize round trips; Tenant.SubmitMany extends the
+//     same amortization up to admission, taking each destination shard
+//     lock once per burst;
 //   - backpressure and load shedding — full queues reject at admission
-//     and dispatchers shed jobs whose deadline has already passed, so
-//     overload degrades by dropping rather than by collapsing;
+//     and dispatchers shed requests whose deadline has already passed,
+//     so overload degrades by dropping rather than by collapsing;
 //   - percolation warm-up — tenant registration can percolate the
 //     tenant's handler code image ahead of traffic (the Section 3.2
 //     percolation idea, priced by the parcel.SimNet code-transfer
 //     model), so first requests run warm.
+//
+// The v2 surface is handle-based: RegisterTenant returns a *Tenant
+// whose Submit/SubmitFunc/SubmitMany methods carry the resolved
+// identity, so the per-request hot path performs no map lookup and no
+// string hashing. Handlers are error-aware — func(*Ctx, Request) (any,
+// error) — and compose through Middleware chains (server-wide and
+// per-tenant), resolved once at registration. The legacy string-keyed
+// Server.Submit/SubmitFunc survive as thin shims over the handle path.
 //
 // Accounting flows through the system's internal/monitor instance:
 // servers and tenants publish counters under the "serve." prefix.
@@ -25,6 +36,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,7 +50,10 @@ import (
 )
 
 // ErrOverload reports an admission rejected by backpressure.
-var ErrOverload = fmt.Errorf("serve: shard queue full")
+var ErrOverload = errors.New("serve: shard queue full")
+
+// ErrClosed reports a submission after Close.
+var ErrClosed = errors.New("serve: server closed")
 
 // Config sizes a server.
 type Config struct {
@@ -59,6 +74,9 @@ type Config struct {
 	// DefaultDeadline is applied to jobs submitted without one; zero
 	// means such jobs never expire.
 	DefaultDeadline time.Duration
+	// Middleware wraps every tenant's handler, outermost first. The
+	// chain composes once at registration, never on the hot path.
+	Middleware []Middleware
 }
 
 func (c Config) withDefaults() Config {
@@ -77,14 +95,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server accepts job streams from many concurrent clients and executes
-// them on a shared litlx.System.
+// Server accepts request streams from many concurrent clients and
+// executes them on a shared litlx.System.
 type Server struct {
 	sys *litlx.System
 	cfg Config
 
 	shards  []*shard
-	tenants sync.Map // name -> *tenant
+	regMu   sync.Mutex // serializes RegisterTenant; reads stay lock-free
+	tenants sync.Map   // name -> *Tenant
 
 	dispatchers sync.WaitGroup
 	inflight    sync.WaitGroup
@@ -100,18 +119,30 @@ type Server struct {
 	latencyUS                               *monitor.EWMA
 }
 
-// tenant is one registered traffic source with its own accounting and
-// code-residency state.
-type tenant struct {
+// Tenant is the handle for one registered traffic source: its resolved
+// identity (name hash, composed handler chain, counters, code-residency
+// state) is bound at registration, so submissions through the handle
+// perform no map lookup and no string hashing.
+type Tenant struct {
+	srv           *Server
 	name          string
 	hash          uint64
-	handler       Handler
+	handler       Handler // middleware-composed chain
 	codeSize      int
 	model         percolate.CodeModel
 	transferUnits int64         // spin units modeling one cold code fetch
 	resident      []atomic.Bool // per shard: image already percolated/fetched
 
 	acc, rej, shed, ok *monitor.Counter
+}
+
+// Name returns the tenant's registered name.
+func (t *Tenant) Name() string { return t.name }
+
+// Model returns the modeled cold/warm first-request cycle counts
+// (zeros when the tenant has no code image).
+func (t *Tenant) Model() (coldCycles, warmCycles int64) {
+	return t.model.ColdCycles, t.model.WarmCycles
 }
 
 // New starts a server over sys: Shards dispatcher LGTs are spawned
@@ -141,34 +172,49 @@ func New(sys *litlx.System, cfg Config) *Server {
 	return s
 }
 
-// Submit admits one job for the named tenant and returns a ticket that
-// resolves when the job completes or is shed. A full shard returns
-// ErrOverload immediately (backpressure); the job never queues.
-func (s *Server) Submit(tenantName string, key uint64, payload interface{}, deadline time.Time) (*Ticket, error) {
+// Tenant returns the handle for a registered tenant.
+func (s *Server) Tenant(name string) (*Tenant, bool) {
+	v, ok := s.tenants.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Tenant), true
+}
+
+// Submit admits one request and returns a ticket that resolves when it
+// completes or is shed. A full shard returns ErrOverload immediately
+// (backpressure) and a closed server ErrClosed; the request never
+// queues in either case.
+func (t *Tenant) Submit(req Request) (*Ticket, error) {
 	cell := syncx.NewCell[Result]()
-	if err := s.SubmitFunc(tenantName, key, payload, deadline, func(r Result) { cell.Put(r) }); err != nil {
+	if err := t.SubmitFunc(req, func(r Result) { cell.Put(r) }); err != nil {
 		return nil, err
 	}
 	return &Ticket{cell: cell}, nil
 }
 
-// SubmitFunc admits one job, invoking done exactly once — on the
-// executing SGT for completed jobs; for shed ones, on the dispatcher
-// (expired in queue) or on the batch SGT (expired after draining).
-// Rejected jobs return ErrOverload and done is never invoked.
-func (s *Server) SubmitFunc(tenantName string, key uint64, payload interface{}, deadline time.Time, done func(Result)) error {
-	v, ok := s.tenants.Load(tenantName)
-	if !ok {
-		return fmt.Errorf("serve: unknown tenant %q", tenantName)
+// SubmitFunc admits one request, invoking done exactly once — on the
+// executing SGT for completed requests; for shed ones, on the
+// dispatcher (expired in queue) or on the batch SGT (expired after
+// draining). Rejected requests return ErrOverload (full shard) or
+// ErrClosed (server closed) and done is never invoked.
+func (t *Tenant) SubmitFunc(req Request, done func(Result)) error {
+	s := t.srv
+	if s.closed.Load() {
+		return ErrClosed
 	}
-	t := v.(*tenant)
 	now := time.Now()
-	if deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
-		deadline = now.Add(s.cfg.DefaultDeadline)
+	if req.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
+		req.Deadline = now.Add(s.cfg.DefaultDeadline)
 	}
-	j := &Job{tenant: t, key: key, payload: payload, deadline: deadline, enqueued: now, done: done}
-	sh := s.shards[shardIndex(t.hash, key, len(s.shards))]
+	j := &Job{tenant: t, req: req, enqueued: now, done: done}
+	sh := s.shards[shardIndex(t.hash, req.Key, len(s.shards))]
 	if !sh.enqueue(j) {
+		// Shards only refuse when full or shut; Close sets s.closed
+		// before shutting shards, so the flag distinguishes the two.
+		if s.closed.Load() {
+			return ErrClosed
+		}
 		t.rej.Inc()
 		s.rejected.Inc()
 		return ErrOverload
@@ -178,15 +224,134 @@ func (s *Server) SubmitFunc(tenantName string, key uint64, payload interface{}, 
 	return nil
 }
 
-// execute runs one admitted job on the batch SGT, paying the modeled
-// code-transfer cost if the tenant's image is not yet resident at this
-// shard (percolated tenants pre-marked it everywhere). Jobs whose
-// deadline expired after draining — waiting for a batch slot, or behind
-// a slow sibling in the same batch — are shed here rather than run
-// uselessly late.
+// SubmitMany admits a burst of requests as a unit, grouping them by
+// destination shard so each shard lock is taken at most once per call.
+// Every request gets a ticket: refused ones (full shard or closed
+// server) resolve immediately with StatusRejected and Err set to
+// ErrOverload or ErrClosed, so a burst's outcomes are uniform Results
+// rather than a special-cased error.
+func (t *Tenant) SubmitMany(reqs []Request) []*Ticket {
+	tickets := make([]*Ticket, len(reqs))
+	for i := range tickets {
+		tickets[i] = &Ticket{cell: syncx.NewCell[Result]()}
+	}
+	t.SubmitManyFunc(reqs, func(i int, r Result) { tickets[i].cell.Put(r) })
+	return tickets
+}
+
+// SubmitManyFunc is SubmitMany without the ticket allocations: done is
+// invoked exactly once per request with its index — immediately (with
+// StatusRejected) for refused requests, at resolution for admitted
+// ones. It returns the number admitted. When a shard has room for only
+// part of its group, the earlier-indexed requests win, preserving
+// admission order within the burst.
+func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int {
+	s := t.srv
+	if len(reqs) == 0 {
+		return 0
+	}
+	if len(reqs) == 1 {
+		// A burst of one needs no grouping scaffolding: defer to the
+		// single-submit path, translating its errors into the uniform
+		// per-request outcome this surface promises.
+		if err := t.SubmitFunc(reqs[0], func(r Result) { done(0, r) }); err != nil {
+			done(0, Result{Status: StatusRejected, Err: err})
+			return 0
+		}
+		return 1
+	}
+	now := time.Now()
+	nshards := len(s.shards)
+	jobs := make([]*Job, len(reqs))
+	home := make([]int, len(reqs))
+	counts := make([]int, nshards)
+	for i, r := range reqs {
+		if r.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
+			r.Deadline = now.Add(s.cfg.DefaultDeadline)
+		}
+		jobs[i] = &Job{tenant: t, req: r, enqueued: now, done: func(res Result) { done(i, res) }}
+		si := shardIndex(t.hash, r.Key, nshards)
+		home[i] = si
+		counts[si]++
+	}
+	// Scatter jobs into per-shard contiguous groups of one backing array.
+	offs := make([]int, nshards)
+	sum := 0
+	for si, c := range counts {
+		offs[si] = sum
+		sum += c
+	}
+	grouped := make([]*Job, len(jobs))
+	next := append([]int(nil), offs...)
+	for i, j := range jobs {
+		grouped[next[home[i]]] = j
+		next[home[i]]++
+	}
+	accepted := 0
+	for si := 0; si < nshards; si++ {
+		if counts[si] == 0 {
+			continue
+		}
+		g := grouped[offs[si] : offs[si]+counts[si]]
+		var acc int
+		if !s.closed.Load() {
+			acc = s.shards[si].enqueueMany(g)
+		}
+		accepted += acc
+		if acc > 0 {
+			t.acc.Add(int64(acc))
+			s.accepted.Add(int64(acc))
+		}
+		if acc == len(g) {
+			continue
+		}
+		// Only backpressure counts as a rejection in the accounting, the
+		// same as the single-submit path: a closed server refuses with
+		// ErrClosed but does not inflate the rejected counters.
+		errv := ErrOverload
+		if s.closed.Load() {
+			errv = ErrClosed
+		} else {
+			t.rej.Add(int64(len(g) - acc))
+			s.rejected.Add(int64(len(g) - acc))
+		}
+		for _, j := range g[acc:] {
+			j.done(Result{Status: StatusRejected, Err: errv})
+		}
+	}
+	return accepted
+}
+
+// Submit is the legacy string-keyed surface: it resolves the tenant by
+// name on every call, then defers to the handle path. New code should
+// hold the *Tenant from RegisterTenant and call Tenant.Submit.
+func (s *Server) Submit(tenantName string, key uint64, payload any, deadline time.Time) (*Ticket, error) {
+	t, ok := s.Tenant(tenantName)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown tenant %q", tenantName)
+	}
+	return t.Submit(Request{Key: key, Payload: payload, Deadline: deadline})
+}
+
+// SubmitFunc is the legacy string-keyed SubmitFunc; a thin shim over
+// Tenant.SubmitFunc.
+func (s *Server) SubmitFunc(tenantName string, key uint64, payload any, deadline time.Time, done func(Result)) error {
+	t, ok := s.Tenant(tenantName)
+	if !ok {
+		return fmt.Errorf("serve: unknown tenant %q", tenantName)
+	}
+	return t.SubmitFunc(Request{Key: key, Payload: payload, Deadline: deadline}, done)
+}
+
+// execute runs one admitted request on the batch SGT, paying the
+// modeled code-transfer cost if the tenant's image is not yet resident
+// at this shard (percolated tenants pre-marked it everywhere). Requests
+// whose deadline expired after draining — waiting for a batch slot, or
+// behind a slow sibling in the same batch — are shed here rather than
+// run uselessly late.
 func (s *Server) execute(sg *core.SGT, shardID int, j *Job) {
-	if !j.deadline.IsZero() {
-		if now := time.Now(); now.After(j.deadline) {
+	if !j.req.Deadline.IsZero() {
+		if now := time.Now(); now.After(j.req.Deadline) {
 			s.shed(j, now)
 			return
 		}
@@ -199,15 +364,23 @@ func (s *Server) execute(sg *core.SGT, shardID int, j *Job) {
 	}
 	start := time.Now()
 	res := Result{Wait: start.Sub(j.enqueued)}
+	ctx := &Ctx{sgt: sg, shard: shardID, tenant: t, deadline: j.req.Deadline}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				res.Status = StatusFailed
 				res.Value = nil
+				res.Err = fmt.Errorf("serve: handler panic: %v", r)
 			}
 		}()
-		res.Value = t.handler(sg, j.key, j.payload)
+		v, err := t.handler(ctx, j.req)
+		if err != nil {
+			res.Status = StatusFailed
+			res.Err = err
+			return
+		}
 		res.Status = StatusOK
+		res.Value = v
 	}()
 	res.Total = time.Since(j.enqueued)
 	if res.Status == StatusFailed {
@@ -230,7 +403,8 @@ func (s *Server) shed(j *Job, now time.Time) {
 
 // Close shuts the admission queues, drains the tails, and waits for all
 // dispatcher LGTs and in-flight batches to finish. Jobs still queued at
-// Close are executed (or shed if expired), not dropped.
+// Close are executed (or shed if expired), not dropped. Submissions
+// after Close return ErrClosed.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return

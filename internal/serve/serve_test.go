@@ -1,12 +1,13 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/litlx"
 	"repro/internal/stats"
 )
@@ -28,15 +29,16 @@ func TestSubmitExecutes(t *testing.T) {
 	s := New(sys, Config{Shards: 4})
 	defer s.Close()
 
-	if err := s.RegisterTenant(TenantConfig{
+	tn, err := s.RegisterTenant(TenantConfig{
 		Name:    "double",
-		Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key * 2 },
-	}); err != nil {
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Key * 2, nil },
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	tickets := make([]*Ticket, 100)
 	for i := range tickets {
-		tk, err := s.Submit("double", uint64(i), nil, time.Time{})
+		tk, err := tn.Submit(Request{Key: uint64(i)})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -60,6 +62,41 @@ func TestSubmitExecutes(t *testing.T) {
 	}
 }
 
+func TestLegacyShimAgreesWithHandle(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 4})
+	defer s.Close()
+
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "square",
+		Handler: func(ctx *Ctx, req Request) (any, error) { return req.Key * req.Key, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Tenant("square"); !ok || got != tn {
+		t.Fatalf("Tenant lookup = (%v, %v), want registered handle", got, ok)
+	}
+	for i := uint64(0); i < 32; i++ {
+		legacy, err := s.Submit("square", i, nil, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handle, err := tn.Submit(Request{Key: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, hr := legacy.Wait(), handle.Wait()
+		if lr.Status != StatusOK || hr.Status != StatusOK {
+			t.Fatalf("key %d: statuses %v / %v", i, lr.Status, hr.Status)
+		}
+		if lr.Value.(uint64) != hr.Value.(uint64) {
+			t.Fatalf("key %d: legacy %v != handle %v", i, lr.Value, hr.Value)
+		}
+	}
+}
+
 func TestUnknownTenantRejected(t *testing.T) {
 	sys := newTestSystem(t)
 	defer sys.Close()
@@ -67,6 +104,193 @@ func TestUnknownTenantRejected(t *testing.T) {
 	defer s.Close()
 	if _, err := s.Submit("nobody", 0, nil, time.Time{}); err == nil {
 		t.Error("expected error for unknown tenant")
+	}
+	if err := s.SubmitFunc("nobody", 0, nil, time.Time{}, func(Result) {}); err == nil {
+		t.Error("expected error for unknown tenant")
+	}
+	if _, ok := s.Tenant("nobody"); ok {
+		t.Error("Tenant lookup of unknown name should report !ok")
+	}
+}
+
+func TestHandlerErrorFailsResult(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1})
+	defer s.Close()
+
+	errTeapot := errors.New("teapot")
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name: "erring",
+		Handler: func(_ *Ctx, req Request) (any, error) {
+			if req.Payload == "fail" {
+				return nil, errTeapot
+			}
+			return req.Key, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := tn.Submit(Request{Key: 1, Payload: "fail"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tk.Wait()
+	if res.Status != StatusFailed {
+		t.Fatalf("status = %v, want failed", res.Status)
+	}
+	if !errors.Is(res.Err, errTeapot) {
+		t.Fatalf("err = %v, want teapot", res.Err)
+	}
+	if res.Value != nil {
+		t.Errorf("failed result carries value %v", res.Value)
+	}
+	// The error path must not poison subsequent requests.
+	tk, err = tn.Submit(Request{Key: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusOK || res.Err != nil {
+		t.Fatalf("follow-up = %+v, want ok", res)
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Done != 2 {
+		t.Errorf("stats = %+v, want failed=1 done=2", st)
+	}
+}
+
+func TestCtxExposesExecutionContext(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 4})
+	defer s.Close()
+
+	deadline := time.Now().Add(time.Minute)
+	type seen struct {
+		tenant string
+		shard  int
+		dl     time.Time
+		sgtOK  bool
+	}
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name: "introspect",
+		Handler: func(ctx *Ctx, req Request) (any, error) {
+			return seen{tenant: ctx.Tenant(), shard: ctx.Shard(), dl: ctx.Deadline(), sgtOK: ctx.SGT() != nil}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := tn.Submit(Request{Key: 3, Deadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tk.Wait()
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+	got := res.Value.(seen)
+	wantShard := shardIndex(fnv64a("introspect"), 3, 4)
+	if got.tenant != "introspect" || got.shard != wantShard || !got.dl.Equal(deadline) || !got.sgtOK {
+		t.Errorf("ctx = %+v, want tenant=introspect shard=%d deadline=%v sgt non-nil", got, wantShard, deadline)
+	}
+}
+
+func TestMiddlewareChainOrder(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) Middleware {
+		return func(next Handler) Handler {
+			return func(ctx *Ctx, req Request) (any, error) {
+				mu.Lock()
+				order = append(order, tag)
+				mu.Unlock()
+				return next(ctx, req)
+			}
+		}
+	}
+	s := New(sys, Config{Shards: 1, Middleware: []Middleware{record("server1"), record("server2")}})
+	defer s.Close()
+
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:       "chained",
+		Middleware: []Middleware{record("tenant")},
+		Handler: func(_ *Ctx, req Request) (any, error) {
+			mu.Lock()
+			order = append(order, "handler")
+			mu.Unlock()
+			return req.Key, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := tn.Submit(Request{Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+	want := []string{"server1", "server2", "tenant", "handler"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMiddlewareShortCircuit(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1})
+	defer s.Close()
+
+	errDenied := errors.New("denied by policy")
+	var handlerRan atomic.Int64
+	deny := func(next Handler) Handler {
+		return func(ctx *Ctx, req Request) (any, error) {
+			if req.Payload == "deny" {
+				return nil, errDenied
+			}
+			return next(ctx, req)
+		}
+	}
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:       "gated",
+		Middleware: []Middleware{deny},
+		Handler: func(_ *Ctx, req Request) (any, error) {
+			handlerRan.Add(1)
+			return req.Key, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := tn.Submit(Request{Key: 1, Payload: "deny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusFailed || !errors.Is(res.Err, errDenied) {
+		t.Fatalf("denied result = %+v", res)
+	}
+	if handlerRan.Load() != 0 {
+		t.Error("handler ran despite middleware short-circuit")
+	}
+	tk, err = tn.Submit(Request{Key: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusOK || handlerRan.Load() != 1 {
+		t.Fatalf("allowed request = %+v, handler ran %d times", res, handlerRan.Load())
 	}
 }
 
@@ -76,13 +300,14 @@ func TestBackpressureRejects(t *testing.T) {
 	s := New(sys, Config{Shards: 1, QueueDepth: 2, Batch: 1, InflightBatches: 1})
 
 	release := make(chan struct{})
-	if err := s.RegisterTenant(TenantConfig{
+	tn, err := s.RegisterTenant(TenantConfig{
 		Name: "slow",
-		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} {
+		Handler: func(_ *Ctx, _ Request) (any, error) {
 			<-release
-			return nil
+			return nil, nil
 		},
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 
@@ -92,8 +317,8 @@ func TestBackpressureRejects(t *testing.T) {
 	var accepted, rejected int
 	var wg sync.WaitGroup
 	for i := 0; i < 50; i++ {
-		err := s.SubmitFunc("slow", uint64(i), nil, time.Time{}, func(Result) { wg.Done() })
-		if err == ErrOverload {
+		err := tn.SubmitFunc(Request{Key: uint64(i)}, func(Result) { wg.Done() })
+		if errors.Is(err, ErrOverload) {
 			rejected++
 			continue
 		}
@@ -120,6 +345,329 @@ func TestBackpressureRejects(t *testing.T) {
 	}
 }
 
+func TestSubmitManyMixedOutcomes(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1, QueueDepth: 2, Batch: 1, InflightBatches: 1})
+	defer s.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name: "bursty",
+		Handler: func(_ *Ctx, req Request) (any, error) {
+			if req.Payload == "block" {
+				started <- struct{}{}
+				<-release
+			}
+			return req.Key, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single in-flight batch so the queue (depth 2) is the
+	// only capacity left, then land one burst of six: exactly two fit.
+	if _, err := tn.Submit(Request{Key: 100, Payload: "block"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{Key: uint64(i)}
+	}
+	tickets := tn.SubmitMany(reqs)
+	if len(tickets) != len(reqs) {
+		t.Fatalf("got %d tickets for %d requests", len(tickets), len(reqs))
+	}
+	// The rejected suffix resolves immediately, before the blocker is
+	// released: earlier-indexed requests win the queue slots.
+	for i := 2; i < 6; i++ {
+		res := tickets[i].Wait()
+		if res.Status != StatusRejected {
+			t.Fatalf("ticket %d: status %v, want rejected", i, res.Status)
+		}
+		if !errors.Is(res.Err, ErrOverload) {
+			t.Fatalf("ticket %d: err %v, want ErrOverload", i, res.Err)
+		}
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		res := tickets[i].Wait()
+		if res.Status != StatusOK || res.Value.(uint64) != uint64(i) {
+			t.Fatalf("ticket %d: %+v, want ok value %d", i, res, i)
+		}
+	}
+	st := s.Stats()
+	if st.Accepted != 3 || st.Rejected != 4 {
+		t.Errorf("stats = %+v, want accepted=3 rejected=4", st)
+	}
+}
+
+func TestSubmitManySpreadsShards(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 8})
+	defer s.Close()
+
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "spread",
+		Handler: func(ctx *Ctx, req Request) (any, error) { return req.Key + uint64(ctx.Shard())<<32, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Key: uint64(i)}
+	}
+	tickets := tn.SubmitMany(reqs)
+	shardsSeen := make(map[int]bool)
+	for i, tk := range tickets {
+		res := tk.Wait()
+		if res.Status != StatusOK {
+			t.Fatalf("req %d: status %v", i, res.Status)
+		}
+		v := res.Value.(uint64)
+		if v&0xFFFFFFFF != uint64(i) {
+			t.Fatalf("req %d: key echoed %d", i, v&0xFFFFFFFF)
+		}
+		gotShard := int(v >> 32)
+		if want := shardIndex(fnv64a("spread"), uint64(i), 8); gotShard != want {
+			t.Fatalf("req %d ran on shard %d, want %d", i, gotShard, want)
+		}
+		shardsSeen[gotShard] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("burst of %d keys landed on %d shards; grouping should spread", n, len(shardsSeen))
+	}
+}
+
+func TestSubmitAfterCloseErrClosed(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 2})
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "t",
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Key, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if _, err := tn.Submit(Request{Key: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := tn.SubmitFunc(Request{Key: 1}, func(Result) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitFunc after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Submit("t", 1, nil, time.Time{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("legacy Submit after Close = %v, want ErrClosed", err)
+	}
+	for i, tk := range tn.SubmitMany([]Request{{Key: 1}, {Key: 2}}) {
+		res := tk.Wait()
+		if res.Status != StatusRejected || !errors.Is(res.Err, ErrClosed) {
+			t.Errorf("SubmitMany[%d] after Close = %+v, want rejected/ErrClosed", i, res)
+		}
+	}
+}
+
+func TestDuplicateRegistrationLeavesNoTrace(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 2})
+	defer s.Close()
+
+	h := func(_ *Ctx, req Request) (any, error) { return req.Key, nil }
+	first, err := s.RegisterTenant(TenantConfig{Name: "dup", Handler: h, CodeSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(sys.Mon.Snapshot().Counters)
+
+	// The duplicate carries a code size no tenant uses: a rejected
+	// registration must not price it into the model cache, nor install
+	// any monitor instruments.
+	if _, err := s.RegisterTenant(TenantConfig{Name: "dup", Handler: h, CodeSize: 3 << 20}); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	if after := len(sys.Mon.Snapshot().Counters); after != before {
+		t.Errorf("duplicate registration changed counter table: %d -> %d", before, after)
+	}
+	s.modelMu.Lock()
+	nmodels := len(s.models)
+	_, leaked := s.models[3<<20]
+	s.modelMu.Unlock()
+	if nmodels != 1 || leaked {
+		t.Errorf("duplicate registration leaked into model cache (%d entries, 3MiB present=%v)", nmodels, leaked)
+	}
+	if got, _ := s.Tenant("dup"); got != first {
+		t.Error("duplicate registration replaced the original handle")
+	}
+}
+
+func TestConcurrentDuplicateRegistration(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 2})
+	defer s.Close()
+
+	// Racing registrations of one name with distinct code sizes: exactly
+	// one wins, and the losers leave nothing in the model cache.
+	const racers = 8
+	h := func(_ *Ctx, req Request) (any, error) { return req.Key, nil }
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.RegisterTenant(TenantConfig{Name: "race", Handler: h, CodeSize: (i + 1) << 20}); err == nil {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d registrations of the same name succeeded, want exactly 1", wins.Load())
+	}
+	s.modelMu.Lock()
+	nmodels := len(s.models)
+	s.modelMu.Unlock()
+	if nmodels != 1 {
+		t.Errorf("losing registrations leaked %d entries into the model cache, want 1", nmodels)
+	}
+}
+
+func TestDegenerateConfigMinimalEverything(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	// Every knob at its floor: one shard, batches of one, a queue of
+	// one, one in-flight batch. Everything still completes; overflow
+	// rejects rather than deadlocks.
+	s := New(sys, Config{Shards: 1, QueueDepth: 1, Batch: 1, InflightBatches: 1})
+	defer s.Close()
+
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "tiny",
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Key * 3, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	done := 0
+	for i := uint64(0); i < n; {
+		tk, err := tn.Submit(Request{Key: i})
+		if errors.Is(err, ErrOverload) {
+			time.Sleep(100 * time.Microsecond) // queue of one fills; retry
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := tk.Wait(); res.Status != StatusOK || res.Value.(uint64) != i*3 {
+			t.Fatalf("job %d: %+v", i, res)
+		}
+		done++
+		i++
+	}
+	if done != n {
+		t.Fatalf("completed %d of %d", done, n)
+	}
+	if st := s.Stats(); st.Done != n {
+		t.Fatalf("stats done = %d, want %d", st.Done, n)
+	}
+	// A burst through the same degenerate config: the idle queue has
+	// exactly one slot, so one accept and the rest reject — and nothing
+	// wedges.
+	tickets := tn.SubmitMany([]Request{{Key: 1}, {Key: 2}, {Key: 3}, {Key: 4}})
+	if res := tickets[0].Wait(); res.Status != StatusOK || res.Value.(uint64) != 3 {
+		t.Fatalf("burst head: %+v, want ok value 3", res)
+	}
+	for i := 1; i < 4; i++ {
+		if res := tickets[i].Wait(); res.Status != StatusRejected || !errors.Is(res.Err, ErrOverload) {
+			t.Fatalf("burst[%d]: %+v, want rejected/ErrOverload", i, res)
+		}
+	}
+}
+
+func TestPanicInMultiJobBatch(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	s := New(sys, Config{Shards: 1, QueueDepth: 64, Batch: 8, InflightBatches: 1})
+	defer s.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name: "mixed",
+		Handler: func(_ *Ctx, req Request) (any, error) {
+			switch req.Payload {
+			case "block":
+				started <- struct{}{}
+				<-release
+			case "panic":
+				panic("kaboom in batch")
+			}
+			return req.Key, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the single in-flight slot so the next burst drains as ONE
+	// multi-job batch (SubmitMany enqueues under one lock, so the
+	// dispatcher cannot split it mid-append; Batch=8 >= 6 keeps it whole).
+	if _, err := tn.Submit(Request{Key: 99, Payload: "block"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{Key: uint64(i)}
+	}
+	reqs[2].Payload = "panic" // a sibling mid-batch blows up
+
+	var fired [6]atomic.Int32
+	results := make([]Result, 6)
+	var wg sync.WaitGroup
+	wg.Add(6)
+	tn.SubmitManyFunc(reqs, func(i int, r Result) {
+		if fired[i].Add(1) == 1 {
+			results[i] = r
+			wg.Done()
+		}
+	})
+	close(release)
+	wg.Wait()
+	s.Close() // flush everything before inspecting
+
+	for i := range fired {
+		if n := fired[i].Load(); n != 1 {
+			t.Errorf("job %d: done fired %d times, want exactly 1", i, n)
+		}
+	}
+	for i, res := range results {
+		if i == 2 {
+			if res.Status != StatusFailed || res.Err == nil {
+				t.Errorf("panicking job: %+v, want failed with err", res)
+			}
+			continue
+		}
+		if res.Status != StatusOK || res.Value.(uint64) != uint64(i) {
+			t.Errorf("sibling %d: %+v, want ok (siblings must survive a panicking batchmate)", i, res)
+		}
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Done != 7 {
+		t.Errorf("stats = %+v, want failed=1 done=7", st)
+	}
+}
+
 func TestDeadlineShed(t *testing.T) {
 	sys := newTestSystem(t)
 	defer sys.Close()
@@ -127,19 +675,20 @@ func TestDeadlineShed(t *testing.T) {
 	defer s.Close()
 
 	var ran atomic.Int64
-	if err := s.RegisterTenant(TenantConfig{
+	tn, err := s.RegisterTenant(TenantConfig{
 		Name: "t",
-		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} {
+		Handler: func(_ *Ctx, _ Request) (any, error) {
 			ran.Add(1)
-			return nil
+			return nil, nil
 		},
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	// Deadline already expired at admission: the dispatcher must shed
 	// instead of running the handler.
 	expired := time.Now().Add(-time.Millisecond)
-	tk, err := s.Submit("t", 1, nil, expired)
+	tk, err := tn.Submit(Request{Key: 1, Deadline: expired})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +702,7 @@ func TestDeadlineShed(t *testing.T) {
 		t.Errorf("shed counter = %d, want 1", st.Shed)
 	}
 	// A live deadline must still execute.
-	tk, err = s.Submit("t", 2, nil, time.Now().Add(5*time.Second))
+	tk, err = tn.Submit(Request{Key: 2, Deadline: time.Now().Add(5 * time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,20 +716,26 @@ func TestDefaultDeadlineApplied(t *testing.T) {
 	defer sys.Close()
 	s := New(sys, Config{Shards: 1, DefaultDeadline: -time.Millisecond})
 	defer s.Close()
-	if err := s.RegisterTenant(TenantConfig{
+	tn, err := s.RegisterTenant(TenantConfig{
 		Name:    "t",
-		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} { return nil },
-	}); err != nil {
+		Handler: func(_ *Ctx, _ Request) (any, error) { return nil, nil },
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	// A negative default deadline expires every job instantly — it must
-	// be applied to deadline-less submissions.
-	tk, err := s.Submit("t", 1, nil, time.Time{})
+	// be applied to deadline-less submissions, on both submit paths.
+	tk, err := tn.Submit(Request{Key: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res := tk.Wait(); res.Status != StatusShed {
 		t.Fatalf("status = %v, want shed via default deadline", res.Status)
+	}
+	for _, tk := range tn.SubmitMany([]Request{{Key: 2}}) {
+		if res := tk.Wait(); res.Status != StatusShed {
+			t.Fatalf("SubmitMany status = %v, want shed via default deadline", res.Status)
+		}
 	}
 }
 
@@ -189,27 +744,29 @@ func TestHandlerPanicIsolated(t *testing.T) {
 	defer sys.Close()
 	s := New(sys, Config{Shards: 1})
 	defer s.Close()
-	if err := s.RegisterTenant(TenantConfig{
+	boom, err := s.RegisterTenant(TenantConfig{
 		Name:    "boom",
-		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} { panic("boom") },
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.RegisterTenant(TenantConfig{
-		Name:    "fine",
-		Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key },
-	}); err != nil {
-		t.Fatal(err)
-	}
-	tk, err := s.Submit("boom", 1, nil, time.Time{})
+		Handler: func(_ *Ctx, _ Request) (any, error) { panic("boom") },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := tk.Wait(); res.Status != StatusFailed {
-		t.Fatalf("status = %v, want failed", res.Status)
+	fine, err := s.RegisterTenant(TenantConfig{
+		Name:    "fine",
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Key, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := boom.Submit(Request{Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusFailed || res.Err == nil {
+		t.Fatalf("result = %+v, want failed with recovered panic in Err", res)
 	}
 	// The server (and the batch SGT's siblings) must survive.
-	tk, err = s.Submit("fine", 7, nil, time.Time{})
+	tk, err = fine.Submit(Request{Key: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,38 +781,40 @@ func TestColdVsWarmFirstRequest(t *testing.T) {
 	s := New(sys, Config{Shards: 2})
 	defer s.Close()
 
-	handler := func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key }
+	handler := func(_ *Ctx, req Request) (any, error) { return req.Key, nil }
 	const img = 1 << 20
-	if err := s.RegisterTenant(TenantConfig{Name: "cold", Handler: handler, CodeSize: img}); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.RegisterTenant(TenantConfig{Name: "warm", Handler: handler, CodeSize: img, Warm: true}); err != nil {
-		t.Fatal(err)
-	}
-	coldC, warmC, err := s.TenantModel("cold")
+	cold, err := s.RegisterTenant(TenantConfig{Name: "cold", Handler: handler, CodeSize: img})
 	if err != nil {
 		t.Fatal(err)
 	}
+	warm, err := s.RegisterTenant(TenantConfig{Name: "warm", Handler: handler, CodeSize: img, Warm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldC, warmC := cold.Model()
 	if coldC <= warmC {
 		t.Fatalf("modeled cold (%d cycles) must exceed warm (%d)", coldC, warmC)
 	}
+	if c2, w2, err := s.TenantModel("cold"); err != nil || c2 != coldC || w2 != warmC {
+		t.Fatalf("TenantModel shim disagrees with handle: (%d,%d,%v) vs (%d,%d)", c2, w2, err, coldC, warmC)
+	}
 
-	first := func(name string, key uint64) time.Duration {
-		tk, err := s.Submit(name, key, nil, time.Time{})
+	first := func(tn *Tenant, key uint64) time.Duration {
+		tk, err := tn.Submit(Request{Key: key})
 		if err != nil {
 			t.Fatal(err)
 		}
 		res := tk.Wait()
 		if res.Status != StatusOK {
-			t.Fatalf("%s: status %v", name, res.Status)
+			t.Fatalf("%s: status %v", tn.Name(), res.Status)
 		}
 		return res.Total
 	}
-	warmLat := first("warm", 1)
+	warmLat := first(warm, 1)
 	if n := s.Stats().CodeTransfers; n != 0 {
 		t.Fatalf("warm tenant paid %d code transfers; percolation should have prepaid", n)
 	}
-	coldLat := first("cold", 1)
+	coldLat := first(cold, 1)
 	if n := s.Stats().CodeTransfers; n != 1 {
 		t.Fatalf("cold first request paid %d transfers, want exactly 1", n)
 	}
@@ -264,7 +823,7 @@ func TestColdVsWarmFirstRequest(t *testing.T) {
 	}
 	// Same key lands on the same shard: the image is now resident, so
 	// the repeat request runs warm and pays no further transfer.
-	repeat := first("cold", 1)
+	repeat := first(cold, 1)
 	if n := s.Stats().CodeTransfers; n != 1 {
 		t.Fatalf("repeat request paid a transfer (total %d), image should be resident", n)
 	}
@@ -280,32 +839,33 @@ func TestConcurrentSubmitters(t *testing.T) {
 	defer s.Close()
 
 	var sum atomic.Int64
-	for _, name := range []string{"a", "b", "c", "d"} {
-		if err := s.RegisterTenant(TenantConfig{
+	handles := make([]*Tenant, 4)
+	for i, name := range []string{"a", "b", "c", "d"} {
+		tn, err := s.RegisterTenant(TenantConfig{
 			Name: name,
-			Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} {
-				sum.Add(int64(key))
-				return nil
+			Handler: func(_ *Ctx, req Request) (any, error) {
+				sum.Add(int64(req.Key))
+				return nil, nil
 			},
-		}); err != nil {
+		})
+		if err != nil {
 			t.Fatal(err)
 		}
+		handles[i] = tn
 	}
 	const clients, each = 8, 400
 	var wg sync.WaitGroup
 	var want, rejected atomic.Int64
 	var done sync.WaitGroup
 	for c := 0; c < clients; c++ {
-		c := c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			names := []string{"a", "b", "c", "d"}
 			for i := 0; i < each; i++ {
 				k := uint64(c*each + i)
 				done.Add(1)
-				err := s.SubmitFunc(names[i%4], k, nil, time.Time{}, func(Result) { done.Done() })
-				if err == ErrOverload {
+				err := handles[i%4].SubmitFunc(Request{Key: k}, func(Result) { done.Done() })
+				if errors.Is(err, ErrOverload) {
 					rejected.Add(1)
 					done.Done()
 					continue
@@ -334,16 +894,17 @@ func TestCloseDrainsQueuedJobs(t *testing.T) {
 	sys := newTestSystem(t)
 	defer sys.Close()
 	s := New(sys, Config{Shards: 2})
-	if err := s.RegisterTenant(TenantConfig{
+	tn, err := s.RegisterTenant(TenantConfig{
 		Name:    "t",
-		Handler: func(_ *core.SGT, key uint64, _ interface{}) interface{} { return key },
-	}); err != nil {
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Key, nil },
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	var completed atomic.Int64
 	const n = 200
 	for i := 0; i < n; i++ {
-		if err := s.SubmitFunc("t", uint64(i), nil, time.Time{}, func(r Result) {
+		if err := tn.SubmitFunc(Request{Key: uint64(i)}, func(r Result) {
 			if r.Status == StatusOK {
 				completed.Add(1)
 			}
@@ -355,43 +916,49 @@ func TestCloseDrainsQueuedJobs(t *testing.T) {
 	if completed.Load() != n {
 		t.Errorf("completed %d of %d after Close", completed.Load(), n)
 	}
-	// Submissions after Close are refused.
-	if _, err := s.Submit("t", 0, nil, time.Time{}); err == nil {
-		t.Error("submit after Close should fail")
+	// Submissions after Close are refused with the dedicated error, not
+	// mistaken for backpressure.
+	if _, err := tn.Submit(Request{Key: 0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after Close = %v, want ErrClosed", err)
 	}
 }
 
 func TestLoadGenShedsUnderOverload(t *testing.T) {
-	sys := newTestSystem(t)
-	defer sys.Close()
-	s := New(sys, Config{Shards: 2, QueueDepth: 64, Batch: 8})
-	defer s.Close()
-	// ~4ms of spin per job on 2 shards: capacity far below the offered
-	// 5000/s, so the generator must observe rejection/shedding, and the
-	// server must stay responsive.
-	if err := s.RegisterTenant(TenantConfig{
-		Name:    "hog",
-		Handler: func(_ *core.SGT, _ uint64, _ interface{}) interface{} { spinWork(20000); return nil },
-	}); err != nil {
-		t.Fatal(err)
-	}
-	rep := RunLoad(s, LoadConfig{
-		Rate:      5000,
-		Duration:  300 * time.Millisecond,
-		Tenants:   []string{"hog"},
-		TightFrac: 0.5,
-		Tight:     5 * time.Millisecond,
-		Loose:     0,
-		Seed:      42,
-	})
-	if rep.Offered == 0 || rep.Completed == 0 {
-		t.Fatalf("degenerate run: %+v", rep)
-	}
-	if rep.Rejected+rep.Shed == 0 {
-		t.Errorf("open-loop overload must shed or reject: %+v", rep)
-	}
-	if got := rep.Offered - rep.Completed - rep.Rejected - rep.Shed - rep.Failed; got != 0 {
-		t.Errorf("job accounting leak: %d unaccounted of %+v", got, rep)
+	for _, burst := range []bool{false, true} {
+		t.Run(fmt.Sprintf("burst=%v", burst), func(t *testing.T) {
+			sys := newTestSystem(t)
+			defer sys.Close()
+			s := New(sys, Config{Shards: 2, QueueDepth: 64, Batch: 8})
+			defer s.Close()
+			// ~4ms of spin per job on 2 shards: capacity far below the
+			// offered 5000/s, so the generator must observe
+			// rejection/shedding, and the server must stay responsive.
+			if _, err := s.RegisterTenant(TenantConfig{
+				Name:    "hog",
+				Handler: func(_ *Ctx, _ Request) (any, error) { spinWork(20000); return nil, nil },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			rep := RunLoad(s, LoadConfig{
+				Rate:      5000,
+				Duration:  300 * time.Millisecond,
+				Tenants:   []string{"hog"},
+				TightFrac: 0.5,
+				Tight:     5 * time.Millisecond,
+				Loose:     0,
+				Burst:     burst,
+				Seed:      42,
+			})
+			if rep.Offered == 0 || rep.Completed == 0 {
+				t.Fatalf("degenerate run: %+v", rep)
+			}
+			if rep.Rejected+rep.Shed == 0 {
+				t.Errorf("open-loop overload must shed or reject: %+v", rep)
+			}
+			if got := rep.Offered - rep.Completed - rep.Rejected - rep.Shed - rep.Failed; got != 0 {
+				t.Errorf("job accounting leak: %d unaccounted of %+v", got, rep)
+			}
+		})
 	}
 }
 

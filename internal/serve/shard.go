@@ -69,6 +69,30 @@ func (sh *shard) drain(max int, buf []*Job) ([]*Job, bool) {
 	return buf, true
 }
 
+// enqueueMany admits as many of jobs as fit under one lock acquisition
+// and returns the accepted prefix length (0 when shut). This is the
+// burst analogue of enqueue: a SubmitMany call pays each destination
+// shard's lock once, not once per request.
+func (sh *shard) enqueueMany(jobs []*Job) int {
+	sh.mu.Lock()
+	if sh.shut {
+		sh.mu.Unlock()
+		return 0
+	}
+	n := sh.cap - len(sh.q)
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n > 0 {
+		if len(sh.q) == 0 {
+			sh.cond.Signal()
+		}
+		sh.q = append(sh.q, jobs[:n]...)
+	}
+	sh.mu.Unlock()
+	return n
+}
+
 // shutdown wakes the dispatcher so it can drain the tail and exit.
 func (sh *shard) shutdown() {
 	sh.mu.Lock()
@@ -93,7 +117,7 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		now := time.Now()
 		live := batch[:0]
 		for _, j := range batch {
-			if !j.deadline.IsZero() && now.After(j.deadline) {
+			if !j.req.Deadline.IsZero() && now.After(j.req.Deadline) {
 				s.shed(j, now)
 				continue
 			}

@@ -9,8 +9,11 @@ import (
 type TenantConfig struct {
 	// Name identifies the tenant; submissions name it.
 	Name string
-	// Handler executes the tenant's jobs.
+	// Handler executes the tenant's requests.
 	Handler Handler
+	// Middleware wraps Handler, outermost first, inside any server-wide
+	// middleware. The chain composes once here, never on the hot path.
+	Middleware []Middleware
 	// CodeSize is the tenant's handler code image in bytes. Non-zero
 	// sizes engage the percolation model: the first job on each shard
 	// pays the modeled code-transfer cost unless the image was warmed.
@@ -21,21 +24,41 @@ type TenantConfig struct {
 	Warm bool
 }
 
-// RegisterTenant installs a tenant. With CodeSize > 0 the server prices
-// the tenant's cold start through the percolate/parcel.SimNet code
-// model; with Warm it pays the percolation up front so no request ever
-// sees it.
-func (s *Server) RegisterTenant(cfg TenantConfig) error {
+// RegisterTenant installs a tenant and returns its handle — the
+// identity (name hash, composed middleware chain, shard residency,
+// counters) is resolved once here so submissions through the handle do
+// no per-call lookup. With CodeSize > 0 the server prices the tenant's
+// cold start through the percolate/parcel.SimNet code model; with Warm
+// it pays the percolation up front so no request ever sees it.
+func (s *Server) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 	if cfg.Name == "" {
-		return fmt.Errorf("serve: tenant name required")
+		return nil, fmt.Errorf("serve: tenant name required")
 	}
 	if cfg.Handler == nil {
-		return fmt.Errorf("serve: tenant %q has no handler", cfg.Name)
+		return nil, fmt.Errorf("serve: tenant %q has no handler", cfg.Name)
 	}
-	t := &tenant{
+	// Registrations serialize so the duplicate check is authoritative:
+	// a rejected registration must leave no trace — no monitor
+	// instruments installed, no code model priced — even when the same
+	// name races in from two goroutines. Reads (Tenant, the submit
+	// shims) stay lock-free on the sync.Map.
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if _, ok := s.tenants.Load(cfg.Name); ok {
+		return nil, fmt.Errorf("serve: tenant %q already registered", cfg.Name)
+	}
+	h := cfg.Handler
+	for i := len(cfg.Middleware) - 1; i >= 0; i-- {
+		h = cfg.Middleware[i](h)
+	}
+	for i := len(s.cfg.Middleware) - 1; i >= 0; i-- {
+		h = s.cfg.Middleware[i](h)
+	}
+	t := &Tenant{
+		srv:      s,
 		name:     cfg.Name,
 		hash:     fnv64a(cfg.Name),
-		handler:  cfg.Handler,
+		handler:  h,
 		codeSize: cfg.CodeSize,
 		resident: make([]atomic.Bool, len(s.shards)),
 		acc:      s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".accepted"),
@@ -53,19 +76,18 @@ func (s *Server) RegisterTenant(cfg TenantConfig) error {
 			t.resident[i].Store(true)
 		}
 	}
-	if _, loaded := s.tenants.LoadOrStore(cfg.Name, t); loaded {
-		return fmt.Errorf("serve: tenant %q already registered", cfg.Name)
-	}
-	return nil
+	s.tenants.Store(cfg.Name, t)
+	return t, nil
 }
 
 // TenantModel returns the modeled cold/warm first-request cycle counts
 // for a registered tenant (zeros when the tenant has no code image).
+// It is the string-keyed shim over Tenant.Model.
 func (s *Server) TenantModel(name string) (coldCycles, warmCycles int64, err error) {
-	v, ok := s.tenants.Load(name)
+	t, ok := s.Tenant(name)
 	if !ok {
 		return 0, 0, fmt.Errorf("serve: unknown tenant %q", name)
 	}
-	t := v.(*tenant)
-	return t.model.ColdCycles, t.model.WarmCycles, nil
+	coldCycles, warmCycles = t.Model()
+	return coldCycles, warmCycles, nil
 }
