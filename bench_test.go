@@ -82,3 +82,8 @@ func BenchmarkExpG1GrainCost(b *testing.B) { benchExp(b, "G1") }
 // internal/serve: the job service layer under open-loop load, with
 // percolation warm-up (serve-loadtest).
 func BenchmarkExpV1ServeLoadtest(b *testing.B) { benchExp(b, "V1") }
+
+// internal/serve + internal/adapt: the closed adaptivity loop (batch
+// retuning, shard stealing) against a static config on deterministic
+// skewed-load scripts.
+func BenchmarkExpV2AdaptiveServe(b *testing.B) { benchExp(b, "V2") }

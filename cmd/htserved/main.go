@@ -8,9 +8,16 @@
 // admits each wakeup's arrivals through the shard-grouped SubmitMany
 // path.
 //
-// Example:
+// -adapt closes the adaptivity loop (per-shard adaptive batch sizing,
+// the stealing rebalancer, priority-aware overload shedding) and
+// -scenario swaps the wall-clock generator for one of the deterministic
+// seeded scripts (bursty | ramp | hotkey | sameshard), so one command
+// line compares static and adaptive configs on identical traffic.
+//
+// Examples:
 //
 //	htserved -rate 5000 -tenants 64 -shards 8 -duration 2s
+//	htserved -scenario hotkey -hotfrac 0.8 -adapt -rate 8000 -duration 2s
 package main
 
 import (
@@ -45,6 +52,9 @@ func main() {
 		warmFrac = flag.Float64("warmfrac", 0.5, "fraction of tenants percolated at registration")
 		burst    = flag.Bool("burst", false, "admit each wakeup's arrivals as shard-grouped bursts (SubmitMany)")
 		seed     = flag.Uint64("seed", 1, "generator seed")
+		adapt    = flag.Bool("adapt", false, "enable the adaptivity loop (adaptive batching, shard stealing, overload shedding)")
+		scenario = flag.String("scenario", "", "play a deterministic scenario script instead of the open-loop generator: bursty | ramp | hotkey | sameshard")
+		hotFrac  = flag.Float64("hotfrac", 0.8, "hot-key fraction for -scenario hotkey")
 	)
 	flag.Parse()
 
@@ -67,7 +77,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Close()
-	srv := serve.New(sys, serve.Config{Shards: *shards, QueueDepth: *depth, Batch: *batch})
+	cfg := serve.Config{Shards: *shards, QueueDepth: *depth, Batch: *batch}
+	if *adapt {
+		cfg.Adapt = serve.AdaptConfig{Enabled: true, LatencyBudget: *tight}
+	}
+	srv := serve.New(sys, cfg)
 	defer srv.Close()
 
 	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
@@ -75,7 +89,7 @@ func main() {
 		return req.Key, nil
 	}
 	names := make([]string, *tenants)
-	var first *serve.Tenant
+	handles := make([]*serve.Tenant, *tenants)
 	warmed := 0
 	for i := range names {
 		names[i] = fmt.Sprintf("tenant%03d", i)
@@ -93,33 +107,66 @@ func main() {
 			fmt.Fprintln(os.Stderr, "htserved:", err)
 			os.Exit(1)
 		}
-		if i == 0 {
-			first = tn
-		}
+		handles[i] = tn
 	}
-	coldC, warmC := first.Model()
+	coldC, warmC := handles[0].Model()
 	fmt.Printf("htserved: %d tenants (%d warm) on %d shards, image %dKB "+
 		"(modeled first request: cold %d cycles, warm %d cycles)\n",
 		*tenants, warmed, *shards, *imgKB, coldC, warmC)
-	mode := "per-request"
-	if *burst {
-		mode = "burst (SubmitMany)"
+	var rep serve.LoadReport
+	if *scenario != "" {
+		// Scenario mode: a deterministic seeded script replaces the
+		// wall-clock generator. -rate and -duration still size it: one
+		// virtual tick is 1ms of play time.
+		const tick = time.Millisecond
+		ticks := int(*duration / tick)
+		if ticks < 1 {
+			ticks = 1
+		}
+		perTick := int(*rate * tick.Seconds())
+		if perTick < 1 {
+			perTick = 1
+		}
+		var sc serve.Scenario
+		switch *scenario {
+		case "bursty":
+			sc = serve.BurstyScenario(*seed, *tenants, ticks, perTick, 10, 8*perTick, *keys)
+		case "ramp":
+			sc = serve.RampScenario(*seed, *tenants, ticks, 2*perTick, *keys)
+		case "hotkey":
+			sc = serve.HotKeyScenario(*seed, *tenants, ticks, perTick, *keys, *hotFrac)
+		case "sameshard":
+			sc = serve.SameShardScenario(*seed, ticks, perTick, *shards, names[0])
+		default:
+			fmt.Fprintf(os.Stderr, "htserved: unknown -scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+		if *loose > 0 {
+			sc = sc.WithDeadline(int(*loose / tick))
+		}
+		fmt.Printf("playing scenario %q: %d arrivals over %d ticks of %v (adapt=%v)...\n",
+			sc.Name, sc.Offered(), sc.Ticks, tick, *adapt)
+		rep = serve.PlayScenario(srv, sc, serve.PlayConfig{Tenants: handles, Tick: tick})
+	} else {
+		mode := "per-request"
+		if *burst {
+			mode = "burst (SubmitMany)"
+		}
+		fmt.Printf("offering %.0f jobs/s for %v (open loop, skew %.2f, %s admission, adapt=%v)...\n",
+			*rate, *duration, *skew, mode, *adapt)
+		rep = serve.RunLoad(srv, serve.LoadConfig{
+			Rate:      *rate,
+			Duration:  *duration,
+			Tenants:   names,
+			Skew:      *skew,
+			KeySpace:  *keys,
+			TightFrac: *tfrac,
+			Tight:     *tight,
+			Loose:     *loose,
+			Burst:     *burst,
+			Seed:      *seed,
+		})
 	}
-	fmt.Printf("offering %.0f jobs/s for %v (open loop, skew %.2f, %s admission)...\n",
-		*rate, *duration, *skew, mode)
-
-	rep := serve.RunLoad(srv, serve.LoadConfig{
-		Rate:      *rate,
-		Duration:  *duration,
-		Tenants:   names,
-		Skew:      *skew,
-		KeySpace:  *keys,
-		TightFrac: *tfrac,
-		Tight:     *tight,
-		Loose:     *loose,
-		Burst:     *burst,
-		Seed:      *seed,
-	})
 
 	tab := stats.NewTable("htserved load report", "metric", "value")
 	tab.AddRow("offered", rep.Offered)
@@ -137,6 +184,13 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("server: %d batches for %d jobs (%.1f jobs/batch), %d cold code transfers, latency EWMA %.0fus\n",
 		st.Batches, st.Done, float64(st.Done)/float64(max64(st.Batches, 1)), st.CodeTransfers, st.LatencyEWMAus)
+	if *adapt {
+		as := srv.AdaptStats()
+		fmt.Printf("adapt: %d steals over %d rebalances, batch bounds %v (%d grows, %d shrinks), "+
+			"%d low-priority sheds at level %d, wait EWMA %.0fus, imbalance %.2f\n",
+			as.Steals, as.Rebalances, as.BatchSizes, as.BatchGrows, as.BatchShrinks,
+			as.ShedLowPriority, as.ShedLevel, as.WaitEWMAus, as.Imbalance)
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -8,6 +8,16 @@
 // controllers, and a Cyclops-64-like simulator substrate — plus the two
 // driving applications (neocortex simulation, molecular dynamics).
 //
+// The serving path closes the paper's adaptivity loop end to end:
+// internal/monitor's always-on instruments (queue-depth EWMAs, batch
+// latency histograms, the admission-to-execution wait EWMA) feed three
+// runtime controllers in internal/serve — per-shard adaptive batch
+// sizing, a stealing rebalancer built on adapt.LoadController that
+// preserves same-key admission order and tenant code residency, and a
+// priority-aware overload controller — enabled by serve.Config.Adapt
+// and compared against static configs on deterministic scenario scripts
+// (serve.PlayScenario, experiment V2).
+//
 // The implementation lives under internal/; see README.md for the map,
 // DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
 // paper-versus-measured results. Entry points:
@@ -19,6 +29,8 @@
 //	                    percolation warm-up
 //	cmd/htvmbench     — regenerates every experiment table
 //	cmd/htserved      — the job server under synthetic open-loop load
+//	                    or deterministic scenario scripts (-scenario,
+//	                    -adapt)
 //	cmd/litlxc        — the LITL-X script compiler/driver
 //	cmd/c64sim        — the standalone machine simulator
 //	examples/         — five runnable walkthroughs

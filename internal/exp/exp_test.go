@@ -35,7 +35,7 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3", "V1"}
+	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3", "V1", "V2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -154,6 +154,28 @@ func TestShapeV1ServeWarmupAndShedding(t *testing.T) {
 	}
 	if r := res.Metrics["nominal_shed_rate"]; r > 0.5 {
 		t.Errorf("nominal load shed rate = %v; server is shedding under nominal load", r)
+	}
+}
+
+func TestShapeV2AdaptiveBeatsStaticOnSkew(t *testing.T) {
+	res, _ := Run("V2", 1)
+	// Same script, same seed, only Config.Adapt differs: on each skewed
+	// scenario the adaptivity loop must win on tail latency or on loss.
+	for _, scn := range []string{"hotkey", "sameshard"} {
+		speedup := res.Metrics[scn+"_p99_speedup"]
+		staticShed := res.Metrics[scn+"_static_shed_rate"]
+		adaptiveShed := res.Metrics[scn+"_adaptive_shed_rate"]
+		if speedup <= 1 && adaptiveShed >= staticShed {
+			t.Errorf("%s: adaptivity won nothing (p99 speedup %.2f, shed %.3f vs static %.3f)",
+				scn, speedup, adaptiveShed, staticShed)
+		}
+		// The controllers must observably act — monitor counters, not logs.
+		if res.Metrics[scn+"_steals"] == 0 {
+			t.Errorf("%s: steal counter never moved", scn)
+		}
+		if res.Metrics[scn+"_batch_moves"] == 0 {
+			t.Errorf("%s: batch controller never retuned", scn)
+		}
 	}
 }
 

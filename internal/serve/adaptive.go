@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/monitor"
+)
+
+// AdaptConfig switches on the serve layer's closed adaptivity loop —
+// the paper's always-on-monitoring-feeds-controllers design (Section 2)
+// applied to request serving. Three controllers run against the live
+// monitor instruments:
+//
+//   - batch sizing: each dispatcher retunes its drain bound from a
+//     per-shard queue-depth EWMA, growing batches while the backlog
+//     deepens (amortization) and shrinking them while the shard idles
+//     or its batch-latency histogram breaches the budget;
+//   - load rebalancing: a periodic controller feeds per-shard pending
+//     counts through adapt.Imbalance / adapt.LoadController.Plan and
+//     steals queued jobs from hot shards into idle ones, never moving a
+//     job whose (tenant, key) has a queued sibling (co-queued same-key
+//     jobs keep their queue order; see stealJobs) and never onto a
+//     shard where the tenant's code image is not resident;
+//   - overload control: when the admission-to-execution wait EWMA
+//     crosses LatencyBudget, the shed level rises and dispatchers drop
+//     jobs with Request.Priority below it at drain time — lowest
+//     priority first, before any deadline expires.
+//
+// The zero value leaves all of it off: the server runs the fixed
+// Batch/QueueDepth knobs exactly as before.
+type AdaptConfig struct {
+	// Enabled turns the adaptivity loop on.
+	Enabled bool
+	// BatchMin / BatchMax bound the adaptive drain batch (defaults 1
+	// and 4*Batch). Config.Batch is the starting point, clamped into
+	// this range.
+	BatchMin, BatchMax int
+	// RebalanceEvery is the control-loop period for stealing and
+	// overload decisions (default 1ms).
+	RebalanceEvery time.Duration
+	// StealThreshold is the max/mean pending ratio above which the
+	// rebalancer steals (default 2, adapt.LoadController's default).
+	StealThreshold float64
+	// LatencyBudget is the admission-to-execution wait the overload
+	// controller defends (default: DefaultDeadline if set, else 10ms).
+	LatencyBudget time.Duration
+	// MaxShedLevel caps the overload shed level: jobs with Priority >=
+	// MaxShedLevel are never shed by the overload controller (default 4).
+	MaxShedLevel int
+}
+
+func (a AdaptConfig) withDefaults(base Config) AdaptConfig {
+	if !a.Enabled {
+		return a
+	}
+	if a.BatchMin <= 0 {
+		a.BatchMin = 1
+	}
+	if a.BatchMax <= 0 {
+		a.BatchMax = 4 * base.Batch
+	}
+	if a.BatchMax < a.BatchMin {
+		a.BatchMax = a.BatchMin
+	}
+	if a.RebalanceEvery <= 0 {
+		a.RebalanceEvery = time.Millisecond
+	}
+	if a.StealThreshold <= 0 {
+		a.StealThreshold = 2
+	}
+	if a.LatencyBudget <= 0 {
+		if base.DefaultDeadline > 0 {
+			a.LatencyBudget = base.DefaultDeadline
+		} else {
+			a.LatencyBudget = 10 * time.Millisecond
+		}
+	}
+	if a.MaxShedLevel <= 0 {
+		a.MaxShedLevel = 4
+	}
+	return a
+}
+
+// batchLatencyBounds bucket one batch's service time in microseconds.
+var batchLatencyBounds = []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// batchController retunes one shard's drain bound. The dispatcher reads
+// batch() before every drain and feeds the observed queue depth back
+// through observeDepth; the batch SGT reports its service time through
+// observeLatency. All state is monitor-backed, so Snapshot exposes the
+// same signals the controller acts on.
+type batchController struct {
+	min, max int
+	budgetUS float64
+	cur      atomic.Int64
+	depth    *monitor.EWMA      // queue depth at drain time
+	lat      *monitor.Histogram // batch service latency, microseconds
+	grow     *monitor.Counter   // server-wide serve.adapt.batch_grow
+	shrink   *monitor.Counter   // server-wide serve.adapt.batch_shrink
+}
+
+func newBatchController(mon *monitor.Monitor, shard int, cfg Config) *batchController {
+	c := &batchController{
+		min:      cfg.Adapt.BatchMin,
+		max:      cfg.Adapt.BatchMax,
+		budgetUS: float64(cfg.Adapt.LatencyBudget) / float64(time.Microsecond),
+		depth:    mon.EWMA(fmt.Sprintf("serve.shard%02d.depth", shard), 0.2),
+		lat:      mon.Histogram(fmt.Sprintf("serve.shard%02d.batch_us", shard), batchLatencyBounds),
+		grow:     mon.Counter("serve.adapt.batch_grow"),
+		shrink:   mon.Counter("serve.adapt.batch_shrink"),
+	}
+	start := cfg.Batch
+	if start < c.min {
+		start = c.min
+	}
+	if start > c.max {
+		start = c.max
+	}
+	c.cur.Store(int64(start))
+	return c
+}
+
+// batch returns the current drain bound.
+func (c *batchController) batch() int { return int(c.cur.Load()) }
+
+// observeDepth folds one drain's queue depth into the EWMA and retunes:
+// grow while the smoothed backlog runs ahead of the batch (amortize
+// more per wakeup), shrink while the shard idles or batches take longer
+// than the latency budget allows.
+func (c *batchController) observeDepth(d int) {
+	c.depth.Observe(float64(d))
+	e := c.depth.Value()
+	cur := int(c.cur.Load())
+	switch {
+	case e > 2*float64(cur) && cur < c.max && c.latencyHeadroom():
+		next := cur * 2
+		if next > c.max {
+			next = c.max
+		}
+		c.cur.Store(int64(next))
+		c.grow.Inc()
+	case cur > c.min && (e*4 <= float64(cur) || !c.latencyHeadroom()):
+		next := cur / 2
+		if next < c.min {
+			next = c.min
+		}
+		c.cur.Store(int64(next))
+		c.shrink.Inc()
+	}
+}
+
+// observeLatency records one batch's service time in microseconds.
+func (c *batchController) observeLatency(us float64) { c.lat.Observe(us) }
+
+// latencyHeadroom reports whether the p99 batch service time still fits
+// the budget; growth is gated on it, breach forces shrink.
+func (c *batchController) latencyHeadroom() bool {
+	if c.budgetUS <= 0 || c.lat.Total() < 8 {
+		return true
+	}
+	return c.lat.QuantileUpperBound(0.99) <= c.budgetUS
+}
+
+// overloadController turns the admission-to-execution wait EWMA into a
+// shed level: dispatchers drop jobs with Priority < level at drain
+// time, so overload sheds the least important work earliest instead of
+// letting every queue run to its deadline.
+type overloadController struct {
+	budgetUS float64
+	maxLevel int32
+	level    atomic.Int32
+}
+
+func newOverloadController(a AdaptConfig) *overloadController {
+	return &overloadController{
+		budgetUS: float64(a.LatencyBudget) / float64(time.Microsecond),
+		maxLevel: int32(a.MaxShedLevel),
+	}
+}
+
+// update moves the shed level one step per control tick: up while the
+// wait EWMA exceeds the budget, down once it has recovered to half.
+// One step at a time keeps the loop stable (no flapping on one noisy
+// sample — the EWMA smooths the input, the single step damps the output).
+func (o *overloadController) update(waitUS float64) {
+	switch l := o.level.Load(); {
+	case waitUS > o.budgetUS && l < o.maxLevel:
+		o.level.Store(l + 1)
+	case waitUS < o.budgetUS/2 && l > 0:
+		o.level.Store(l - 1)
+	}
+}
+
+// shedLevel is the current priority floor; jobs below it are shed.
+// Safe on a nil controller (adaptivity off): the floor is 0 and no
+// priority sheds.
+func (o *overloadController) shedLevel() int {
+	if o == nil {
+		return 0
+	}
+	return int(o.level.Load())
+}
+
+// controlLoop is the serve layer's periodic controller: every
+// RebalanceEvery it reevaluates the overload level and rebalances the
+// shards. It runs until Close.
+func (s *Server) controlLoop() {
+	defer s.control.Done()
+	t := time.NewTicker(s.cfg.Adapt.RebalanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+		}
+		s.adaptOnce()
+	}
+}
+
+// adaptOnce runs one control iteration: refresh the overload level from
+// the wait EWMA, then measure shard imbalance and steal per the load
+// controller's migration plan. Split out so tests can drive the loop
+// deterministically.
+func (s *Server) adaptOnce() {
+	s.overload.update(s.waitUS.Value())
+	pending := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		pending[i] = sh.pending()
+	}
+	imb := adapt.Imbalance(pending)
+	s.imbalance.Observe(imb)
+	if imb <= s.load.ImbalanceThreshold {
+		return
+	}
+	moved := 0
+	for _, p := range s.load.Plan(pending) {
+		moved += stealJobs(s.shards[p.From], s.shards[p.To], p.Count)
+	}
+	if moved > 0 {
+		s.steals.Add(int64(moved))
+		s.rebalances.Inc()
+	}
+}
+
+// AdaptStats is a point-in-time view of the adaptivity loop.
+type AdaptStats struct {
+	// Enabled mirrors Config.Adapt.Enabled.
+	Enabled bool
+	// BatchSizes is the current per-shard adaptive drain bound (the
+	// static Config.Batch everywhere when adaptivity is off).
+	BatchSizes []int
+	// Pending is the per-shard queued-job count.
+	Pending []int
+	// BatchGrows / BatchShrinks count batch-bound retunes.
+	BatchGrows, BatchShrinks int64
+	// Steals counts jobs moved between shards; Rebalances counts
+	// control ticks that moved at least one.
+	Steals, Rebalances int64
+	// ShedLevel is the current overload priority floor;
+	// ShedLowPriority counts jobs it dropped.
+	ShedLevel       int
+	ShedLowPriority int64
+	// WaitEWMAus is the admission-to-execution wait estimate the
+	// overload controller steers by; Imbalance is the smoothed max/mean
+	// pending ratio the rebalancer steers by.
+	WaitEWMAus, Imbalance float64
+}
+
+// AdaptStats snapshots the adaptivity loop's inputs and outputs.
+func (s *Server) AdaptStats() AdaptStats {
+	st := AdaptStats{
+		Enabled:         s.cfg.Adapt.Enabled,
+		BatchSizes:      make([]int, len(s.shards)),
+		Pending:         make([]int, len(s.shards)),
+		BatchGrows:      s.batchGrow.Value(),
+		BatchShrinks:    s.batchShrink.Value(),
+		Steals:          s.steals.Value(),
+		Rebalances:      s.rebalances.Value(),
+		ShedLevel:       s.overload.shedLevel(),
+		ShedLowPriority: s.shedLowPri.Value(),
+		WaitEWMAus:      s.waitUS.Value(),
+	}
+	if s.imbalance != nil {
+		st.Imbalance = s.imbalance.Value()
+	}
+	for i, sh := range s.shards {
+		st.Pending[i] = sh.pending()
+		if sh.ctrl != nil {
+			st.BatchSizes[i] = sh.ctrl.batch()
+		} else {
+			st.BatchSizes[i] = s.cfg.Batch
+		}
+	}
+	return st
+}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+func newTestBatchController(min, max, start int, budget time.Duration) *batchController {
+	cfg := Config{
+		Batch: start,
+		Adapt: AdaptConfig{Enabled: true, BatchMin: min, BatchMax: max, LatencyBudget: budget},
+	}.withDefaults()
+	return newBatchController(monitor.New(), 0, cfg)
+}
+
+func TestBatchControllerGrowsOnBacklog(t *testing.T) {
+	c := newTestBatchController(1, 64, 4, time.Second)
+	for i := 0; i < 32; i++ {
+		c.observeDepth(512) // queue far ahead of the batch: amortize more
+	}
+	if got := c.batch(); got != 64 {
+		t.Errorf("batch after sustained backlog = %d, want max 64", got)
+	}
+	// Bounded: further pressure cannot push past the configured max.
+	c.observeDepth(100000)
+	if got := c.batch(); got > 64 {
+		t.Errorf("batch exceeded max: %d", got)
+	}
+}
+
+func TestBatchControllerShrinksWhenIdle(t *testing.T) {
+	c := newTestBatchController(2, 64, 32, time.Second)
+	for i := 0; i < 64; i++ {
+		c.observeDepth(1) // near-empty queue: batching only adds latency
+	}
+	if got := c.batch(); got != 2 {
+		t.Errorf("batch after sustained idle = %d, want min 2", got)
+	}
+}
+
+func TestBatchControllerShrinksOnLatencyBreach(t *testing.T) {
+	c := newTestBatchController(1, 64, 32, time.Millisecond)
+	// Deep queue argues for growth, but every batch blows the 1ms
+	// budget: the histogram must veto growth and force shrink.
+	for i := 0; i < 16; i++ {
+		c.observeLatency(50_000) // 50ms per batch
+	}
+	for i := 0; i < 16; i++ {
+		c.observeDepth(512)
+	}
+	if got := c.batch(); got != 1 {
+		t.Errorf("batch under latency breach = %d, want shrunk to min 1", got)
+	}
+}
+
+func TestOverloadControllerLevelDynamics(t *testing.T) {
+	o := newOverloadController(AdaptConfig{LatencyBudget: time.Millisecond, MaxShedLevel: 3})
+	if o.shedLevel() != 0 {
+		t.Fatalf("initial shed level = %d", o.shedLevel())
+	}
+	// Sustained breach climbs one step per tick, capped at MaxShedLevel.
+	for i := 0; i < 10; i++ {
+		o.update(5000) // 5ms wait against a 1ms budget
+	}
+	if got := o.shedLevel(); got != 3 {
+		t.Errorf("shed level after sustained breach = %d, want capped at 3", got)
+	}
+	// Hovering between budget/2 and budget holds the level (hysteresis).
+	o.update(800)
+	if got := o.shedLevel(); got != 3 {
+		t.Errorf("shed level in hysteresis band moved to %d", got)
+	}
+	// Recovery below half the budget decays back to zero.
+	for i := 0; i < 10; i++ {
+		o.update(100)
+	}
+	if got := o.shedLevel(); got != 0 {
+		t.Errorf("shed level after recovery = %d, want 0", got)
+	}
+	// A nil controller (adaptivity off) reports level 0.
+	var off *overloadController
+	if off.shedLevel() != 0 {
+		t.Error("nil overload controller must report level 0")
+	}
+}
+
+// stealTenant builds a detached tenant handle for shard-level tests.
+func stealTenant(hash uint64, shards int, resident bool) *Tenant {
+	t := &Tenant{hash: hash, resident: make([]atomic.Bool, shards)}
+	for i := range t.resident {
+		t.resident[i].Store(resident)
+	}
+	return t
+}
+
+func queueKeys(sh *shard) []uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	keys := make([]uint64, len(sh.q))
+	for i, j := range sh.q {
+		keys[i] = j.req.Key
+	}
+	return keys
+}
+
+func TestStealJobsPreservesSameKeyOrder(t *testing.T) {
+	src, dst := newShard(0, 64), newShard(1, 64)
+	tn := stealTenant(42, 2, true)
+	for _, k := range []uint64{1, 2, 2, 3, 4, 2, 5} {
+		if !src.enqueue(&Job{tenant: tn, req: Request{Key: k}}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	// Singleton keys are 1, 3, 4, 5; stealing 3 must take the newest
+	// three of those (3, 4, 5) and leave every key-2 job in place, in
+	// order.
+	if moved := stealJobs(src, dst, 3); moved != 3 {
+		t.Fatalf("moved %d jobs, want 3", moved)
+	}
+	wantSrc := []uint64{1, 2, 2, 2}
+	wantDst := []uint64{3, 4, 5}
+	gotSrc, gotDst := queueKeys(src), queueKeys(dst)
+	for i, k := range wantSrc {
+		if i >= len(gotSrc) || gotSrc[i] != k {
+			t.Fatalf("src queue after steal = %v, want %v", gotSrc, wantSrc)
+		}
+	}
+	for i, k := range wantDst {
+		if i >= len(gotDst) || gotDst[i] != k {
+			t.Fatalf("dst queue after steal = %v, want %v", gotDst, wantDst)
+		}
+	}
+	// Nothing left to steal: every remaining duplicate key must stay.
+	if moved := stealJobs(src, dst, 10); moved != 1 { // only key 1 is singleton
+		t.Fatalf("second steal moved %d, want 1 (only the singleton key 1)", moved)
+	}
+	if moved := stealJobs(src, dst, 10); moved != 0 {
+		t.Fatalf("third steal moved %d duplicate-key jobs, want 0", moved)
+	}
+}
+
+func TestStealJobsRespectsResidency(t *testing.T) {
+	src, dst := newShard(0, 64), newShard(1, 64)
+	cold := stealTenant(7, 2, false)
+	cold.resident[0].Store(true) // resident at home only
+	for k := uint64(0); k < 8; k++ {
+		src.enqueue(&Job{tenant: cold, req: Request{Key: k}})
+	}
+	if moved := stealJobs(src, dst, 8); moved != 0 {
+		t.Fatalf("stole %d jobs onto a shard without the tenant's image, want 0", moved)
+	}
+	warm := stealTenant(9, 2, true)
+	src.enqueue(&Job{tenant: warm, req: Request{Key: 100}})
+	if moved := stealJobs(src, dst, 8); moved != 1 {
+		t.Fatalf("moved %d, want exactly the resident tenant's job", moved)
+	}
+}
+
+func TestStealJobsRespectsCapacityAndShutdown(t *testing.T) {
+	src, dst := newShard(0, 64), newShard(1, 4)
+	tn := stealTenant(3, 2, true)
+	for k := uint64(0); k < 16; k++ {
+		src.enqueue(&Job{tenant: tn, req: Request{Key: k}})
+	}
+	dst.enqueue(&Job{tenant: tn, req: Request{Key: 1000}})
+	// Destination has 3 free slots: a request for 10 moves at most 3.
+	if moved := stealJobs(src, dst, 10); moved != 3 {
+		t.Fatalf("moved %d into a shard with 3 free slots, want 3", moved)
+	}
+	dst.shutdown()
+	if moved := stealJobs(src, dst, 10); moved != 0 {
+		t.Fatalf("stole %d jobs into a shut shard, want 0", moved)
+	}
+	if moved := stealJobs(src, src, 10); moved != 0 {
+		t.Fatalf("self-steal moved %d, want 0", moved)
+	}
+}
+
+func TestOverloadShedsLowPriorityOnly(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	// A tiny latency budget and a blocking tenant: the wait EWMA blows
+	// through the budget, the shed level rises, and queued priority-0
+	// jobs are dropped at drain while priority-9 jobs still execute.
+	s := New(sys, Config{
+		Shards: 1, QueueDepth: 256, Batch: 4, InflightBatches: 1,
+		Adapt: AdaptConfig{
+			Enabled:        true,
+			RebalanceEvery: 200 * time.Microsecond,
+			LatencyBudget:  500 * time.Microsecond,
+			MaxShedLevel:   4,
+		},
+	})
+	defer s.Close()
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name: "t",
+		Handler: func(_ *Ctx, _ Request) (any, error) {
+			time.Sleep(2 * time.Millisecond)
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loDone, loShed, hiDone, hiShed atomic.Int64
+	record := func(r Result) {
+		switch {
+		case r.Priority == 0 && r.Status == StatusShed:
+			loShed.Add(1)
+		case r.Priority == 0:
+			loDone.Add(1)
+		case r.Status == StatusShed:
+			hiShed.Add(1)
+		default:
+			hiDone.Add(1)
+		}
+	}
+	// None of these jobs carries a deadline, so any StatusShed can only
+	// come from the overload controller.
+	for i := 0; i < 300; i++ {
+		pri := 0
+		if i%3 == 0 {
+			pri = 9 // above MaxShedLevel: must never be overload-shed
+		}
+		if err := tn.SubmitFunc(Request{Key: uint64(i), Priority: pri}, record); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	s.Close()
+	st := s.Stats()
+	if st.ShedLowPriority == 0 {
+		t.Fatalf("overload controller never shed (stats %+v)", st)
+	}
+	if hiShed.Load() != 0 {
+		t.Errorf("%d jobs with priority >= MaxShedLevel were shed", hiShed.Load())
+	}
+	if loShed.Load() != st.ShedLowPriority {
+		t.Errorf("shed accounting: results saw %d low-priority sheds, counter says %d",
+			loShed.Load(), st.ShedLowPriority)
+	}
+	if st.Shed != st.ShedLowPriority {
+		t.Errorf("deadline-less run shed %d total but %d low-priority; they must match", st.Shed, st.ShedLowPriority)
+	}
+	if hiDone.Load() == 0 {
+		t.Error("no high-priority job completed")
+	}
+}
+
+func TestOverloadShedRecovers(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	// The latch hazard: once the shed level rises high enough to drop
+	// all traffic, execute() observes nothing and a frozen wait EWMA
+	// would hold the level at max forever. The shed path must keep
+	// feeding the estimator so an idle-again server recovers.
+	s := New(sys, Config{
+		Shards: 1, QueueDepth: 512, Batch: 8, InflightBatches: 1,
+		Adapt: AdaptConfig{
+			Enabled:        true,
+			RebalanceEvery: 200 * time.Microsecond,
+			LatencyBudget:  time.Millisecond,
+			MaxShedLevel:   2,
+		},
+	})
+	defer s.Close()
+	var slow atomic.Bool
+	slow.Store(true)
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name: "t",
+		Handler: func(_ *Ctx, _ Request) (any, error) {
+			if slow.Load() {
+				time.Sleep(3 * time.Millisecond)
+			}
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: flood priority-0 work until the controller engages.
+	var shedSeen atomic.Int64
+	for i := 0; i < 800 && shedSeen.Load() == 0; i++ {
+		err := tn.SubmitFunc(Request{Key: uint64(i)}, func(r Result) {
+			if r.Status == StatusShed {
+				shedSeen.Add(1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if shedSeen.Load() == 0 {
+		t.Fatal("overload controller never engaged under flood")
+	}
+	// Phase 2: the overload vanishes (fast handler, trickle arrivals).
+	// Each shed job now reports a tiny queue age, the EWMA decays below
+	// half the budget, the level steps down, and work completes again.
+	slow.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		tk, err := tn.Submit(Request{Key: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := tk.Wait(); res.Status == StatusOK {
+			return // recovered
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("overload shed level latched: no job completed after the overload ended")
+}
+
+func TestNegativePriorityRunsWithAdaptOff(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	// Priority is documented as ignored when Config.Adapt is off: a
+	// negative class must execute normally, not be shed by a disengaged
+	// overload controller.
+	s := New(sys, Config{Shards: 2})
+	defer s.Close()
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "bg",
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Key, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := tn.Submit(Request{Key: 5, Priority: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Status != StatusOK || res.Priority != -1 {
+		t.Fatalf("negative-priority job on a static server = %+v, want ok with priority echoed", res)
+	}
+	if st := s.Stats(); st.Shed != 0 || st.ShedLowPriority != 0 {
+		t.Errorf("static server shed by priority: %+v", st)
+	}
+}
+
+func TestAdaptOnceStealsFromHotShard(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	// Adaptivity on, but with an effectively-disabled background loop so
+	// the test drives the controller by hand.
+	s := New(sys, Config{
+		Shards: 4, QueueDepth: 1024, Batch: 4, InflightBatches: 1,
+		Adapt: AdaptConfig{Enabled: true, RebalanceEvery: time.Hour},
+	})
+	defer s.Close()
+	block := make(chan struct{})
+	var wg atomic.Int64
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name: "hot",
+		Handler: func(_ *Ctx, _ Request) (any, error) {
+			<-block
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin all arrivals to one shard with colliding keys, enough that a
+	// big imbalance is unavoidable even after the dispatchers drain
+	// their first batches.
+	home := shardIndex(tn.hash, 0, 4)
+	queued := 0
+	for k := uint64(0); queued < 400; k++ {
+		if shardIndex(tn.hash, k, 4) != home {
+			continue
+		}
+		wg.Add(1)
+		if err := tn.SubmitFunc(Request{Key: k}, func(Result) { wg.Add(-1) }); err != nil {
+			t.Fatal(err)
+		}
+		queued++
+	}
+	s.adaptOnce()
+	st := s.Stats()
+	if st.Steals == 0 {
+		t.Fatalf("adaptOnce stole nothing from a 400-deep hot shard (pending %v)", s.AdaptStats().Pending)
+	}
+	if st.Rebalances == 0 {
+		t.Error("rebalance counter did not move")
+	}
+	as := s.AdaptStats()
+	spread := 0
+	for i, p := range as.Pending {
+		if i != home && p > 0 {
+			spread++
+		}
+	}
+	if spread == 0 {
+		t.Errorf("no idle shard received stolen work: pending %v", as.Pending)
+	}
+	close(block)
+	for wg.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -15,6 +15,12 @@ type Request struct {
 	Key      uint64
 	Payload  any
 	Deadline time.Time
+	// Priority orders overload shedding: when the adaptivity loop's
+	// overload controller raises its shed level, jobs with Priority
+	// below the level are dropped at drain time, lowest first. Zero is
+	// the default (most sheddable) class; mark latency-critical work
+	// with a higher value. Ignored when Config.Adapt is off.
+	Priority int
 }
 
 // Handler executes one request for a tenant. It runs on an SGT of the
@@ -87,11 +93,12 @@ func (st Status) String() string {
 
 // Result is the outcome of one request.
 type Result struct {
-	Status Status
-	Value  any   // handler return value (StatusOK only)
-	Err    error // StatusFailed: handler error or recovered panic; StatusRejected: ErrOverload or ErrClosed
-	Wait   time.Duration
-	Total  time.Duration // admission to completion, queue wait included
+	Status   Status
+	Value    any   // handler return value (StatusOK only)
+	Err      error // StatusFailed: handler error or recovered panic; StatusRejected: ErrOverload or ErrClosed
+	Priority int   // echoes Request.Priority
+	Wait     time.Duration
+	Total    time.Duration // admission to completion, queue wait included
 }
 
 // Job is one admitted unit of work, queued on a shard until a
@@ -101,6 +108,15 @@ type Job struct {
 	req      Request // Deadline already defaulted; zero means none
 	enqueued time.Time
 	done     func(Result) // invoked exactly once, on the executing SGT
+}
+
+// routeHash identifies the job's (tenant, key) routing pair — the same
+// mix shardIndex starts from. The rebalancer uses it to detect queued
+// same-key siblings: only jobs whose pair is unique in their queue may
+// be stolen, so same-key admission order is never reordered. (A hash
+// collision between distinct keys only makes stealing conservative.)
+func (j *Job) routeHash() uint64 {
+	return j.tenant.hash ^ (j.req.Key * 0x9E3779B97F4A7C15)
 }
 
 // Ticket follows a submitted request to completion.

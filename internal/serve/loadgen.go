@@ -53,6 +53,81 @@ type LoadReport struct {
 	P50, P99, Max time.Duration
 }
 
+// collector accumulates per-request outcomes for a load run. It is the
+// shared back half of RunLoad and PlayScenario: outcome counters, a
+// bounded latency reservoir, and outstanding-job tracking so a run can
+// block until every offered request has resolved.
+type collector struct {
+	outstanding                       atomic.Int64
+	completed, rejected, shed, failed atomic.Int64
+	samples                           []float64
+	nsamples                          atomic.Int64
+}
+
+func newCollector(maxSamples int) *collector {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 20
+	}
+	return &collector{samples: make([]float64, maxSamples)}
+}
+
+// expect registers n submissions whose outcomes will arrive via done.
+func (c *collector) expect(n int) { c.outstanding.Add(int64(n)) }
+
+// done folds one outcome in; every expected request must reach it
+// exactly once (rejected submissions included).
+func (c *collector) done(r Result) {
+	switch r.Status {
+	case StatusOK:
+		c.completed.Add(1)
+		if i := c.nsamples.Add(1) - 1; int(i) < len(c.samples) {
+			c.samples[i] = float64(r.Total)
+		}
+	case StatusRejected:
+		c.rejected.Add(1)
+	case StatusShed:
+		c.shed.Add(1)
+	default:
+		c.failed.Add(1)
+	}
+	c.outstanding.Add(-1)
+}
+
+// doneIdx adapts done to the SubmitManyFunc callback shape.
+func (c *collector) doneIdx(_ int, r Result) { c.done(r) }
+
+// drain blocks until every expected outcome has arrived.
+func (c *collector) drain() {
+	for c.outstanding.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// report assembles the final LoadReport.
+func (c *collector) report(offered int64, elapsed time.Duration) LoadReport {
+	rep := LoadReport{
+		Offered:   offered,
+		Elapsed:   elapsed,
+		Rejected:  c.rejected.Load(),
+		Completed: c.completed.Load(),
+		Shed:      c.shed.Load(),
+		Failed:    c.failed.Load(),
+	}
+	rep.Throughput = float64(rep.Completed) / elapsed.Seconds()
+	n := c.nsamples.Load()
+	if int(n) > len(c.samples) {
+		n = int64(len(c.samples))
+	}
+	lats := c.samples[:n]
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		rep.P50 = time.Duration(stats.Quantile(lats, 0.50))
+		rep.P99 = time.Duration(stats.Quantile(lats, 0.99))
+		rep.Max = time.Duration(lats[len(lats)-1])
+	}
+	return rep
+}
+
 // ShedRate is the fraction of offered jobs dropped by backpressure or
 // deadline shedding.
 func (r LoadReport) ShedRate() float64 {
@@ -63,16 +138,15 @@ func (r LoadReport) ShedRate() float64 {
 }
 
 // RunLoad drives the server with an open-loop arrival stream and blocks
-// until every admitted job has resolved.
+// until every admitted job has resolved. The arrival process is wall-
+// clock-driven, so two runs never offer the identical sequence; for a
+// reproducible script use a Scenario and PlayScenario instead.
 func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 	if len(cfg.Tenants) == 0 {
 		return LoadReport{}
 	}
 	if cfg.KeySpace == 0 {
 		cfg.KeySpace = 1024
-	}
-	if cfg.MaxSamples <= 0 {
-		cfg.MaxSamples = 1 << 20
 	}
 	handles := make([]*Tenant, len(cfg.Tenants))
 	for i, name := range cfg.Tenants {
@@ -87,29 +161,7 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 	}
 	rng := stats.NewRNG(cfg.Seed | 1)
 	pickTenant := zipfPicker(len(cfg.Tenants), cfg.Skew)
-
-	var rep LoadReport
-	var outstanding atomic.Int64
-	var completed, rejected, shed, failed atomic.Int64
-	samples := make([]float64, cfg.MaxSamples)
-	var nsamples atomic.Int64
-	onDone := func(r Result) {
-		switch r.Status {
-		case StatusOK:
-			completed.Add(1)
-			if i := nsamples.Add(1) - 1; int(i) < len(samples) {
-				samples[i] = float64(r.Total)
-			}
-		case StatusRejected:
-			rejected.Add(1)
-		case StatusShed:
-			shed.Add(1)
-		default:
-			failed.Add(1)
-		}
-		outstanding.Add(-1)
-	}
-	onDoneIdx := func(_ int, r Result) { onDone(r) }
+	col := newCollector(cfg.MaxSamples)
 
 	// Burst mode accumulates one wakeup's arrivals per tenant and admits
 	// each group as a unit.
@@ -118,6 +170,7 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 		pending = make([][]Request, len(handles))
 	}
 
+	var offered int64
 	start := time.Now()
 	last := start
 	owed := 0.0
@@ -129,7 +182,7 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 		owed += cfg.Rate * now.Sub(last).Seconds()
 		last = now
 		for ; owed >= 1; owed-- {
-			rep.Offered++
+			offered++
 			ti := pickTenant(rng)
 			key := rng.Uint64() % cfg.KeySpace
 			var deadline time.Time
@@ -143,10 +196,9 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 				pending[ti] = append(pending[ti], req)
 				continue
 			}
-			outstanding.Add(1)
-			if err := handles[ti].SubmitFunc(req, onDone); err != nil {
-				rep.Rejected++
-				outstanding.Add(-1)
+			col.expect(1)
+			if err := handles[ti].SubmitFunc(req, col.done); err != nil {
+				col.done(Result{Status: StatusRejected, Err: err})
 			}
 		}
 		if cfg.Burst {
@@ -154,36 +206,15 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 				if len(reqs) == 0 {
 					continue
 				}
-				outstanding.Add(int64(len(reqs)))
-				handles[ti].SubmitManyFunc(reqs, onDoneIdx)
+				col.expect(len(reqs))
+				handles[ti].SubmitManyFunc(reqs, col.doneIdx)
 				pending[ti] = pending[ti][:0]
 			}
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
-	// Drain: every admitted job resolves through onDone.
-	for outstanding.Load() > 0 {
-		time.Sleep(time.Millisecond)
-	}
-	rep.Elapsed = time.Since(start)
-	rep.Rejected += rejected.Load()
-	rep.Completed = completed.Load()
-	rep.Shed = shed.Load()
-	rep.Failed = failed.Load()
-	rep.Throughput = float64(rep.Completed) / rep.Elapsed.Seconds()
-
-	n := nsamples.Load()
-	if int(n) > len(samples) {
-		n = int64(len(samples))
-	}
-	lats := samples[:n]
-	sort.Float64s(lats)
-	if len(lats) > 0 {
-		rep.P50 = time.Duration(stats.Quantile(lats, 0.50))
-		rep.P99 = time.Duration(stats.Quantile(lats, 0.99))
-		rep.Max = time.Duration(lats[len(lats)-1])
-	}
-	return rep
+	col.drain()
+	return col.report(offered, time.Since(start))
 }
 
 // zipfPicker returns a sampler over [0, n) with P(i) proportional to

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Arrival is one scripted request of a Scenario. Tick is the virtual
+// time it is offered; Tenant indexes the player's tenant slice;
+// DeadlineTicks, when non-zero, is the deadline expressed in virtual
+// ticks after the offer — the script carries no wall-clock quantities
+// at all.
+type Arrival struct {
+	Tick          int
+	Tenant        int
+	Key           uint64
+	Priority      int
+	DeadlineTicks int
+}
+
+// Scenario is a deterministic load script: the full arrival schedule is
+// materialized up front from a seed, so every playback of the same
+// scenario offers the identical request sequence — keys, tenants,
+// priorities, deadlines and all. That is what the wall-clock-driven
+// generator in RunLoad can never promise, and it is what lets tests,
+// the V2 experiment, and htserved compare two server configurations on
+// the same traffic. The clock is injected at play time: PlayConfig.Tick
+// maps virtual ticks to real durations, so one script plays at any
+// speed.
+type Scenario struct {
+	Name string
+	// Ticks is the script's length in virtual ticks.
+	Ticks int
+	// Arrivals is the schedule, ordered by Tick.
+	Arrivals []Arrival
+}
+
+// Offered returns the total number of scripted arrivals.
+func (sc Scenario) Offered() int { return len(sc.Arrivals) }
+
+// WithDeadline returns a copy of the scenario in which every arrival
+// carries a deadline of ticks virtual ticks after its offer.
+func (sc Scenario) WithDeadline(ticks int) Scenario {
+	out := sc
+	out.Arrivals = append([]Arrival(nil), sc.Arrivals...)
+	for i := range out.Arrivals {
+		out.Arrivals[i].DeadlineTicks = ticks
+	}
+	return out
+}
+
+// BurstyScenario scripts a steady baseline of basePerTick arrivals per
+// tick with a burst of burstSize extra arrivals every burstEvery ticks —
+// the open-and-slam pattern admission batching is built for. Tenants
+// and keys are drawn uniformly from the seeded generator.
+func BurstyScenario(seed uint64, tenants, ticks, basePerTick, burstEvery, burstSize int, keys uint64) Scenario {
+	rng := stats.NewRNG(seed | 1)
+	sc := Scenario{Name: "bursty", Ticks: ticks}
+	for t := 0; t < ticks; t++ {
+		n := basePerTick
+		if burstEvery > 0 && t%burstEvery == 0 {
+			n += burstSize
+		}
+		appendUniform(&sc, rng, t, n, tenants, keys)
+	}
+	return sc
+}
+
+// RampScenario scripts a diurnal triangle: the per-tick rate climbs
+// linearly from zero to peakPerTick at the midpoint and back down — the
+// shape that exercises a controller's ability to both grow and give
+// back.
+func RampScenario(seed uint64, tenants, ticks, peakPerTick int, keys uint64) Scenario {
+	rng := stats.NewRNG(seed | 1)
+	sc := Scenario{Name: "ramp", Ticks: ticks}
+	half := ticks / 2
+	if half == 0 {
+		half = 1
+	}
+	for t := 0; t < ticks; t++ {
+		dist := t
+		if t > half {
+			dist = ticks - t
+		}
+		n := peakPerTick * dist / half
+		appendUniform(&sc, rng, t, n, tenants, keys)
+	}
+	return sc
+}
+
+// HotKeyScenario scripts perTick arrivals per tick of which hotFrac
+// target the single hot pair (tenant 0, key 0) — all of them pinned to
+// one shard by the routing invariant — while the rest spread uniformly.
+// Hot arrivals carry Priority 1, background Priority 0, so overload
+// control has a low class to shed first. This is the skew regime the
+// adaptivity loop exists for: the hot key itself may never migrate
+// (same-key order), so relief must come from stealing the background
+// jobs off the hot shard and growing its drain batch.
+func HotKeyScenario(seed uint64, tenants, ticks, perTick int, keys uint64, hotFrac float64) Scenario {
+	rng := stats.NewRNG(seed | 1)
+	sc := Scenario{Name: "hotkey", Ticks: ticks}
+	for t := 0; t < ticks; t++ {
+		for i := 0; i < perTick; i++ {
+			if rng.Float64() < hotFrac {
+				sc.Arrivals = append(sc.Arrivals, Arrival{Tick: t, Tenant: 0, Key: 0, Priority: 1})
+				continue
+			}
+			appendUniform(&sc, rng, t, 1, tenants, keys)
+		}
+	}
+	return sc
+}
+
+// SameShardScenario is the adversarial script: every arrival belongs to
+// tenant index 0 and every key is chosen — against the real shardIndex
+// mix for the given tenant name and shard count — to land on one shard,
+// so a static server funnels the whole offered load through a single
+// dispatcher while its siblings idle. Keys are drawn from a pool of
+// distinct colliding keys (so most queued jobs are singleton-key and
+// therefore stealable); the player's Tenants[0] must be the tenant
+// registered under name.
+func SameShardScenario(seed uint64, ticks, perTick, shards int, name string) Scenario {
+	if shards < 1 {
+		shards = 1
+	}
+	hash := fnv64a(name)
+	target := shardIndex(hash, 0, shards)
+	pool := make([]uint64, 0, 4096)
+	for k := uint64(0); len(pool) < cap(pool); k++ {
+		if shardIndex(hash, k, shards) == target {
+			pool = append(pool, k)
+		}
+	}
+	rng := stats.NewRNG(seed | 1)
+	sc := Scenario{Name: "sameshard", Ticks: ticks}
+	for t := 0; t < ticks; t++ {
+		for i := 0; i < perTick; i++ {
+			sc.Arrivals = append(sc.Arrivals, Arrival{
+				Tick: t, Tenant: 0, Key: pool[rng.Intn(len(pool))],
+			})
+		}
+	}
+	return sc
+}
+
+// appendUniform adds n arrivals at tick t with uniform tenant and key.
+func appendUniform(sc *Scenario, rng *stats.RNG, t, n, tenants int, keys uint64) {
+	if keys == 0 {
+		keys = 1024
+	}
+	for i := 0; i < n; i++ {
+		sc.Arrivals = append(sc.Arrivals, Arrival{
+			Tick:   t,
+			Tenant: rng.Intn(tenants),
+			Key:    rng.Uint64() % keys,
+		})
+	}
+}
+
+// PlayConfig parameterizes one scenario playback.
+type PlayConfig struct {
+	// Tenants maps Arrival.Tenant indices to handles (required).
+	Tenants []*Tenant
+	// Tick is the injected clock: the real duration of one virtual tick
+	// (default 1ms). Halve it and the same script plays twice as fast;
+	// the script itself never changes.
+	Tick time.Duration
+	// MaxSamples bounds the latency reservoir (default 1<<20).
+	MaxSamples int
+}
+
+// PlayScenario plays the script against s, tick by tick: each tick's
+// arrivals are grouped per tenant and admitted through the shard-
+// grouped SubmitManyFunc path, deadlines are resolved from DeadlineTicks
+// against the injected clock, and playback paces itself to the tick
+// grid (a playback that falls behind submits late rather than dropping
+// script entries). It blocks until every offered request has resolved
+// and returns the aggregate report — rejected submissions surface as
+// StatusRejected outcomes, exactly as in burst-mode RunLoad.
+func PlayScenario(s *Server, sc Scenario, cfg PlayConfig) LoadReport {
+	if len(cfg.Tenants) == 0 {
+		panic("serve: PlayScenario: no tenant handles")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	col := newCollector(cfg.MaxSamples)
+	perTenant := make([][]Request, len(cfg.Tenants))
+	var offered int64
+	i := 0
+	start := time.Now()
+	for tick := 0; tick < sc.Ticks; tick++ {
+		if d := time.Until(start.Add(time.Duration(tick) * cfg.Tick)); d > 0 {
+			time.Sleep(d)
+		}
+		now := time.Now()
+		for ; i < len(sc.Arrivals) && sc.Arrivals[i].Tick <= tick; i++ {
+			a := sc.Arrivals[i]
+			var dl time.Time
+			if a.DeadlineTicks > 0 {
+				dl = now.Add(time.Duration(a.DeadlineTicks) * cfg.Tick)
+			}
+			perTenant[a.Tenant] = append(perTenant[a.Tenant], Request{
+				Key: a.Key, Priority: a.Priority, Deadline: dl,
+			})
+			offered++
+		}
+		for ti, reqs := range perTenant {
+			if len(reqs) == 0 {
+				continue
+			}
+			col.expect(len(reqs))
+			cfg.Tenants[ti].SubmitManyFunc(reqs, col.doneIdx)
+			perTenant[ti] = perTenant[ti][:0]
+		}
+	}
+	col.drain()
+	return col.report(offered, time.Since(start))
+}

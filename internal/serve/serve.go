@@ -18,7 +18,15 @@
 //   - percolation warm-up — tenant registration can percolate the
 //     tenant's handler code image ahead of traffic (the Section 3.2
 //     percolation idea, priced by the parcel.SimNet code-transfer
-//     model), so first requests run warm.
+//     model), so first requests run warm;
+//   - closed adaptivity loop (Config.Adapt) — the paper's Section 2
+//     monitoring-feeds-controllers design applied to serving: per-shard
+//     batch controllers retune drain bounds from queue-depth EWMAs and
+//     batch-latency histograms, a periodic rebalancer steals queued
+//     jobs from hot shards via adapt.LoadController (preserving
+//     same-key admission order and tenant code residency), and an
+//     overload controller sheds low-Request.Priority work when the
+//     wait EWMA crosses the latency budget. See AdaptConfig.
 //
 // The v2 surface is handle-based: RegisterTenant returns a *Tenant
 // whose Submit/SubmitFunc/SubmitMany methods carry the resolved
@@ -42,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/litlx"
 	"repro/internal/monitor"
@@ -77,6 +86,9 @@ type Config struct {
 	// Middleware wraps every tenant's handler, outermost first. The
 	// chain composes once at registration, never on the hot path.
 	Middleware []Middleware
+	// Adapt configures the closed adaptivity loop (adaptive batch
+	// sizing, shard stealing, overload shedding). Zero value: off.
+	Adapt AdaptConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +104,7 @@ func (c Config) withDefaults() Config {
 	if c.InflightBatches <= 0 {
 		c.InflightBatches = 2
 	}
+	c.Adapt = c.Adapt.withDefaults(c)
 	return c
 }
 
@@ -116,7 +129,17 @@ type Server struct {
 	// the monitor's name table.
 	accepted, rejected, shedc, done, failed *monitor.Counter
 	batches, codexfer                       *monitor.Counter
-	latencyUS                               *monitor.EWMA
+	latencyUS, waitUS                       *monitor.EWMA
+
+	// Adaptivity loop (nil / unused when Config.Adapt is off).
+	load                   *adapt.LoadController
+	overload               *overloadController
+	imbalance              *monitor.EWMA
+	steals, rebalances     *monitor.Counter
+	batchGrow, batchShrink *monitor.Counter
+	shedLowPri             *monitor.Counter
+	quit                   chan struct{}
+	control                sync.WaitGroup
 }
 
 // Tenant is the handle for one registered traffic source: its resolved
@@ -138,6 +161,12 @@ type Tenant struct {
 
 // Name returns the tenant's registered name.
 func (t *Tenant) Name() string { return t.name }
+
+// residentAt reports whether the tenant's code image is already
+// resident at the given shard — the rebalancer's affinity gate: a
+// stolen job must never pay a cold code transfer its home shard had
+// already absorbed.
+func (t *Tenant) residentAt(shard int) bool { return t.resident[shard].Load() }
 
 // Model returns the modeled cold/warm first-request cycle counts
 // (zeros when the tenant has no code image).
@@ -161,13 +190,34 @@ func New(sys *litlx.System, cfg Config) *Server {
 		batches:   sys.Mon.Counter("serve.batches"),
 		codexfer:  sys.Mon.Counter("serve.codexfer"),
 		latencyUS: sys.Mon.EWMA("serve.latency_us", 0.05),
+		waitUS:    sys.Mon.EWMA("serve.wait_us", 0.05),
+
+		steals:      sys.Mon.Counter("serve.adapt.steals"),
+		rebalances:  sys.Mon.Counter("serve.adapt.rebalances"),
+		batchGrow:   sys.Mon.Counter("serve.adapt.batch_grow"),
+		batchShrink: sys.Mon.Counter("serve.adapt.batch_shrink"),
+		shedLowPri:  sys.Mon.Counter("serve.adapt.shed_lowpri"),
+	}
+	if cfg.Adapt.Enabled {
+		s.load = adapt.NewLoadController()
+		s.load.ImbalanceThreshold = cfg.Adapt.StealThreshold
+		s.overload = newOverloadController(cfg.Adapt)
+		s.imbalance = sys.Mon.EWMA("serve.adapt.imbalance", 0.2)
+		s.quit = make(chan struct{})
 	}
 	locales := sys.Locales()
 	for i := 0; i < cfg.Shards; i++ {
 		sh := newShard(i, cfg.QueueDepth)
+		if cfg.Adapt.Enabled {
+			sh.ctrl = newBatchController(sys.Mon, i, cfg)
+		}
 		s.shards = append(s.shards, sh)
 		s.dispatchers.Add(1)
 		sys.SpawnLGT(i%locales, func(l *core.LGT) { s.dispatch(l, sh) })
+	}
+	if cfg.Adapt.Enabled {
+		s.control.Add(1)
+		go s.controlLoop()
 	}
 	return s
 }
@@ -255,7 +305,7 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 		// single-submit path, translating its errors into the uniform
 		// per-request outcome this surface promises.
 		if err := t.SubmitFunc(reqs[0], func(r Result) { done(0, r) }); err != nil {
-			done(0, Result{Status: StatusRejected, Err: err})
+			done(0, Result{Status: StatusRejected, Err: err, Priority: reqs[0].Priority})
 			return 0
 		}
 		return 1
@@ -316,7 +366,7 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 			s.rejected.Add(int64(len(g) - acc))
 		}
 		for _, j := range g[acc:] {
-			j.done(Result{Status: StatusRejected, Err: errv})
+			j.done(Result{Status: StatusRejected, Err: errv, Priority: j.req.Priority})
 		}
 	}
 	return accepted
@@ -363,7 +413,8 @@ func (s *Server) execute(sg *core.SGT, shardID int, j *Job) {
 		s.codexfer.Inc()
 	}
 	start := time.Now()
-	res := Result{Wait: start.Sub(j.enqueued)}
+	res := Result{Wait: start.Sub(j.enqueued), Priority: j.req.Priority}
+	s.waitUS.Observe(float64(res.Wait) / float64(time.Microsecond))
 	ctx := &Ctx{sgt: sg, shard: shardID, tenant: t, deadline: j.req.Deadline}
 	func() {
 		defer func() {
@@ -398,7 +449,21 @@ func (s *Server) shed(j *Job, now time.Time) {
 	j.tenant.shed.Inc()
 	s.shedc.Inc()
 	age := now.Sub(j.enqueued)
-	j.done(Result{Status: StatusShed, Wait: age, Total: age})
+	j.done(Result{Status: StatusShed, Wait: age, Total: age, Priority: j.req.Priority})
+}
+
+// shedLow sheds a job the overload controller dropped for its priority:
+// the same shed accounting, plus the dedicated low-priority counter so
+// overload shedding is distinguishable from deadline shedding.
+func (s *Server) shedLow(j *Job, now time.Time) {
+	// The shed path must keep feeding the wait estimator: in a full-shed
+	// regime execute() observes nothing, and a frozen above-budget EWMA
+	// would latch the shed level at max forever. Shed jobs report their
+	// queue age, so once the backlog clears the estimate falls and the
+	// controller lets traffic back in.
+	s.waitUS.Observe(float64(now.Sub(j.enqueued)) / float64(time.Microsecond))
+	s.shedLowPri.Inc()
+	s.shed(j, now)
 }
 
 // Close shuts the admission queues, drains the tails, and waits for all
@@ -408,6 +473,12 @@ func (s *Server) shed(j *Job, now time.Time) {
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
+	}
+	if s.quit != nil {
+		// Stop the control loop before shutting shards so no steal races
+		// the drain of the tails.
+		close(s.quit)
+		s.control.Wait()
 	}
 	for _, sh := range s.shards {
 		sh.shutdown()
@@ -420,21 +491,41 @@ func (s *Server) Close() {
 type Stats struct {
 	Accepted, Rejected, Shed, Done, Failed int64
 	Batches, CodeTransfers                 int64
-	LatencyEWMAus                          float64
+	// Steals / Rebalances / ShedLowPriority count the adaptivity
+	// loop's actions (zero when Config.Adapt is off; ShedLowPriority
+	// jobs also count in Shed).
+	Steals, Rebalances, ShedLowPriority int64
+	LatencyEWMAus                       float64
+	// WaitEWMAus is the smoothed admission-to-execution wait — the
+	// signal the overload controller steers by.
+	WaitEWMAus float64
 }
+
+// InFlight derives the jobs admitted but not yet resolved. Because
+// Stats reads the completion counters before the admission counter, the
+// derivation is never negative, even mid-flight.
+func (st Stats) InFlight() int64 { return st.Accepted - st.Done - st.Shed }
 
 // Stats snapshots the server-level accounting.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Accepted:      s.accepted.Value(),
-		Rejected:      s.rejected.Value(),
-		Shed:          s.shedc.Value(),
-		Done:          s.done.Value(),
-		Failed:        s.failed.Value(),
-		Batches:       s.batches.Value(),
-		CodeTransfers: s.codexfer.Value(),
-		LatencyEWMAus: s.latencyUS.Value(),
+	st := Stats{
+		Rejected:        s.rejected.Value(),
+		Shed:            s.shedc.Value(),
+		Done:            s.done.Value(),
+		Failed:          s.failed.Value(),
+		Batches:         s.batches.Value(),
+		CodeTransfers:   s.codexfer.Value(),
+		Steals:          s.steals.Value(),
+		Rebalances:      s.rebalances.Value(),
+		ShedLowPriority: s.shedLowPri.Value(),
+		LatencyEWMAus:   s.latencyUS.Value(),
+		WaitEWMAus:      s.waitUS.Value(),
 	}
+	// Accepted is read last: a job increments accepted before it can
+	// ever count as done or shed, so reading completions first keeps
+	// the InFlight derivation consistent (>= 0) in a moving system.
+	st.Accepted = s.accepted.Value()
+	return st
 }
 
 // shardIndex mixes the tenant hash with the key so one hot tenant still

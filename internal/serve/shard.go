@@ -18,6 +18,7 @@ type shard struct {
 	q    []*Job
 	cap  int
 	shut bool
+	ctrl *batchController // nil unless Config.Adapt is enabled
 }
 
 func newShard(id, depth int) *shard {
@@ -44,18 +45,20 @@ func (sh *shard) enqueue(j *Job) bool {
 }
 
 // drain blocks until at least one job is queued, then removes and
-// returns up to max jobs in admission order. It returns ok=false once
-// the shard is shut and empty.
-func (sh *shard) drain(max int, buf []*Job) ([]*Job, bool) {
+// returns up to max jobs in admission order, along with the queue depth
+// observed before the cut (the batch controller's feedback signal). It
+// returns ok=false once the shard is shut and empty.
+func (sh *shard) drain(max int, buf []*Job) (batch []*Job, depth int, ok bool) {
 	sh.mu.Lock()
 	for len(sh.q) == 0 && !sh.shut {
 		sh.cond.Wait()
 	}
 	if len(sh.q) == 0 {
 		sh.mu.Unlock()
-		return buf, false
+		return buf, 0, false
 	}
-	n := len(sh.q)
+	depth = len(sh.q)
+	n := depth
 	if n > max {
 		n = max
 	}
@@ -66,7 +69,16 @@ func (sh *shard) drain(max int, buf []*Job) ([]*Job, bool) {
 	}
 	sh.q = sh.q[:rest]
 	sh.mu.Unlock()
-	return buf, true
+	return buf, depth, true
+}
+
+// pending returns the current queue depth — the rebalancer's per-shard
+// load signal.
+func (sh *shard) pending() int {
+	sh.mu.Lock()
+	n := len(sh.q)
+	sh.mu.Unlock()
+	return n
 }
 
 // enqueueMany admits as many of jobs as fit under one lock acquisition
@@ -101,24 +113,124 @@ func (sh *shard) shutdown() {
 	sh.mu.Unlock()
 }
 
+// stealJobs moves up to want queued jobs from src's queue onto dst —
+// the rebalancer's work-migration primitive (the serving analogue of
+// the paper's dynamic load adaptation). Two invariants bound what may
+// move:
+//
+//   - same-key order: only jobs whose (tenant, key) routing pair is
+//     unique in src's queue are candidates, so co-queued same-key jobs
+//     are never separated or reordered. (Queue order is the invariant
+//     serving provides and stealing preserves: same-key jobs drained
+//     into different in-flight batches already execute concurrently
+//     when InflightBatches > 1, and a same-key job admitted after a
+//     steal may drain on the home shard while the stolen singleton
+//     waits behind the thief's backlog.)
+//   - tenant affinity: a job only moves to a shard where its tenant's
+//     code image is already resident, so stealing never trades queue
+//     wait for a cold code transfer.
+//
+// Among candidates the newest move first: the oldest jobs keep their
+// head-of-queue position on their home shard. Locks are taken in shard-
+// id order, so concurrent steals cannot deadlock. Returns the number of
+// jobs moved.
+func stealJobs(src, dst *shard, want int) int {
+	if src == dst || want <= 0 {
+		return 0
+	}
+	a, b := src, dst
+	if b.id < a.id {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if src.shut || dst.shut || len(src.q) == 0 {
+		return 0
+	}
+	if room := dst.cap - len(dst.q); want > room {
+		want = room
+	}
+	if want <= 0 {
+		return 0
+	}
+	siblings := make(map[uint64]int, len(src.q))
+	for _, j := range src.q {
+		siblings[j.routeHash()]++
+	}
+	idx := make([]int, 0, len(src.q))
+	for i, j := range src.q {
+		if siblings[j.routeHash()] == 1 && j.tenant.residentAt(dst.id) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) > want {
+		idx = idx[len(idx)-want:]
+	}
+	if len(idx) == 0 {
+		return 0
+	}
+	if len(dst.q) == 0 {
+		dst.cond.Signal()
+	}
+	take := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		take[i] = true
+	}
+	kept := src.q[:0]
+	for i, j := range src.q {
+		if take[i] {
+			dst.q = append(dst.q, j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(src.q); i++ {
+		src.q[i] = nil
+	}
+	src.q = kept
+	return len(idx)
+}
+
 // dispatch is the dispatcher body, run on a dedicated LGT. Each wakeup
-// drains up to Batch queued jobs, sheds the expired ones, and submits
-// the survivors as a single SGT fan-out — one spawn per batch, not per
-// job, amortizing spawn and scheduling overhead across the batch.
+// drains up to Batch queued jobs (or the batch controller's current
+// bound when the adaptivity loop is on), sheds the expired and — under
+// overload — the low-priority ones, and submits the survivors as a
+// single SGT fan-out: one spawn per batch, not per job, amortizing
+// spawn and scheduling overhead across the batch.
 func (s *Server) dispatch(l *core.LGT, sh *shard) {
 	defer s.dispatchers.Done()
-	buf := make([]*Job, 0, s.cfg.Batch)
+	bufCap := s.cfg.Batch
+	if sh.ctrl != nil {
+		bufCap = sh.ctrl.max
+	}
+	buf := make([]*Job, 0, bufCap)
 	tokens := make(chan struct{}, s.cfg.InflightBatches)
 	for {
-		batch, ok := sh.drain(s.cfg.Batch, buf[:0])
+		limit := s.cfg.Batch
+		if sh.ctrl != nil {
+			limit = sh.ctrl.batch()
+		}
+		batch, depth, ok := sh.drain(limit, buf[:0])
 		if !ok {
 			return
 		}
+		if sh.ctrl != nil {
+			sh.ctrl.observeDepth(depth)
+		}
 		now := time.Now()
+		shedBelow := s.overload.shedLevel()
 		live := batch[:0]
 		for _, j := range batch {
 			if !j.req.Deadline.IsZero() && now.After(j.req.Deadline) {
 				s.shed(j, now)
+				continue
+			}
+			// Only an engaged overload controller (level > 0) sheds by
+			// priority; at level 0 even negative priorities run.
+			if shedBelow > 0 && j.req.Priority < shedBelow {
+				s.shedLow(j, now)
 				continue
 			}
 			live = append(live, j)
@@ -132,9 +244,17 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		s.batches.Inc()
 		s.inflight.Add(1)
 		l.Go(func(sg *core.SGT) {
+			// Service time starts when the batch SGT runs, not at drain:
+			// including the wait for an in-flight token would inflate the
+			// histogram under saturation and gate batch growth exactly
+			// when a deep backlog calls for it.
+			start := time.Now()
 			defer func() { s.inflight.Done(); <-tokens }()
 			for _, j := range jobs {
 				s.execute(sg, sh.id, j)
+			}
+			if sh.ctrl != nil {
+				sh.ctrl.observeLatency(float64(time.Since(start)) / float64(time.Microsecond))
 			}
 		})
 	}

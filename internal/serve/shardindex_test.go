@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestShardIndexNearUniform is the property the admission layer and the
+// rebalancer both lean on: over random (tenant, key) pairs the routing
+// hash spreads near-uniformly for every shard count a deployment would
+// use. A skewed shardIndex would fabricate imbalance that no amount of
+// stealing could fix.
+func TestShardIndexNearUniform(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	for shards := 1; shards <= 64; shards++ {
+		const samples = 20000
+		counts := make([]int, shards)
+		for i := 0; i < samples; i++ {
+			idx := shardIndex(rng.Uint64(), rng.Uint64(), shards)
+			if idx < 0 || idx >= shards {
+				t.Fatalf("shards=%d: index %d out of range", shards, idx)
+			}
+			counts[idx]++
+		}
+		expected := float64(samples) / float64(shards)
+		for si, c := range counts {
+			// With >= 312 expected per bucket, +/-50% is ~9 sigma: any
+			// failure is a real distribution defect, not sampling noise.
+			if float64(c) < expected/2 || float64(c) > expected*1.5 {
+				t.Errorf("shards=%d: bucket %d holds %d of %d samples (expected ~%.0f)",
+					shards, si, c, samples, expected)
+			}
+		}
+	}
+}
+
+// TestShardIndexSameKeyStable pins the invariant stealing must preserve:
+// a (tenant, key) pair routes to one shard, always — recomputation,
+// interleaving, and the pair's neighbors change nothing. Same-key
+// admission order is only meaningful because of this.
+func TestShardIndexSameKeyStable(t *testing.T) {
+	rng := stats.NewRNG(99)
+	type pair struct{ tenant, key uint64 }
+	for shards := 1; shards <= 64; shards *= 2 {
+		pairs := make([]pair, 1000)
+		first := make([]int, len(pairs))
+		for i := range pairs {
+			pairs[i] = pair{rng.Uint64(), rng.Uint64() % 4096}
+			first[i] = shardIndex(pairs[i].tenant, pairs[i].key, shards)
+		}
+		// Recompute in a different order, interleaved with unrelated
+		// hashing, and demand identical routing.
+		for i := len(pairs) - 1; i >= 0; i-- {
+			_ = shardIndex(rng.Uint64(), rng.Uint64(), shards)
+			if got := shardIndex(pairs[i].tenant, pairs[i].key, shards); got != first[i] {
+				t.Fatalf("shards=%d: pair %d routed to %d then %d", shards, i, first[i], got)
+			}
+		}
+	}
+}
+
+// TestShardIndexTenantSpread checks the mix documented on shardIndex:
+// one tenant's keys must still spread across shards (a hot tenant is
+// not a hot shard).
+func TestShardIndexTenantSpread(t *testing.T) {
+	for _, shards := range []int{2, 8, 64} {
+		tenant := fnv64a(fmt.Sprintf("tenant-%d", shards))
+		seen := make(map[int]bool)
+		for k := uint64(0); k < 1024; k++ {
+			seen[shardIndex(tenant, k, shards)] = true
+		}
+		if len(seen) != shards {
+			t.Errorf("shards=%d: one tenant's 1024 keys reached only %d shards", shards, len(seen))
+		}
+	}
+}
