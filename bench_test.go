@@ -87,3 +87,8 @@ func BenchmarkExpV1ServeLoadtest(b *testing.B) { benchExp(b, "V1") }
 // retuning, shard stealing) against a static config on deterministic
 // skewed-load scripts.
 func BenchmarkExpV2AdaptiveServe(b *testing.B) { benchExp(b, "V2") }
+
+// internal/serve + internal/mem: the locale-aware data plane (locality
+// routing, working-set staging, the locality loop) against hash-routed
+// cold access on the localhot script.
+func BenchmarkExpV3DataLocality(b *testing.B) { benchExp(b, "V3") }

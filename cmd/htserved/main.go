@@ -11,13 +11,21 @@
 // -adapt closes the adaptivity loop (per-shard adaptive batch sizing,
 // the stealing rebalancer, priority-aware overload shedding) and
 // -scenario swaps the wall-clock generator for one of the deterministic
-// seeded scripts (bursty | ramp | hotkey | sameshard), so one command
-// line compares static and adaptive configs on identical traffic.
+// seeded scripts (bursty | ramp | hotkey | sameshard | localhot), so
+// one command line compares static and adaptive configs on identical
+// traffic. -locality (requires -adapt) engages the locale-aware data
+// plane on top: each tenant registers -objects data objects in the
+// shared space (the first quarter homed together at locale 0, the rest
+// round-robin), requests routed by their declared working set's home,
+// batches staged ahead of execution, and the locality loop migrating
+// and replicating hot objects; the localhot scenario concentrates
+// traffic on the locale-0 objects to show it off.
 //
 // Examples:
 //
 //	htserved -rate 5000 -tenants 64 -shards 8 -duration 2s
 //	htserved -scenario hotkey -hotfrac 0.8 -adapt -rate 8000 -duration 2s
+//	htserved -scenario localhot -adapt -locality -locales 2 -rate 4000 -duration 2s
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/litlx"
+	"repro/internal/mem"
 	"repro/internal/serve"
 	"repro/internal/spinwork"
 	"repro/internal/stats"
@@ -53,8 +62,10 @@ func main() {
 		burst    = flag.Bool("burst", false, "admit each wakeup's arrivals as shard-grouped bursts (SubmitMany)")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		adapt    = flag.Bool("adapt", false, "enable the adaptivity loop (adaptive batching, shard stealing, overload shedding)")
-		scenario = flag.String("scenario", "", "play a deterministic scenario script instead of the open-loop generator: bursty | ramp | hotkey | sameshard")
-		hotFrac  = flag.Float64("hotfrac", 0.8, "hot-key fraction for -scenario hotkey")
+		scenario = flag.String("scenario", "", "play a deterministic scenario script instead of the open-loop generator: bursty | ramp | hotkey | sameshard | localhot")
+		hotFrac  = flag.Float64("hotfrac", 0.8, "hot-key fraction for -scenario hotkey, hot-object fraction for -scenario localhot and open-loop -locality")
+		locality = flag.Bool("locality", false, "engage the data plane: working-set routing, batch staging, and the locality loop (requires -adapt)")
+		objects  = flag.Int("objects", 16, "data objects per tenant for -locality / -scenario localhot")
 	)
 	flag.Parse()
 
@@ -70,6 +81,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "htserved: -duration must be > 0")
 		os.Exit(2)
 	}
+	if *locales < 1 {
+		fmt.Fprintln(os.Stderr, "htserved: -locales must be >= 1")
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "htserved: -shards must be >= 1")
+		os.Exit(2)
+	}
+	if *locality && !*adapt {
+		fmt.Fprintln(os.Stderr, "htserved: -locality requires -adapt (the locality loop is an adaptivity controller)")
+		os.Exit(2)
+	}
+	if (*locality || *scenario == "localhot") && *objects < 2 {
+		fmt.Fprintln(os.Stderr, "htserved: -objects must be >= 2 for the data plane")
+		os.Exit(2)
+	}
 
 	sys, err := litlx.New(litlx.Config{Locales: *locales, WorkersPerLocale: *workers})
 	if err != nil {
@@ -79,7 +106,10 @@ func main() {
 	defer sys.Close()
 	cfg := serve.Config{Shards: *shards, QueueDepth: *depth, Batch: *batch}
 	if *adapt {
-		cfg.Adapt = serve.AdaptConfig{Enabled: true, LatencyBudget: *tight}
+		cfg.Adapt = serve.AdaptConfig{Enabled: true, LatencyBudget: *tight, Locality: *locality}
+	}
+	if *locality {
+		cfg.Data = serve.DataConfig{LocalityRoute: true, Stage: true}
 	}
 	srv := serve.New(sys, cfg)
 	defer srv.Close()
@@ -87,6 +117,25 @@ func main() {
 	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
 		spinwork.Work(*work)
 		return req.Key, nil
+	}
+	// With the data plane (or the localhot script) each tenant declares
+	// -objects data objects: the first quarter — the "hot" set the
+	// localhot scenario hammers — homed together at locale 0, the rest
+	// spread round-robin across the remaining locales.
+	hotObjs := *objects / 4
+	if hotObjs < 1 {
+		hotObjs = 1
+	}
+	var specs []serve.DataObject
+	if *locality || *scenario == "localhot" {
+		specs = make([]serve.DataObject, *objects)
+		for i := range specs {
+			home := 0
+			if i >= hotObjs && *locales > 1 {
+				home = 1 + (i-hotObjs)%(*locales-1)
+			}
+			specs[i] = serve.DataObject{Size: 2048, Home: home}
+		}
 	}
 	names := make([]string, *tenants)
 	handles := make([]*serve.Tenant, *tenants)
@@ -102,6 +151,7 @@ func main() {
 			Handler:  handler,
 			CodeSize: *imgKB << 10,
 			Warm:     warm,
+			Objects:  specs,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "htserved:", err)
@@ -137,6 +187,8 @@ func main() {
 			sc = serve.HotKeyScenario(*seed, *tenants, ticks, perTick, *keys, *hotFrac)
 		case "sameshard":
 			sc = serve.SameShardScenario(*seed, ticks, perTick, *shards, names[0])
+		case "localhot":
+			sc = serve.LocalHotScenario(*seed, *tenants, ticks, perTick, *objects, hotObjs, *hotFrac, 0.3, *keys)
 		default:
 			fmt.Fprintf(os.Stderr, "htserved: unknown -scenario %q\n", *scenario)
 			os.Exit(2)
@@ -152,9 +204,9 @@ func main() {
 		if *burst {
 			mode = "burst (SubmitMany)"
 		}
-		fmt.Printf("offering %.0f jobs/s for %v (open loop, skew %.2f, %s admission, adapt=%v)...\n",
-			*rate, *duration, *skew, mode, *adapt)
-		rep = serve.RunLoad(srv, serve.LoadConfig{
+		fmt.Printf("offering %.0f jobs/s for %v (open loop, skew %.2f, %s admission, adapt=%v, locality=%v)...\n",
+			*rate, *duration, *skew, mode, *adapt, *locality)
+		lcfg := serve.LoadConfig{
 			Rate:      *rate,
 			Duration:  *duration,
 			Tenants:   names,
@@ -165,7 +217,31 @@ func main() {
 			Loose:     *loose,
 			Burst:     *burst,
 			Seed:      *seed,
-		})
+		}
+		if *locality {
+			// Open-loop requests declare localhot-shaped working sets —
+			// hotfrac of them read a hot (locale-0) object plus a sidecar,
+			// 30% writing the sidecar — so the data plane engages without
+			// a scenario script.
+			objIDs := make([][]mem.ObjID, len(handles))
+			for i, tn := range handles {
+				objIDs[i] = tn.Objects()
+			}
+			lcfg.WorkingSet = func(ti int, rng *stats.RNG) ([]mem.ObjID, []mem.ObjID) {
+				objs := objIDs[ti]
+				if rng.Float64() < *hotFrac {
+					primary := objs[rng.Intn(hotObjs)]
+					sidecar := objs[hotObjs+rng.Intn(len(objs)-hotObjs)]
+					reads := []mem.ObjID{primary, sidecar}
+					if rng.Float64() < 0.3 {
+						return reads, []mem.ObjID{sidecar}
+					}
+					return reads, nil
+				}
+				return []mem.ObjID{objs[rng.Intn(len(objs))]}, nil
+			}
+		}
+		rep = serve.RunLoad(srv, lcfg)
 	}
 
 	tab := stats.NewTable("htserved load report", "metric", "value")
@@ -190,6 +266,12 @@ func main() {
 			"%d low-priority sheds at level %d, wait EWMA %.0fus, imbalance %.2f\n",
 			as.Steals, as.Rebalances, as.BatchSizes, as.BatchGrows, as.BatchShrinks,
 			as.ShedLowPriority, as.ShedLevel, as.WaitEWMAus, as.Imbalance)
+	}
+	if sp := sys.Space.Stats(); sp.Reads+sp.Writes > 0 {
+		fmt.Printf("data: %d accesses (%.1f%% remote), modeled cost %d, %d staged, "+
+			"%d migrations, %d replications\n",
+			sp.Reads+sp.Writes, 100*sys.Space.RemoteFraction(), sp.TotalCost,
+			st.DataStaged, st.Migrations, st.Replications)
 	}
 }
 

@@ -10,13 +10,20 @@
 //
 // The serving path closes the paper's adaptivity loop end to end:
 // internal/monitor's always-on instruments (queue-depth EWMAs, batch
-// latency histograms, the admission-to-execution wait EWMA) feed three
-// runtime controllers in internal/serve — per-shard adaptive batch
-// sizing, a stealing rebalancer built on adapt.LoadController that
-// preserves same-key admission order and tenant code residency, and a
-// priority-aware overload controller — enabled by serve.Config.Adapt
-// and compared against static configs on deterministic scenario scripts
-// (serve.PlayScenario, experiment V2).
+// latency histograms, the admission-to-execution wait EWMA, the shared
+// mem.Space access statistics) feed four runtime controllers in
+// internal/serve — per-shard adaptive batch sizing, a stealing
+// rebalancer built on adapt.LoadController that preserves same-key
+// admission order and code/data residency, a priority-aware overload
+// controller, and a locality loop built on adapt.LocalityManager —
+// enabled by serve.Config.Adapt and compared against static configs on
+// deterministic scenario scripts (serve.PlayScenario, experiments V2
+// and V3). The serving path is also locale-aware end to end
+// (serve.Config.Data): admission shards pin to locales, requests
+// declare mem.Space working sets that steer routing toward their data's
+// home, and a unified residency subsystem percolates code images and
+// data blocks alike to the site of computation, priced by the
+// parcel.SimNet transfer models.
 //
 // The implementation lives under internal/; see README.md for the map,
 // DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
@@ -24,13 +31,14 @@
 //
 //	internal/litlx    — the one-object API most programs want
 //	internal/serve    — the job service layer (API v2): tenant handles,
-//	                    error-aware handlers + middleware, sharded
-//	                    admission, batching + burst admission, shedding,
-//	                    percolation warm-up
+//	                    error-aware handlers + middleware, locale-pinned
+//	                    sharded admission, batching + burst admission,
+//	                    shedding, code/data residency and the locality-
+//	                    aware data plane
 //	cmd/htvmbench     — regenerates every experiment table
 //	cmd/htserved      — the job server under synthetic open-loop load
 //	                    or deterministic scenario scripts (-scenario,
-//	                    -adapt)
+//	                    -adapt, -locality)
 //	cmd/litlxc        — the LITL-X script compiler/driver
 //	cmd/c64sim        — the standalone machine simulator
 //	examples/         — five runnable walkthroughs

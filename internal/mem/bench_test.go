@@ -1,0 +1,71 @@
+package mem
+
+import "testing"
+
+// The serving data plane puts Space on the per-request path twice: a
+// MajorityHome lookup at admission (locality routing) and a ReadAccess
+// per working-set object at execution. These benchmarks baseline that
+// read-mostly hot path — single-threaded and contended — so data-plane
+// changes that fatten the directory lock show up as regressions here.
+
+func benchSpace(objects int) (*Space, []ObjID) {
+	s := NewSpace(4, nil)
+	ids := make([]ObjID, objects)
+	for i := range ids {
+		ids[i] = s.Alloc(Locale(i%4), 256)
+	}
+	return s, ids
+}
+
+func BenchmarkReadAccessLocal(b *testing.B) {
+	s, ids := benchSpace(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Issue at the object's home (ids[j] is homed at j%4): the
+		// all-local fast path staging and routing try to put every
+		// access on.
+		s.ReadAccess(Locale(i&3), ids[i&63], 0)
+	}
+}
+
+func BenchmarkReadAccessRemote(b *testing.B) {
+	s, ids := benchSpace(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Issue one locale away from home: the remote path with its
+		// replication bookkeeping.
+		s.ReadAccess(Locale((i+1)&3), ids[i&63], 0)
+	}
+}
+
+func BenchmarkMajorityHome(b *testing.B) {
+	s, ids := benchSpace(64)
+	ws := []ObjID{ids[0], ids[4], ids[8]} // three objects, all homed at 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MajorityHome(ws)
+	}
+}
+
+func BenchmarkReadAccessParallel(b *testing.B) {
+	s, ids := benchSpace(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.ReadAccess(Locale(i&3), ids[i&63], 0)
+			i++
+		}
+	})
+}
+
+func BenchmarkStatsSnapshot(b *testing.B) {
+	s, ids := benchSpace(64)
+	for i, id := range ids {
+		s.ReadAccess(Locale(i&3), id, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Stats()
+	}
+}

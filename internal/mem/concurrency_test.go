@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAccessVsSnapshots hammers the directory from many
+// goroutines — readers, writers, movers — while others continuously
+// take the read-side views (Stats, AccessCounts, Objects, Home,
+// HasValidReplica, MajorityHome, RemoteFraction). Run under -race in CI
+// it proves the serving data plane can record accesses on every batch
+// SGT while the locality loop analyzes and rebalances concurrently; the
+// end-state assertions prove no update was lost under contention.
+func TestConcurrentAccessVsSnapshots(t *testing.T) {
+	const (
+		locales = 4
+		objects = 16
+		workers = 8
+		rounds  = 400
+	)
+	s := NewSpace(locales, nil)
+	ids := make([]ObjID, objects)
+	for i := range ids {
+		ids[i] = s.Alloc(Locale(i%locales), 64)
+	}
+	var wg sync.WaitGroup
+	// Access recorders: the batch SGTs of the serve layer.
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			loc := Locale(w % locales)
+			for r := 0; r < rounds; r++ {
+				id := ids[(w+r)%objects]
+				if r%5 == 0 {
+					s.WriteAccess(loc, id, 0)
+				} else {
+					s.ReadAccess(loc, id, 0)
+				}
+			}
+		}()
+	}
+	// Movers: the locality loop's migrate/replicate/decay actions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds/4; r++ {
+			id := ids[r%objects]
+			switch r % 3 {
+			case 0:
+				s.Replicate(id, Locale(r%locales))
+			case 1:
+				s.Migrate(id, Locale(r%locales))
+			default:
+				s.DecayCounts()
+			}
+		}
+	}()
+	// Snapshotters: monitors and routers reading while everything moves.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := ids[r%objects]
+				_ = s.Stats()
+				_, _ = s.AccessCounts(id)
+				_ = s.Objects()
+				_ = s.Home(id)
+				_ = s.HasValidReplica(id, Locale(r%locales))
+				_, _ = s.MajorityHome(ids[:1+r%objects])
+				_ = s.RemoteFraction()
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if want := int64(workers * rounds / 5); st.Writes != want {
+		t.Errorf("writes = %d, want %d (lost updates under contention)", st.Writes, want)
+	}
+	if want := int64(workers*rounds) - int64(workers*rounds/5); st.Reads != want {
+		t.Errorf("reads = %d, want %d (lost updates under contention)", st.Reads, want)
+	}
+	if st.TotalCost <= 0 {
+		t.Error("no cost accrued")
+	}
+}
+
+// TestConcurrentAllocAndAccess allocates while accessing: the id space
+// must stay dense and every allocated object reachable.
+func TestConcurrentAllocAndAccess(t *testing.T) {
+	const allocs = 64
+	s := NewSpace(2, nil)
+	seedObj := s.Alloc(0, 8)
+	var wg sync.WaitGroup
+	got := make([][]ObjID, 4)
+	for w := range got {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < allocs; i++ {
+				got[w] = append(got[w], s.Alloc(Locale(i%2), 16))
+				s.ReadAccess(1, seedObj, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	seen := map[ObjID]bool{seedObj: true}
+	for _, idset := range got {
+		for _, id := range idset {
+			if seen[id] {
+				t.Fatalf("duplicate object id %d handed out", id)
+			}
+			seen[id] = true
+		}
+	}
+	if n := len(s.Objects()); n != len(seen) {
+		t.Errorf("directory lists %d objects, allocated %d", n, len(seen))
+	}
+}

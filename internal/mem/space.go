@@ -200,6 +200,37 @@ func (s *Space) Size(id ObjID) int {
 	return s.get(id).size
 }
 
+// MajorityHome returns the locale where most of the given objects are
+// homed — the serving data plane's routing signal: a request declaring
+// this working set runs cheapest where most of its data already lives.
+// Ties break toward the locale that reached the winning count first in
+// slice order, so a two-object set deterministically follows its first
+// object. All ids are resolved under one lock acquisition, and the
+// count is allocation-free for machines up to 32 locales — this sits on
+// the admission hot path of every working-set request, so the critical
+// section must stay a few array ops. ok is false when ids is empty.
+func (s *Space) MajorityHome(ids []ObjID) (home Locale, ok bool) {
+	if len(ids) == 0 {
+		return 0, false
+	}
+	var buf [32]int32
+	counts := buf[:]
+	if s.locales > len(buf) {
+		counts = make([]int32, s.locales)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, bestN := Locale(0), int32(0)
+	for _, id := range ids {
+		h := s.get(id).home
+		counts[h]++
+		if counts[h] > bestN {
+			best, bestN = h, counts[h]
+		}
+	}
+	return best, true
+}
+
 // HasValidReplica reports whether loc holds a current copy of id
 // (including the home itself).
 func (s *Space) HasValidReplica(id ObjID, loc Locale) bool {
@@ -214,7 +245,8 @@ func (s *Space) HasValidReplica(id ObjID, loc Locale) bool {
 }
 
 // ReadAccess records a read of bytes from the object issued at from,
-// serving it from the nearest valid copy, and returns the access record.
+// serving it from the nearest valid copy, and returns the access
+// record. bytes <= 0 reads the whole object.
 func (s *Space) ReadAccess(from Locale, id ObjID, bytes int) AccessInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -222,7 +254,7 @@ func (s *Space) ReadAccess(from Locale, id ObjID, bytes int) AccessInfo {
 	o.reads[from]++
 	s.stats.Reads++
 	if bytes <= 0 {
-		bytes = 8
+		bytes = o.size
 	}
 
 	served := o.home
@@ -264,7 +296,8 @@ func (s *Space) noteRemoteReadLocked(o *object, from Locale) {
 }
 
 // WriteAccess records a write issued at from. Writes are serviced at the
-// home (home-based protocol); all replicas are invalidated.
+// home (home-based protocol); all replicas are invalidated. bytes <= 0
+// writes the whole object.
 func (s *Space) WriteAccess(from Locale, id ObjID, bytes int) AccessInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -272,7 +305,7 @@ func (s *Space) WriteAccess(from Locale, id ObjID, bytes int) AccessInfo {
 	o.writes[from]++
 	s.stats.Writes++
 	if bytes <= 0 {
-		bytes = 8
+		bytes = o.size
 	}
 	info := AccessInfo{Obj: id, Kind: Write, From: from, Served: o.home, Bytes: bytes}
 	if o.home == from {

@@ -24,28 +24,42 @@ type simParcel struct {
 // node runs a dispatcher tasklet that receives parcels and spawns a
 // handler tasklet per parcel (the parcel activation = SGT analogy).
 //
-// SimNet also models code percolation (Section 3.2: "percolation of
-// program instruction blocks ... at the site of the intended
-// computation"): a handler registered with RegisterCode has a code
-// image that must be resident before the handler can run on a node.
-// The first parcel naming it on a cold node pays the transfer from the
-// code's home node; later parcels run warm. PrefetchCode installs the
-// image ahead of time, hiding that latency — percolation of code.
+// SimNet also models percolation (Section 3.2: "percolation of program
+// instruction blocks ... at the site of the intended computation", and
+// likewise of program data blocks): a handler registered with
+// RegisterCode has a code image that must be resident before the
+// handler can run on a node, and a block registered with RegisterData
+// is a data working set that a computation touches. The first parcel
+// (or TouchData) naming a cold block on a node pays the transfer from
+// the block's home node; later uses run warm. PrefetchCode and
+// PrefetchData install the block ahead of time, hiding that latency —
+// percolation of code and of data through one mechanism.
 type SimNet struct {
-	m          *c64.Machine
-	inboxes    []*c64.Chan[simParcel]
-	handlers   map[string]SimHandler
-	code       map[string]codeInfo
-	resident   map[string]map[int]bool    // handler -> nodes holding the image
-	installing map[string]map[int]*c64.WG // handler -> in-flight transfers
-	transfers  map[string]int             // handler -> completed image transfers
-	stopped    bool
+	m        *c64.Machine
+	inboxes  []*c64.Chan[simParcel]
+	handlers map[string]SimHandler
+	code     map[string]*block // handler name -> percolatable code image
+	data     map[string]*block // block name -> percolatable data block
+	stopped  bool
 }
 
-// codeInfo describes a percolatable handler image.
-type codeInfo struct {
-	home int // node the image initially lives on
-	size int // bytes
+// block is one percolatable unit — a handler's code image or a named
+// data working set — with its residency and in-flight transfer state.
+type block struct {
+	home       int // node the block initially lives on
+	size       int // bytes
+	resident   map[int]bool    // nodes holding a copy
+	installing map[int]*c64.WG // in-flight transfers, single-flighted
+	transfers  int             // completed network crossings
+}
+
+func newBlock(home, size int) *block {
+	return &block{
+		home:       home,
+		size:       size,
+		resident:   map[int]bool{home: true},
+		installing: make(map[int]*c64.WG),
+	}
 }
 
 // NewSimNet creates a parcel network over m and starts one dispatcher
@@ -53,12 +67,10 @@ type codeInfo struct {
 // distributing; handlers run as their own tasklets.
 func NewSimNet(m *c64.Machine) *SimNet {
 	n := &SimNet{
-		m:          m,
-		handlers:   make(map[string]SimHandler),
-		code:       make(map[string]codeInfo),
-		resident:   make(map[string]map[int]bool),
-		installing: make(map[string]map[int]*c64.WG),
-		transfers:  make(map[string]int),
+		m:        m,
+		handlers: make(map[string]SimHandler),
+		code:     make(map[string]*block),
+		data:     make(map[string]*block),
 	}
 	cfg := m.Config()
 	for node := 0; node < cfg.Nodes; node++ {
@@ -87,61 +99,100 @@ func (n *SimNet) Register(name string, h SimHandler) {
 // first use, or eagerly via PrefetchCode).
 func (n *SimNet) RegisterCode(name string, home, size int, h SimHandler) {
 	n.Register(name, h)
-	n.code[name] = codeInfo{home: home, size: size}
-	n.resident[name] = map[int]bool{home: true}
+	n.code[name] = newBlock(home, size)
+}
+
+// RegisterData declares a percolatable data block of size bytes homed
+// at home. A computation's working set registered this way pays the
+// transfer on first touch at a node (TouchData), or ahead of time via
+// PrefetchData — percolation of data, the same mechanism as code.
+func (n *SimNet) RegisterData(name string, home, size int) {
+	n.data[name] = newBlock(home, size)
 }
 
 // PrefetchCode percolates the handler image to node ahead of use from
 // a tasklet on any node; the caller blocks for the transfer (issue it
 // from a helper tasklet to overlap).
 func (n *SimNet) PrefetchCode(tu *c64.TU, name string, node int) {
-	n.installCode(tu, name, node)
+	n.install(tu, n.code[name], node)
 }
 
-// installCode fetches the image to node if absent, charging the
-// transfer to the calling tasklet. Concurrent requesters of the same
-// cold image single-flight: the first pays the transfer, the rest wait
-// for it to land, so a burst of parcels racing a cold handler moves the
-// image across the network exactly once.
-func (n *SimNet) installCode(tu *c64.TU, name string, node int) {
-	ci, ok := n.code[name]
+// PrefetchData percolates the named data block to node ahead of the
+// computation that touches it; the caller blocks for the transfer.
+func (n *SimNet) PrefetchData(tu *c64.TU, name string, node int) {
+	n.install(tu, n.mustData(name), node)
+}
+
+// TouchData ensures the named block is resident at node, fetching it on
+// demand if percolation did not stage it — the critical-path cost a
+// computation pays for an unstaged working set.
+func (n *SimNet) TouchData(tu *c64.TU, name string, node int) {
+	n.install(tu, n.mustData(name), node)
+}
+
+func (n *SimNet) mustData(name string) *block {
+	b, ok := n.data[name]
 	if !ok {
+		panic(fmt.Sprintf("parcel: no sim data block %q", name))
+	}
+	return b
+}
+
+// install fetches the block to node if absent, charging the transfer to
+// the calling tasklet. Concurrent requesters of the same cold block
+// single-flight: the first pays the transfer, the rest wait for it to
+// land, so a burst racing a cold block moves it across the network
+// exactly once.
+func (n *SimNet) install(tu *c64.TU, b *block, node int) {
+	if b == nil {
 		return // plain handler: code is everywhere for free
 	}
-	if n.resident[name][node] {
+	if b.resident[node] {
 		return
 	}
-	if wg, busy := n.installing[name][node]; busy {
+	if wg, busy := b.installing[node]; busy {
 		wg.Wait(tu)
 		return
 	}
 	wg := c64.NewWG(n.m)
 	wg.Add(1)
-	if n.installing[name] == nil {
-		n.installing[name] = make(map[int]*c64.WG)
-	}
-	n.installing[name][node] = wg
+	b.installing[node] = wg
 	tu.MemCopy(
 		c64.Addr{Node: node, Region: c64.SRAM, Line: 0},
-		c64.Addr{Node: ci.home, Region: c64.DRAM, Line: 0},
-		ci.size,
+		c64.Addr{Node: b.home, Region: c64.DRAM, Line: 0},
+		b.size,
 	)
-	n.resident[name][node] = true
-	n.transfers[name]++
-	delete(n.installing[name], node)
+	b.resident[node] = true
+	b.transfers++
+	delete(b.installing, node)
 	wg.Done()
 }
 
 // Transfers reports how many times the named handler's code image has
 // actually crossed the network (lazy installs and prefetches alike).
-func (n *SimNet) Transfers(name string) int { return n.transfers[name] }
+func (n *SimNet) Transfers(name string) int {
+	if b, ok := n.code[name]; ok {
+		return b.transfers
+	}
+	return 0
+}
+
+// DataTransfers reports how many times the named data block has crossed
+// the network (demand touches and prefetches alike).
+func (n *SimNet) DataTransfers(name string) int { return n.mustData(name).transfers }
 
 // CodeResident reports whether the handler image is installed on node.
 func (n *SimNet) CodeResident(name string, node int) bool {
-	if _, ok := n.code[name]; !ok {
+	b, ok := n.code[name]
+	if !ok {
 		return true
 	}
-	return n.resident[name][node]
+	return b.resident[node]
+}
+
+// DataResident reports whether the named data block is installed on node.
+func (n *SimNet) DataResident(name string, node int) bool {
+	return n.mustData(name).resident[node]
 }
 
 // dispatch is the per-node delivery loop. It exits when Stop is called
@@ -158,7 +209,7 @@ func (n *SimNet) dispatch(tu *c64.TU, node int) {
 		}
 		pp := p
 		tu.Machine().Spawn(node, func(ht *c64.TU) {
-			n.installCode(ht, pp.handler, node) // cold-start cost, if any
+			n.install(ht, n.code[pp.handler], node) // cold-start cost, if any
 			v := h(ht, pp.from, pp.payload)
 			if pp.reply != nil {
 				pp.reply.Send(v)

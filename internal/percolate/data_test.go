@@ -1,0 +1,29 @@
+package percolate
+
+import "testing"
+
+// TestModelDataShape: staging must pay off — the modeled cold (demand-
+// fetched) access strictly dominates the warm (percolated) one, the gap
+// grows with block size, and the model is deterministic.
+func TestModelDataShape(t *testing.T) {
+	small := ModelData(1 << 10)
+	big := ModelData(1 << 16)
+	for _, m := range []DataModel{small, big} {
+		if m.ColdCycles <= m.WarmCycles {
+			t.Errorf("cold access (%d cycles) not dearer than warm (%d)", m.ColdCycles, m.WarmCycles)
+		}
+		if m.TransferCycles() <= 0 {
+			t.Errorf("non-positive transfer cycles: %+v", m)
+		}
+	}
+	if big.TransferCycles() <= small.TransferCycles() {
+		t.Errorf("64KiB transfer (%d cycles) not dearer than 1KiB (%d)",
+			big.TransferCycles(), small.TransferCycles())
+	}
+	if again := ModelData(1 << 10); again != small {
+		t.Errorf("ModelData not deterministic: %+v vs %+v", again, small)
+	}
+	if z := ModelData(0); z.TransferCycles() <= 0 {
+		t.Errorf("degenerate size not clamped: %+v", z)
+	}
+}

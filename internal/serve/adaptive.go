@@ -27,7 +27,14 @@ import (
 //   - overload control: when the admission-to-execution wait EWMA
 //     crosses LatencyBudget, the shed level rises and dispatchers drop
 //     jobs with Request.Priority below it at drain time — lowest
-//     priority first, before any deadline expires.
+//     priority first, before any deadline expires;
+//   - locality rebalancing (Locality): a periodic loop feeds the shared
+//     mem.Space access statistics — which the shards populate as they
+//     execute declared working sets at their locales — through
+//     adapt.LocalityManager, migrating write-heavy objects toward the
+//     locale that touches them most and replicating read-mostly ones at
+//     their readers, so the data plane keeps converging on local access
+//     as traffic drifts.
 //
 // The zero value leaves all of it off: the server runs the fixed
 // Batch/QueueDepth knobs exactly as before.
@@ -50,6 +57,15 @@ type AdaptConfig struct {
 	// MaxShedLevel caps the overload shed level: jobs with Priority >=
 	// MaxShedLevel are never shed by the overload controller (default 4).
 	MaxShedLevel int
+	// Locality turns on the locality loop: every LocalityEvery the
+	// server runs the system's adapt.LocalityManager over the shared
+	// space, applying its migrate/replicate plan and decaying the
+	// access counters.
+	Locality bool
+	// LocalityEvery is the locality loop period (default
+	// 8*RebalanceEvery). It should be long enough for objects to accrue
+	// MinAccesses-worth of history between decays.
+	LocalityEvery time.Duration
 }
 
 func (a AdaptConfig) withDefaults(base Config) AdaptConfig {
@@ -80,6 +96,9 @@ func (a AdaptConfig) withDefaults(base Config) AdaptConfig {
 	}
 	if a.MaxShedLevel <= 0 {
 		a.MaxShedLevel = 4
+	}
+	if a.Locality && a.LocalityEvery <= 0 {
+		a.LocalityEvery = 8 * a.RebalanceEvery
 	}
 	return a
 }
@@ -206,11 +225,23 @@ func (o *overloadController) shedLevel() int {
 
 // controlLoop is the serve layer's periodic controller: every
 // RebalanceEvery it reevaluates the overload level and rebalances the
-// shards. It runs until Close.
+// shards, and every LocalityEvery it rebalances the data plane. It runs
+// until Close.
 func (s *Server) controlLoop() {
 	defer s.control.Done()
 	t := time.NewTicker(s.cfg.Adapt.RebalanceEvery)
 	defer t.Stop()
+	// The locality loop shares the control ticker: it fires once per
+	// localityTicks rebalance ticks rather than on its own timer, so
+	// Close has exactly one loop to stop.
+	localityTicks := 0
+	if s.locality != nil {
+		localityTicks = int(s.cfg.Adapt.LocalityEvery / s.cfg.Adapt.RebalanceEvery)
+		if localityTicks < 1 {
+			localityTicks = 1
+		}
+	}
+	tick := 0
 	for {
 		select {
 		case <-s.quit:
@@ -218,6 +249,28 @@ func (s *Server) controlLoop() {
 		case <-t.C:
 		}
 		s.adaptOnce()
+		if tick++; localityTicks > 0 && tick%localityTicks == 0 {
+			s.localityOnce()
+		}
+	}
+}
+
+// localityOnce runs one locality-loop iteration: apply the locality
+// manager's migrate/replicate plan over the shared space and decay its
+// access counters, publishing the movements to the monitor. Split out
+// so tests and experiments can drive the loop deterministically.
+func (s *Server) localityOnce() {
+	if s.locality == nil {
+		return
+	}
+	actions, _ := s.locality.Rebalance()
+	for _, a := range actions {
+		switch a.Kind {
+		case "migrate":
+			s.migrations.Inc()
+		case "replicate":
+			s.replications.Inc()
+		}
 	}
 }
 
@@ -260,6 +313,9 @@ type AdaptStats struct {
 	// Steals counts jobs moved between shards; Rebalances counts
 	// control ticks that moved at least one.
 	Steals, Rebalances int64
+	// Migrations / Replications count the locality loop's data
+	// movements across the shared space (zero unless Adapt.Locality).
+	Migrations, Replications int64
 	// ShedLevel is the current overload priority floor;
 	// ShedLowPriority counts jobs it dropped.
 	ShedLevel       int
@@ -280,6 +336,8 @@ func (s *Server) AdaptStats() AdaptStats {
 		BatchShrinks:    s.batchShrink.Value(),
 		Steals:          s.steals.Value(),
 		Rebalances:      s.rebalances.Value(),
+		Migrations:      s.migrations.Value(),
+		Replications:    s.replications.Value(),
 		ShedLevel:       s.overload.shedLevel(),
 		ShedLowPriority: s.shedLowPri.Value(),
 		WaitEWMAus:      s.waitUS.Value(),

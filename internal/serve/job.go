@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/syncx"
 )
 
@@ -21,6 +22,22 @@ type Request struct {
 	// the default (most sheddable) class; mark latency-critical work
 	// with a higher value. Ignored when Config.Adapt is off.
 	Priority int
+	// WorkingSet declares the global-space objects the handler reads —
+	// ids from the tenant's registered objects (TenantConfig.Objects /
+	// Tenant.Objects). The server records each as a mem.Space read at
+	// the executing shard's locale, charging the modeled access cost
+	// (remote when no valid copy is local); with Config.Data the
+	// declaration also steers admission routing toward the set's
+	// majority home locale and lets the dispatcher stage the set ahead
+	// of execution. Same-(tenant,key) admission order is guaranteed only
+	// among requests whose routing inputs match — under locality routing
+	// that includes the working set's majority home.
+	WorkingSet []mem.ObjID
+	// WriteSet declares the objects the handler writes, recorded as
+	// mem.Space writes after the handler runs (serviced at each object's
+	// home, invalidating replicas). Writes feed the locality loop's
+	// migrate-toward-the-writer decisions.
+	WriteSet []mem.ObjID
 }
 
 // Handler executes one request for a tenant. It runs on an SGT of the
@@ -41,6 +58,7 @@ type Middleware func(Handler) Handler
 type Ctx struct {
 	sgt      *core.SGT
 	shard    int
+	locale   mem.Locale
 	tenant   *Tenant
 	deadline time.Time
 }
@@ -50,6 +68,10 @@ func (c *Ctx) SGT() *core.SGT { return c.sgt }
 
 // Shard returns the admission shard the request was queued on.
 func (c *Ctx) Shard() int { return c.shard }
+
+// Locale returns the locale the request is executing at — the home of
+// its shard's dispatcher, where any declared working set was staged.
+func (c *Ctx) Locale() mem.Locale { return c.locale }
 
 // Tenant returns the name of the tenant the request belongs to.
 func (c *Ctx) Tenant() string { return c.tenant.name }
@@ -117,6 +139,29 @@ type Job struct {
 // collision between distinct keys only makes stealing conservative.)
 func (j *Job) routeHash() uint64 {
 	return j.tenant.hash ^ (j.req.Key * 0x9E3779B97F4A7C15)
+}
+
+// dataResidentAt reports whether every object in the job's declared
+// working set has a valid copy (or its home) at the locale — the
+// rebalancer's data-residency gate, the data analogue of the code gate
+// in Tenant.residentAt: a steal must never trade queue wait for a
+// string of remote accesses the home locale would have served locally.
+// Jobs without a working set (or detached test jobs without a server)
+// fit anywhere.
+func (j *Job) dataResidentAt(loc mem.Locale) bool {
+	if len(j.req.WorkingSet) == 0 {
+		return true
+	}
+	s := j.tenant.srv
+	if s == nil || s.space == nil {
+		return true
+	}
+	for _, id := range j.req.WorkingSet {
+		if !s.space.HasValidReplica(id, loc) {
+			return false
+		}
+	}
+	return true
 }
 
 // Ticket follows a submitted request to completion.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mem"
 	"repro/internal/stats"
 )
 
@@ -41,6 +42,12 @@ type LoadConfig struct {
 	Seed uint64
 	// MaxSamples bounds the latency reservoir (default 1<<20).
 	MaxSamples int
+	// WorkingSet, when non-nil, generates each request's declared read
+	// and write sets — called once per request with the chosen tenant
+	// index and the generator's RNG, so open-loop load can exercise the
+	// data plane (routing, staging, the locality loop) without a
+	// scenario script. Nil requests declare nothing.
+	WorkingSet func(tenant int, rng *stats.RNG) (reads, writes []mem.ObjID)
 }
 
 // LoadReport summarizes one generator run against a server.
@@ -192,6 +199,9 @@ func RunLoad(s *Server, cfg LoadConfig) LoadReport {
 				deadline = now.Add(cfg.Loose)
 			}
 			req := Request{Key: key, Deadline: deadline}
+			if cfg.WorkingSet != nil {
+				req.WorkingSet, req.WriteSet = cfg.WorkingSet(ti, rng)
+			}
 			if cfg.Burst {
 				pending[ti] = append(pending[ti], req)
 				continue

@@ -1,33 +1,20 @@
 package serve
 
 import (
-	"repro/internal/percolate"
 	"repro/internal/spinwork"
 )
 
-// codeModel memoizes the percolation code-transfer simulations by image
-// size — they are deterministic, and fleets of tenants share sizes.
-func (s *Server) codeModel(size int) percolate.CodeModel {
-	s.modelMu.Lock()
-	defer s.modelMu.Unlock()
-	if m, ok := s.models[size]; ok {
-		return m
-	}
-	m := percolate.ModelCode(size)
-	s.models[size] = m
-	return m
-}
-
 // SpinUnitCycles converts modeled simulator cycles to native spin
-// units: a cold code fetch of c cycles costs spin(c/SpinUnitCycles) on
-// the serving SGT, keeping the modeled and native time scales roughly
-// commensurate without depending on the wall clock. Exported so
-// harnesses pricing "the modeled transfer" in native time use the same
-// conversion the server charges.
+// units: a cold code or data fetch of c cycles costs
+// spin(c/SpinUnitCycles) on the serving SGT, keeping the modeled and
+// native time scales roughly commensurate without depending on the
+// wall clock. Exported so harnesses pricing "the modeled transfer" in
+// native time use the same conversion the server charges.
 const SpinUnitCycles = 16
 
 // TransferSpinUnits returns the native spin-unit charge for a modeled
-// code transfer of c cycles — exactly what a cold first request pays.
+// code or data transfer of c cycles — exactly what a cold first
+// request (or an unstaged remote working-set access) pays.
 func TransferSpinUnits(c int64) int64 { return spinUnitsForCycles(c) }
 
 func spinUnitsForCycles(c int64) int64 {

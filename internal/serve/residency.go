@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/percolate"
+)
+
+// This file is the residency subsystem: one mechanism deciding what —
+// code images and data working sets alike — is present at the site of
+// computation, and what a cold miss costs. It subsumes the code-only
+// warm-up the serve layer started with (Section 3.2 percolation of
+// program instruction blocks) and extends it to data blocks: tenants
+// register objects in the shared mem.Space, dispatchers stage a batch's
+// declared working set into their locale ahead of execution, and both
+// kinds of transfer are priced through the deterministic parcel.SimNet
+// percolation models (percolate.ModelCode / percolate.ModelData).
+
+// AutoHome requests round-robin placement for a tenant data object: the
+// i-th object with AutoHome lands at locale i % locales.
+const AutoHome = -1
+
+// DataObject declares one tenant data object for the shared space.
+type DataObject struct {
+	// Size is the object size in bytes (default 8).
+	Size int
+	// Home is the object's initial home locale; AutoHome (-1) places
+	// objects round-robin across the system's locales.
+	Home int
+}
+
+// TenantConfig registers one traffic source.
+type TenantConfig struct {
+	// Name identifies the tenant; submissions name it.
+	Name string
+	// Handler executes the tenant's requests.
+	Handler Handler
+	// Middleware wraps Handler, outermost first, inside any server-wide
+	// middleware. The chain composes once here, never on the hot path.
+	Middleware []Middleware
+	// CodeSize is the tenant's handler code image in bytes. Non-zero
+	// sizes engage the percolation model: the first job on each shard
+	// pays the modeled code-transfer cost unless the image was warmed.
+	CodeSize int
+	// Warm percolates the code image at registration time (the paper's
+	// percolation applied to serving): first requests run warm on every
+	// shard.
+	Warm bool
+	// Objects declares the tenant's data objects, allocated in the
+	// shared mem.Space at registration. Requests reference the
+	// resulting ids (Tenant.Objects) in their WorkingSet / WriteSet.
+	Objects []DataObject
+	// PercolateData replicates every declared object to every locale at
+	// registration — data percolation ahead of traffic, the whole-space
+	// analogue of Warm. Without it, objects are served from their homes
+	// until per-batch staging (Config.Data.Stage) or the locality loop
+	// moves them.
+	PercolateData bool
+}
+
+// residency memoizes the deterministic SimNet transfer simulations by
+// block size — they are pure functions of size, and fleets of tenants
+// and objects share sizes.
+type residency struct {
+	mu   sync.Mutex
+	code map[int]percolate.CodeModel
+	data map[int]percolate.DataModel
+}
+
+func newResidency() *residency {
+	return &residency{
+		code: make(map[int]percolate.CodeModel),
+		data: make(map[int]percolate.DataModel),
+	}
+}
+
+// codeModel prices a handler image of the given size.
+func (r *residency) codeModel(size int) percolate.CodeModel {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.code[size]; ok {
+		return m
+	}
+	m := percolate.ModelCode(size)
+	r.code[size] = m
+	return m
+}
+
+// dataModel prices a working-set block of the given size.
+func (r *residency) dataModel(size int) percolate.DataModel {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.data[size]; ok {
+		return m
+	}
+	m := percolate.ModelData(size)
+	r.data[size] = m
+	return m
+}
+
+// transferUnits converts one data-block transfer of size bytes — a
+// demand fetch on the critical path, or a staging replication ahead of
+// it — into native spin units via the SimNet data model.
+func (r *residency) transferUnits(size int) int64 {
+	return spinUnitsForCycles(r.dataModel(size).TransferCycles())
+}
+
+// stageBatch percolates the union of a batch's declared working sets
+// into the shard's locale before any job executes: each object missing
+// a valid local copy is replicated once per batch (not once per job),
+// the transfer charged at the modeled cost on the batch SGT — off every
+// job's individual critical path, amortized exactly the way the batch
+// amortizes SGT spawns. No-op unless Config.Data.Stage is set.
+func (s *Server) stageBatch(sh *shard, jobs []*Job) {
+	if !s.cfg.Data.Stage {
+		return
+	}
+	var seen map[mem.ObjID]struct{}
+	for _, j := range jobs {
+		for _, id := range j.req.WorkingSet {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[mem.ObjID]struct{}, 8)
+			}
+			seen[id] = struct{}{}
+			if s.space.HasValidReplica(id, sh.locale) {
+				continue
+			}
+			s.space.Replicate(id, sh.locale)
+			s.datastage.Inc()
+			spinWork(s.res.transferUnits(s.space.Size(id)))
+		}
+	}
+}
+
+// RegisterTenant installs a tenant and returns its handle — the
+// identity (name hash, composed middleware chain, shard residency,
+// counters, data objects) is resolved once here so submissions through
+// the handle do no per-call lookup. With CodeSize > 0 the server prices
+// the tenant's cold start through the percolate/parcel.SimNet code
+// model; with Warm it pays the percolation up front so no request ever
+// sees it. Declared Objects are allocated in the shared space (and
+// replicated everywhere with PercolateData), ready to be named in
+// request working sets.
+func (s *Server) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("serve: tenant name required")
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("serve: tenant %q has no handler", cfg.Name)
+	}
+	locales := s.sys.Locales()
+	for i, obj := range cfg.Objects {
+		if obj.Home != AutoHome && (obj.Home < 0 || obj.Home >= locales) {
+			return nil, fmt.Errorf("serve: tenant %q object %d homed at locale %d, have %d locales",
+				cfg.Name, i, obj.Home, locales)
+		}
+	}
+	// Registrations serialize so the duplicate check is authoritative:
+	// a rejected registration must leave no trace — no monitor
+	// instruments installed, no code model priced, no objects allocated
+	// — even when the same name races in from two goroutines. Reads
+	// (Tenant, the submit shims) stay lock-free on the sync.Map.
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if _, ok := s.tenants.Load(cfg.Name); ok {
+		return nil, fmt.Errorf("serve: tenant %q already registered", cfg.Name)
+	}
+	h := cfg.Handler
+	for i := len(cfg.Middleware) - 1; i >= 0; i-- {
+		h = cfg.Middleware[i](h)
+	}
+	for i := len(s.cfg.Middleware) - 1; i >= 0; i-- {
+		h = s.cfg.Middleware[i](h)
+	}
+	t := &Tenant{
+		srv:      s,
+		name:     cfg.Name,
+		hash:     fnv64a(cfg.Name),
+		handler:  h,
+		codeSize: cfg.CodeSize,
+		resident: make([]atomic.Bool, len(s.shards)),
+		acc:      s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".accepted"),
+		rej:      s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".rejected"),
+		shed:     s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".shed"),
+		ok:       s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".done"),
+	}
+	if cfg.CodeSize > 0 {
+		t.model = s.res.codeModel(cfg.CodeSize)
+		t.transferUnits = spinUnitsForCycles(t.model.TransferCycles())
+	}
+	if cfg.CodeSize == 0 || cfg.Warm {
+		// No image to move, or it was percolated ahead of traffic.
+		for i := range t.resident {
+			t.resident[i].Store(true)
+		}
+	}
+	for i, obj := range cfg.Objects {
+		home := obj.Home
+		if home == AutoHome {
+			home = i % locales
+		}
+		id := s.space.Alloc(mem.Locale(home), obj.Size)
+		t.objects = append(t.objects, id)
+		if cfg.PercolateData {
+			for loc := 0; loc < locales; loc++ {
+				s.space.Replicate(id, mem.Locale(loc))
+			}
+		}
+	}
+	s.tenants.Store(cfg.Name, t)
+	return t, nil
+}
+
+// TenantModel returns the modeled cold/warm first-request cycle counts
+// for a registered tenant (zeros when the tenant has no code image).
+// It is the string-keyed shim over Tenant.Model.
+func (s *Server) TenantModel(name string) (coldCycles, warmCycles int64, err error) {
+	t, ok := s.Tenant(name)
+	if !ok {
+		return 0, 0, fmt.Errorf("serve: unknown tenant %q", name)
+	}
+	coldCycles, warmCycles = t.Model()
+	return coldCycles, warmCycles, nil
+}

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/mem"
 	"repro/internal/stats"
 )
 
@@ -10,13 +12,17 @@ import (
 // time it is offered; Tenant indexes the player's tenant slice;
 // DeadlineTicks, when non-zero, is the deadline expressed in virtual
 // ticks after the offer — the script carries no wall-clock quantities
-// at all.
+// at all. WorkingSet and WriteSet declare data objects by index into
+// the tenant's registered object list (Tenant.Objects), resolved to
+// mem.ObjIDs at play time so one script drives any tenant population.
 type Arrival struct {
 	Tick          int
 	Tenant        int
 	Key           uint64
 	Priority      int
 	DeadlineTicks int
+	WorkingSet    []int
+	WriteSet      []int
 }
 
 // Scenario is a deterministic load script: the full arrival schedule is
@@ -144,6 +150,54 @@ func SameShardScenario(seed uint64, ticks, perTick, shards int, name string) Sce
 	return sc
 }
 
+// LocalHotScenario is the data-plane script: every arrival declares a
+// working set over the tenant's registered objects, and the traffic
+// concentrates on the first hot object indices — the caller homes those
+// at one locale (the "hot" locale), so locality routing can serve the
+// bulk of the load locally while hash routing scatters it into remote
+// accesses. Each hot arrival (hotFrac of the load) reads a hot object
+// plus one "sidecar" drawn from the remaining indices; the sidecar is
+// read-mostly, but writeFrac of hot arrivals also write it, so the
+// locality loop sees both replication candidates (read-mostly sidecars
+// at the hot locale) and migration candidates (write-heavy sidecars
+// whose writers all sit at the hot locale). Background arrivals read
+// one uniform object. Majority-home routing ties break toward the
+// first object, so hot arrivals pin to the hot locale even when their
+// sidecar lives elsewhere.
+func LocalHotScenario(seed uint64, tenants, ticks, perTick, objects, hot int, hotFrac, writeFrac float64, keys uint64) Scenario {
+	if objects < 2 {
+		objects = 2
+	}
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= objects {
+		hot = objects - 1
+	}
+	if keys == 0 {
+		keys = 1024
+	}
+	rng := stats.NewRNG(seed | 1)
+	sc := Scenario{Name: "localhot", Ticks: ticks}
+	for t := 0; t < ticks; t++ {
+		for i := 0; i < perTick; i++ {
+			a := Arrival{Tick: t, Tenant: rng.Intn(tenants), Key: rng.Uint64() % keys}
+			if rng.Float64() < hotFrac {
+				primary := rng.Intn(hot)
+				sidecar := hot + rng.Intn(objects-hot)
+				a.WorkingSet = []int{primary, sidecar}
+				if rng.Float64() < writeFrac {
+					a.WriteSet = []int{sidecar}
+				}
+			} else {
+				a.WorkingSet = []int{rng.Intn(objects)}
+			}
+			sc.Arrivals = append(sc.Arrivals, a)
+		}
+	}
+	return sc
+}
+
 // appendUniform adds n arrivals at tick t with uniform tenant and key.
 func appendUniform(sc *Scenario, rng *stats.RNG, t, n, tenants int, keys uint64) {
 	if keys == 0 {
@@ -203,6 +257,8 @@ func PlayScenario(s *Server, sc Scenario, cfg PlayConfig) LoadReport {
 			}
 			perTenant[a.Tenant] = append(perTenant[a.Tenant], Request{
 				Key: a.Key, Priority: a.Priority, Deadline: dl,
+				WorkingSet: resolveObjs(cfg.Tenants[a.Tenant], a.WorkingSet),
+				WriteSet:   resolveObjs(cfg.Tenants[a.Tenant], a.WriteSet),
 			})
 			offered++
 		}
@@ -217,4 +273,23 @@ func PlayScenario(s *Server, sc Scenario, cfg PlayConfig) LoadReport {
 	}
 	col.drain()
 	return col.report(offered, time.Since(start))
+}
+
+// resolveObjs maps a script's object indices onto one tenant's
+// registered mem.Space ids. Scripts referencing objects a tenant never
+// registered are programmer error: panic loudly, like an unknown
+// tenant name in RunLoad.
+func resolveObjs(t *Tenant, idx []int) []mem.ObjID {
+	if len(idx) == 0 {
+		return nil
+	}
+	ids := make([]mem.ObjID, len(idx))
+	for i, k := range idx {
+		if k < 0 || k >= len(t.objects) {
+			panic(fmt.Sprintf("serve: scenario references object %d of tenant %q, which has %d objects",
+				k, t.name, len(t.objects)))
+		}
+		ids[i] = t.objects[k]
+	}
+	return ids
 }

@@ -12,6 +12,22 @@ func sameArrivals(a, b []Arrival) bool {
 		return false
 	}
 	for i := range a {
+		if a[i].Tick != b[i].Tick || a[i].Tenant != b[i].Tenant ||
+			a[i].Key != b[i].Key || a[i].Priority != b[i].Priority ||
+			a[i].DeadlineTicks != b[i].DeadlineTicks ||
+			!sameInts(a[i].WorkingSet, b[i].WorkingSet) ||
+			!sameInts(a[i].WriteSet, b[i].WriteSet) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
 		if a[i] != b[i] {
 			return false
 		}
@@ -28,6 +44,7 @@ func TestScenarioDeterministic(t *testing.T) {
 		"ramp":      func(seed uint64) Scenario { return RampScenario(seed, 4, 50, 12, 256) },
 		"hotkey":    func(seed uint64) Scenario { return HotKeyScenario(seed, 4, 50, 8, 256, 0.5) },
 		"sameshard": func(seed uint64) Scenario { return SameShardScenario(seed, 50, 8, 8, "t0") },
+		"localhot":  func(seed uint64) Scenario { return LocalHotScenario(seed, 4, 50, 8, 12, 3, 0.7, 0.3, 256) },
 	}
 	for name, f := range build {
 		a, b := f(7), f(7)

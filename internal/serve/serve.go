@@ -15,10 +15,19 @@
 //   - backpressure and load shedding — full queues reject at admission
 //     and dispatchers shed requests whose deadline has already passed,
 //     so overload degrades by dropping rather than by collapsing;
-//   - percolation warm-up — tenant registration can percolate the
-//     tenant's handler code image ahead of traffic (the Section 3.2
-//     percolation idea, priced by the parcel.SimNet code-transfer
-//     model), so first requests run warm;
+//   - residency (percolation of code and data) — tenant registration
+//     can percolate the tenant's handler code image ahead of traffic
+//     and register data objects in the shared mem.Space, requests
+//     declare working sets over those objects, and each dispatcher
+//     stages a batch's working set into its locale before execution
+//     (the Section 3.2 percolation idea for both program instruction
+//     and data blocks, priced by the parcel.SimNet transfer models), so
+//     requests run warm and local;
+//   - locale-aware routing (Config.Data) — every admission shard is
+//     pinned to one locale of the multi-locale litlx.System, and a
+//     request declaring a working set routes to a shard at the set's
+//     majority home locale instead of the plain (tenant, key) hash,
+//     turning would-be remote accesses into local ones;
 //   - closed adaptivity loop (Config.Adapt) — the paper's Section 2
 //     monitoring-feeds-controllers design applied to serving: per-shard
 //     batch controllers retune drain bounds from queue-depth EWMAs and
@@ -53,6 +62,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/litlx"
+	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/percolate"
 	"repro/internal/syncx"
@@ -87,8 +97,32 @@ type Config struct {
 	// chain composes once at registration, never on the hot path.
 	Middleware []Middleware
 	// Adapt configures the closed adaptivity loop (adaptive batch
-	// sizing, shard stealing, overload shedding). Zero value: off.
+	// sizing, shard stealing, overload shedding, locality rebalancing).
+	// Zero value: off.
 	Adapt AdaptConfig
+	// Data configures the locale-aware data plane (working-set routing
+	// and batch staging). Zero value: requests route by the (tenant,
+	// key) hash alone and nothing is staged — declared working sets are
+	// still recorded and priced as accesses, they just run where the
+	// hash lands them.
+	Data DataConfig
+}
+
+// DataConfig switches on the serving path's locale-aware data plane.
+// Both knobs act only on requests that declare a WorkingSet; requests
+// without one always take the (tenant, key) hash route.
+type DataConfig struct {
+	// LocalityRoute admits a working-set request to a shard at the
+	// set's majority home locale (mem.Space.MajorityHome) instead of
+	// the plain hash, falling back to the hash when that locale has no
+	// shards. Within the chosen locale the (tenant, key) hash still
+	// picks the shard, so same-key stickiness holds per locale.
+	LocalityRoute bool
+	// Stage lets each dispatcher percolate a batch's working set into
+	// its locale before execution: one replication per object per
+	// batch, priced by the percolate.ModelData transfer model, instead
+	// of a remote access per job.
+	Stage bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,35 +145,38 @@ func (c Config) withDefaults() Config {
 // Server accepts request streams from many concurrent clients and
 // executes them on a shared litlx.System.
 type Server struct {
-	sys *litlx.System
-	cfg Config
+	sys   *litlx.System
+	cfg   Config
+	space *mem.Space // the system's global space; data-plane directory
+	res   *residency // unified code/data transfer models and staging
 
-	shards  []*shard
-	regMu   sync.Mutex // serializes RegisterTenant; reads stay lock-free
-	tenants sync.Map   // name -> *Tenant
+	shards   []*shard
+	byLocale [][]*shard // shards grouped by pinned locale, for routing
+	regMu    sync.Mutex // serializes RegisterTenant; reads stay lock-free
+	tenants  sync.Map   // name -> *Tenant
 
 	dispatchers sync.WaitGroup
 	inflight    sync.WaitGroup
 	closed      atomic.Bool
 
-	modelMu sync.Mutex
-	models  map[int]percolate.CodeModel
-
 	// Instruments are resolved once here so the hot path never touches
 	// the monitor's name table.
 	accepted, rejected, shedc, done, failed *monitor.Counter
 	batches, codexfer                       *monitor.Counter
+	datastage                               *monitor.Counter
 	latencyUS, waitUS                       *monitor.EWMA
 
 	// Adaptivity loop (nil / unused when Config.Adapt is off).
-	load                   *adapt.LoadController
-	overload               *overloadController
-	imbalance              *monitor.EWMA
-	steals, rebalances     *monitor.Counter
-	batchGrow, batchShrink *monitor.Counter
-	shedLowPri             *monitor.Counter
-	quit                   chan struct{}
-	control                sync.WaitGroup
+	load                     *adapt.LoadController
+	overload                 *overloadController
+	locality                 *adapt.LocalityManager
+	imbalance                *monitor.EWMA
+	steals, rebalances       *monitor.Counter
+	batchGrow, batchShrink   *monitor.Counter
+	shedLowPri               *monitor.Counter
+	migrations, replications *monitor.Counter
+	quit                     chan struct{}
+	control                  sync.WaitGroup
 }
 
 // Tenant is the handle for one registered traffic source: its resolved
@@ -155,12 +192,20 @@ type Tenant struct {
 	model         percolate.CodeModel
 	transferUnits int64         // spin units modeling one cold code fetch
 	resident      []atomic.Bool // per shard: image already percolated/fetched
+	objects       []mem.ObjID   // data objects registered in the shared space
 
 	acc, rej, shed, ok *monitor.Counter
 }
 
 // Name returns the tenant's registered name.
 func (t *Tenant) Name() string { return t.name }
+
+// Objects returns the tenant's registered data objects, in
+// TenantConfig.Objects order. Requests reference these ids in their
+// WorkingSet / WriteSet declarations. The slice is a copy.
+func (t *Tenant) Objects() []mem.ObjID {
+	return append([]mem.ObjID(nil), t.objects...)
+}
 
 // residentAt reports whether the tenant's code image is already
 // resident at the given shard — the rebalancer's affinity gate: a
@@ -175,13 +220,18 @@ func (t *Tenant) Model() (coldCycles, warmCycles int64) {
 }
 
 // New starts a server over sys: Shards dispatcher LGTs are spawned
-// immediately, homed round-robin across the system's locales.
+// immediately, each pinned to one locale of the system (round-robin, so
+// every locale gets len(shards)/locales dispatchers, the first
+// shards%locales locales one extra). The pinning is what makes the data
+// plane possible: a shard's batches execute at a known locale, so
+// routing by a working set's home and staging into "the shard's locale"
+// are well-defined.
 func New(sys *litlx.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		sys:       sys,
 		cfg:       cfg,
-		models:    make(map[int]percolate.CodeModel),
+		space:     sys.Space,
 		accepted:  sys.Mon.Counter("serve.accepted"),
 		rejected:  sys.Mon.Counter("serve.rejected"),
 		shedc:     sys.Mon.Counter("serve.shed"),
@@ -189,37 +239,66 @@ func New(sys *litlx.System, cfg Config) *Server {
 		failed:    sys.Mon.Counter("serve.failed"),
 		batches:   sys.Mon.Counter("serve.batches"),
 		codexfer:  sys.Mon.Counter("serve.codexfer"),
+		datastage: sys.Mon.Counter("serve.data.staged"),
 		latencyUS: sys.Mon.EWMA("serve.latency_us", 0.05),
 		waitUS:    sys.Mon.EWMA("serve.wait_us", 0.05),
 
-		steals:      sys.Mon.Counter("serve.adapt.steals"),
-		rebalances:  sys.Mon.Counter("serve.adapt.rebalances"),
-		batchGrow:   sys.Mon.Counter("serve.adapt.batch_grow"),
-		batchShrink: sys.Mon.Counter("serve.adapt.batch_shrink"),
-		shedLowPri:  sys.Mon.Counter("serve.adapt.shed_lowpri"),
+		steals:       sys.Mon.Counter("serve.adapt.steals"),
+		rebalances:   sys.Mon.Counter("serve.adapt.rebalances"),
+		batchGrow:    sys.Mon.Counter("serve.adapt.batch_grow"),
+		batchShrink:  sys.Mon.Counter("serve.adapt.batch_shrink"),
+		shedLowPri:   sys.Mon.Counter("serve.adapt.shed_lowpri"),
+		migrations:   sys.Mon.Counter("serve.adapt.migrations"),
+		replications: sys.Mon.Counter("serve.adapt.replications"),
 	}
+	s.res = newResidency()
 	if cfg.Adapt.Enabled {
 		s.load = adapt.NewLoadController()
 		s.load.ImbalanceThreshold = cfg.Adapt.StealThreshold
 		s.overload = newOverloadController(cfg.Adapt)
 		s.imbalance = sys.Mon.EWMA("serve.adapt.imbalance", 0.2)
 		s.quit = make(chan struct{})
+		if cfg.Adapt.Locality {
+			// Drive the system's own locality controller: the serve
+			// layer is one of possibly many feeders of the shared space,
+			// and the decision policy lives in internal/adapt.
+			s.locality = sys.Locality
+		}
 	}
 	locales := sys.Locales()
+	s.byLocale = make([][]*shard, locales)
 	for i := 0; i < cfg.Shards; i++ {
 		sh := newShard(i, cfg.QueueDepth)
+		sh.locale = mem.Locale(i % locales)
 		if cfg.Adapt.Enabled {
 			sh.ctrl = newBatchController(sys.Mon, i, cfg)
 		}
 		s.shards = append(s.shards, sh)
+		s.byLocale[sh.locale] = append(s.byLocale[sh.locale], sh)
 		s.dispatchers.Add(1)
-		sys.SpawnLGT(i%locales, func(l *core.LGT) { s.dispatch(l, sh) })
+		sys.SpawnLGT(int(sh.locale), func(l *core.LGT) { s.dispatch(l, sh) })
 	}
 	if cfg.Adapt.Enabled {
 		s.control.Add(1)
 		go s.controlLoop()
 	}
 	return s
+}
+
+// routeShard picks the admission shard for one request: a declared
+// working set under locality routing prefers a shard at the set's
+// majority home locale (the hash then picks among that locale's
+// shards), anything else — no working set, routing off, or a locale
+// with no shards — falls back to the server-wide (tenant, key) hash.
+func (s *Server) routeShard(t *Tenant, req *Request) *shard {
+	if s.cfg.Data.LocalityRoute && len(req.WorkingSet) > 0 {
+		if loc, ok := s.space.MajorityHome(req.WorkingSet); ok {
+			if group := s.byLocale[loc]; len(group) > 0 {
+				return group[shardIndex(t.hash, req.Key, len(group))]
+			}
+		}
+	}
+	return s.shards[shardIndex(t.hash, req.Key, len(s.shards))]
 }
 
 // Tenant returns the handle for a registered tenant.
@@ -258,7 +337,7 @@ func (t *Tenant) SubmitFunc(req Request, done func(Result)) error {
 		req.Deadline = now.Add(s.cfg.DefaultDeadline)
 	}
 	j := &Job{tenant: t, req: req, enqueued: now, done: done}
-	sh := s.shards[shardIndex(t.hash, req.Key, len(s.shards))]
+	sh := s.routeShard(t, &req)
 	if !sh.enqueue(j) {
 		// Shards only refuse when full or shut; Close sets s.closed
 		// before shutting shards, so the flag distinguishes the two.
@@ -320,7 +399,7 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 			r.Deadline = now.Add(s.cfg.DefaultDeadline)
 		}
 		jobs[i] = &Job{tenant: t, req: r, enqueued: now, done: func(res Result) { done(i, res) }}
-		si := shardIndex(t.hash, r.Key, nshards)
+		si := s.routeShard(t, &r).id
 		home[i] = si
 		counts[si]++
 	}
@@ -395,11 +474,16 @@ func (s *Server) SubmitFunc(tenantName string, key uint64, payload any, deadline
 
 // execute runs one admitted request on the batch SGT, paying the
 // modeled code-transfer cost if the tenant's image is not yet resident
-// at this shard (percolated tenants pre-marked it everywhere). Requests
-// whose deadline expired after draining — waiting for a batch slot, or
-// behind a slow sibling in the same batch — are shed here rather than
-// run uselessly late.
-func (s *Server) execute(sg *core.SGT, shardID int, j *Job) {
+// at this shard (percolated tenants pre-marked it everywhere), then the
+// modeled access cost of its declared working set: reads served by a
+// local copy are cheap, reads with no valid copy at this locale pay the
+// modeled demand-fetch transfer on the critical path — exactly what
+// routing and staging exist to avoid. Writes are recorded after the
+// handler, serviced at each object's home. Requests whose deadline
+// expired after draining — waiting for a batch slot, or behind a slow
+// sibling in the same batch — are shed here rather than run uselessly
+// late.
+func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 	if !j.req.Deadline.IsZero() {
 		if now := time.Now(); now.After(j.req.Deadline) {
 			s.shed(j, now)
@@ -407,15 +491,20 @@ func (s *Server) execute(sg *core.SGT, shardID int, j *Job) {
 		}
 	}
 	t := j.tenant
-	if !t.resident[shardID].Load() {
+	if !t.resident[sh.id].Load() {
 		spinWork(t.transferUnits)
-		t.resident[shardID].Store(true)
+		t.resident[sh.id].Store(true)
 		s.codexfer.Inc()
+	}
+	for _, id := range j.req.WorkingSet {
+		if info := s.space.ReadAccess(sh.locale, id, 0); info.Remote {
+			spinWork(s.res.transferUnits(info.Bytes))
+		}
 	}
 	start := time.Now()
 	res := Result{Wait: start.Sub(j.enqueued), Priority: j.req.Priority}
 	s.waitUS.Observe(float64(res.Wait) / float64(time.Microsecond))
-	ctx := &Ctx{sgt: sg, shard: shardID, tenant: t, deadline: j.req.Deadline}
+	ctx := &Ctx{sgt: sg, shard: sh.id, locale: sh.locale, tenant: t, deadline: j.req.Deadline}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -433,6 +522,15 @@ func (s *Server) execute(sg *core.SGT, shardID int, j *Job) {
 		res.Status = StatusOK
 		res.Value = v
 	}()
+	if res.Status == StatusOK {
+		// Writes commit only for handlers that completed: a failed or
+		// panicked handler must not invalidate replicas it never wrote.
+		for _, id := range j.req.WriteSet {
+			if info := s.space.WriteAccess(sh.locale, id, 0); info.Remote {
+				spinWork(s.res.transferUnits(info.Bytes))
+			}
+		}
+	}
 	res.Total = time.Since(j.enqueued)
 	if res.Status == StatusFailed {
 		s.failed.Inc()
@@ -491,11 +589,18 @@ func (s *Server) Close() {
 type Stats struct {
 	Accepted, Rejected, Shed, Done, Failed int64
 	Batches, CodeTransfers                 int64
+	// DataStaged counts working-set objects the residency subsystem
+	// replicated into a dispatcher's locale ahead of a batch
+	// (Config.Data.Stage).
+	DataStaged int64
 	// Steals / Rebalances / ShedLowPriority count the adaptivity
 	// loop's actions (zero when Config.Adapt is off; ShedLowPriority
 	// jobs also count in Shed).
 	Steals, Rebalances, ShedLowPriority int64
-	LatencyEWMAus                       float64
+	// Migrations / Replications count the locality loop's data
+	// movements (zero unless Config.Adapt.Locality is on).
+	Migrations, Replications int64
+	LatencyEWMAus            float64
 	// WaitEWMAus is the smoothed admission-to-execution wait — the
 	// signal the overload controller steers by.
 	WaitEWMAus float64
@@ -515,9 +620,12 @@ func (s *Server) Stats() Stats {
 		Failed:          s.failed.Value(),
 		Batches:         s.batches.Value(),
 		CodeTransfers:   s.codexfer.Value(),
+		DataStaged:      s.datastage.Value(),
 		Steals:          s.steals.Value(),
 		Rebalances:      s.rebalances.Value(),
 		ShedLowPriority: s.shedLowPri.Value(),
+		Migrations:      s.migrations.Value(),
+		Replications:    s.replications.Value(),
 		LatencyEWMAus:   s.latencyUS.Value(),
 		WaitEWMAus:      s.waitUS.Value(),
 	}

@@ -497,10 +497,10 @@ func TestDuplicateRegistrationLeavesNoTrace(t *testing.T) {
 	if after := len(sys.Mon.Snapshot().Counters); after != before {
 		t.Errorf("duplicate registration changed counter table: %d -> %d", before, after)
 	}
-	s.modelMu.Lock()
-	nmodels := len(s.models)
-	_, leaked := s.models[3<<20]
-	s.modelMu.Unlock()
+	s.res.mu.Lock()
+	nmodels := len(s.res.code)
+	_, leaked := s.res.code[3<<20]
+	s.res.mu.Unlock()
 	if nmodels != 1 || leaked {
 		t.Errorf("duplicate registration leaked into model cache (%d entries, 3MiB present=%v)", nmodels, leaked)
 	}
@@ -534,9 +534,9 @@ func TestConcurrentDuplicateRegistration(t *testing.T) {
 	if wins.Load() != 1 {
 		t.Fatalf("%d registrations of the same name succeeded, want exactly 1", wins.Load())
 	}
-	s.modelMu.Lock()
-	nmodels := len(s.models)
-	s.modelMu.Unlock()
+	s.res.mu.Lock()
+	nmodels := len(s.res.code)
+	s.res.mu.Unlock()
 	if nmodels != 1 {
 		t.Errorf("losing registrations leaked %d entries into the model cache, want 1", nmodels)
 	}

@@ -5,20 +5,24 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 )
 
 // shard is one admission queue: a bounded FIFO guarded by its own lock,
-// drained by one dedicated dispatcher LGT. Jobs hash onto shards by
-// (tenant, key), so the admission hot path touches exactly one shard
-// lock and never anything global.
+// drained by one dedicated dispatcher LGT pinned to the shard's locale.
+// Jobs hash onto shards by (tenant, key) — or, for requests declaring a
+// working set under locality routing, onto a shard at the set's
+// majority home locale — so the admission hot path touches exactly one
+// shard lock and never anything global.
 type shard struct {
-	id   int
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []*Job
-	cap  int
-	shut bool
-	ctrl *batchController // nil unless Config.Adapt is enabled
+	id     int
+	locale mem.Locale // where the dispatcher LGT and its batch SGTs run
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*Job
+	cap    int
+	shut   bool
+	ctrl   *batchController // nil unless Config.Adapt is enabled
 }
 
 func newShard(id, depth int) *shard {
@@ -126,9 +130,11 @@ func (sh *shard) shutdown() {
 //     when InflightBatches > 1, and a same-key job admitted after a
 //     steal may drain on the home shard while the stolen singleton
 //     waits behind the thief's backlog.)
-//   - tenant affinity: a job only moves to a shard where its tenant's
-//     code image is already resident, so stealing never trades queue
-//     wait for a cold code transfer.
+//   - residency: a job only moves to a shard where its tenant's code
+//     image is already resident AND every object of its declared working
+//     set has a valid copy at the destination's locale, so stealing
+//     never trades queue wait for a cold code transfer or a string of
+//     remote data accesses.
 //
 // Among candidates the newest move first: the oldest jobs keep their
 // head-of-queue position on their home shard. Locks are taken in shard-
@@ -161,7 +167,7 @@ func stealJobs(src, dst *shard, want int) int {
 	}
 	idx := make([]int, 0, len(src.q))
 	for i, j := range src.q {
-		if siblings[j.routeHash()] == 1 && j.tenant.residentAt(dst.id) {
+		if siblings[j.routeHash()] == 1 && j.tenant.residentAt(dst.id) && j.dataResidentAt(dst.locale) {
 			idx = append(idx, i)
 		}
 	}
@@ -250,8 +256,12 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 			// when a deep backlog calls for it.
 			start := time.Now()
 			defer func() { s.inflight.Done(); <-tokens }()
+			// Stage the batch's working set into this locale before any
+			// job runs: one transfer per object per batch, amortized the
+			// same way the batch amortizes spawns.
+			s.stageBatch(sh, jobs)
 			for _, j := range jobs {
-				s.execute(sg, sh.id, j)
+				s.execute(sg, sh, j)
 			}
 			if sh.ctrl != nil {
 				sh.ctrl.observeLatency(float64(time.Since(start)) / float64(time.Microsecond))
