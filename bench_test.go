@@ -92,3 +92,6 @@ func BenchmarkExpV2AdaptiveServe(b *testing.B) { benchExp(b, "V2") }
 // routing, working-set staging, the locality loop) against hash-routed
 // cold access on the localhot script.
 func BenchmarkExpV3DataLocality(b *testing.B) { benchExp(b, "V3") }
+
+// Serving path: future-chained pipeline flows vs per-stage resubmission.
+func BenchmarkExpV4PipelineFlows(b *testing.B) { benchExp(b, "V4") }

@@ -21,11 +21,19 @@
 // and replicating hot objects; the localhot scenario concentrates
 // traffic on the locale-0 objects to show it off.
 //
+// -pipeline swaps the single-request generators for open-loop dataflow
+// flows: a dedicated tenant compiles a 3-stage fan-out pipeline (parse
+// a hot locale-0 document, enrich -fan parts against element blocks on
+// the other locales, aggregate into a locale-0 result), every stage
+// routed by its declared working set, and the report covers whole
+// flows plus per-stage done/shed/steal/locality accounting.
+//
 // Examples:
 //
 //	htserved -rate 5000 -tenants 64 -shards 8 -duration 2s
 //	htserved -scenario hotkey -hotfrac 0.8 -adapt -rate 8000 -duration 2s
 //	htserved -scenario localhot -adapt -locality -locales 2 -rate 4000 -duration 2s
+//	htserved -pipeline -fan 4 -locales 2 -rate 1000 -duration 2s
 package main
 
 import (
@@ -66,6 +74,8 @@ func main() {
 		hotFrac  = flag.Float64("hotfrac", 0.8, "hot-key fraction for -scenario hotkey, hot-object fraction for -scenario localhot and open-loop -locality")
 		locality = flag.Bool("locality", false, "engage the data plane: working-set routing, batch staging, and the locality loop (requires -adapt)")
 		objects  = flag.Int("objects", 16, "data objects per tenant for -locality / -scenario localhot")
+		pipeline = flag.Bool("pipeline", false, "drive 3-stage fan-out dataflow flows (parse -> enrich -> aggregate) through Tenant.SubmitFlow; stages route by their declared working sets")
+		fan      = flag.Int("fan", 4, "fan-out width for -pipeline flows")
 	)
 	flag.Parse()
 
@@ -97,6 +107,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "htserved: -objects must be >= 2 for the data plane")
 		os.Exit(2)
 	}
+	if *pipeline && *scenario != "" {
+		fmt.Fprintln(os.Stderr, "htserved: -pipeline and -scenario are exclusive load modes")
+		os.Exit(2)
+	}
+	if *pipeline && *fan < 1 {
+		fmt.Fprintln(os.Stderr, "htserved: -fan must be >= 1")
+		os.Exit(2)
+	}
 
 	sys, err := litlx.New(litlx.Config{Locales: *locales, WorkersPerLocale: *workers})
 	if err != nil {
@@ -111,8 +129,18 @@ func main() {
 	if *locality {
 		cfg.Data = serve.DataConfig{LocalityRoute: true, Stage: true}
 	}
+	if *pipeline {
+		// Pipeline flows exist to route each stage at its data; -locality
+		// additionally stages batches, but routing alone is the default.
+		cfg.Data.LocalityRoute = true
+	}
 	srv := serve.New(sys, cfg)
 	defer srv.Close()
+
+	if *pipeline {
+		runPipelineFlows(sys, srv, *rate, *duration, *fan, *locales, *work, *keys, *loose, *seed)
+		return
+	}
 
 	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
 		spinwork.Work(*work)
@@ -272,6 +300,98 @@ func main() {
 			"%d migrations, %d replications\n",
 			sp.Reads+sp.Writes, 100*sys.Space.RemoteFraction(), sp.TotalCost,
 			st.DataStaged, st.Migrations, st.Replications)
+	}
+}
+
+// runPipelineFlows is the -pipeline mode: a dedicated tenant registers
+// the V4-shaped object set (a hot document and result at locale 0,
+// element blocks spread across the remaining locales), compiles a
+// 3-stage fan-out pipeline whose stages declare their working sets, and
+// the open-loop flow generator offers whole flows at -rate. Each stage
+// burns -work spin units; -loose is the per-flow deadline the pipeline
+// propagates to every stage.
+func runPipelineFlows(sys *litlx.System, srv *serve.Server, rate float64, duration time.Duration,
+	fan, locales int, work int64, keys uint64, deadline time.Duration, seed uint64) {
+	specs := make([]serve.DataObject, fan+2)
+	specs[0] = serve.DataObject{Size: 2048, Home: 0}
+	for j := 1; j <= fan; j++ {
+		home := 0
+		if locales > 1 {
+			home = 1 + (j-1)%(locales-1)
+		}
+		specs[j] = serve.DataObject{Size: 2048, Home: home}
+	}
+	specs[fan+1] = serve.DataObject{Size: 512, Home: 0}
+	tn, err := srv.RegisterTenant(serve.TenantConfig{
+		Name:    "flows",
+		Handler: func(_ *serve.Ctx, req serve.Request) (any, error) { return req.Payload, nil },
+		Objects: specs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htserved:", err)
+		os.Exit(1)
+	}
+	objs := tn.Objects()
+	doc, elems, result := objs[0:1], objs[1:fan+1], objs[fan+1:fan+2]
+	pl, err := tn.NewPipeline("fan",
+		serve.Stage{Name: "parse",
+			WorkingSet: func(any) []mem.ObjID { return doc },
+			Handler: func(_ *serve.Ctx, _ serve.Request) (any, error) {
+				spinwork.Work(work)
+				parts := make([]any, fan)
+				for i := range parts {
+					parts[i] = i
+				}
+				return parts, nil
+			}},
+		serve.Stage{Name: "enrich", Map: true,
+			Key:        func(v any) uint64 { return uint64(v.(int)) },
+			WorkingSet: func(v any) []mem.ObjID { return elems[v.(int) : v.(int)+1] },
+			Handler: func(_ *serve.Ctx, req serve.Request) (any, error) {
+				spinwork.Work(work)
+				return req.Payload, nil
+			}},
+		serve.Stage{Name: "aggregate",
+			WorkingSet: func(any) []mem.ObjID { return result },
+			WriteSet:   func(any) []mem.ObjID { return result },
+			Handler: func(_ *serve.Ctx, req serve.Request) (any, error) {
+				spinwork.Work(work)
+				return len(req.Payload.([]any)), nil
+			}},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htserved:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("offering %.0f flows/s for %v through a 3-stage fan-out pipeline (width %d, locality-routed stages)...\n",
+		rate, duration, fan)
+	rep := serve.RunFlows(srv, serve.FlowLoadConfig{
+		Pipeline: pl, Rate: rate, Duration: duration,
+		KeySpace: keys, Deadline: deadline, Seed: seed,
+	})
+
+	tab := stats.NewTable("htserved pipeline flow report", "metric", "value")
+	tab.AddRow("flows offered", rep.Offered)
+	tab.AddRow("flows completed", rep.Completed)
+	tab.AddRow("flows rejected", rep.Rejected)
+	tab.AddRow("flows shed", rep.Shed)
+	tab.AddRow("flows failed", rep.Failed)
+	tab.AddRow("throughput flows/s", fmt.Sprintf("%.1f", rep.Throughput))
+	tab.AddRow("p50 flow latency", rep.P50)
+	tab.AddRow("p99 flow latency", rep.P99)
+	fmt.Println(tab.String())
+
+	st := srv.Stats()
+	fmt.Printf("flows: %d submitted, %d stage jobs (%d fan-out elements), %d stage steals\n",
+		st.Flow.Submitted, st.Flow.StageJobs, st.Flow.FanOut, st.Flow.StageSteals)
+	stab := stats.NewTable("pipeline stages", "stage", "done", "shed", "failed", "fanout", "steals", "local", "remote")
+	for _, ss := range pl.StageStats() {
+		stab.AddRow(ss.Name, ss.Done, ss.Shed, ss.Failed, ss.FanOut, ss.Steals, ss.LocalExec, ss.RemoteExec)
+	}
+	fmt.Println(stab.String())
+	if sp := sys.Space.Stats(); sp.Reads+sp.Writes > 0 {
+		fmt.Printf("data: %d accesses (%.1f%% remote), modeled cost %d\n",
+			sp.Reads+sp.Writes, 100*sys.Space.RemoteFraction(), sp.TotalCost)
 	}
 }
 

@@ -23,7 +23,14 @@
 // declare mem.Space working sets that steer routing toward their data's
 // home, and a unified residency subsystem percolates code images and
 // data blocks alike to the site of computation, priced by the
-// parcel.SimNet transfer models.
+// parcel.SimNet transfer models. On top of both rides the dataflow
+// serving surface (serve.Pipeline / Tenant.SubmitFlow): multi-stage
+// flows whose intermediate values are error-carrying futures chained
+// shard-to-shard — each stage's routing declaration derives the next
+// working set, Map stages fan out with future.All fanning back in, and
+// flow-scoped deadlines shed the remaining stages the moment they
+// expire (experiment V4 measures pipelines against per-stage
+// resubmission). Plain Submit is the degenerate one-stage pipeline.
 //
 // The implementation lives under internal/; see README.md for the map,
 // DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
@@ -33,12 +40,13 @@
 //	internal/serve    — the job service layer (API v2): tenant handles,
 //	                    error-aware handlers + middleware, locale-pinned
 //	                    sharded admission, batching + burst admission,
+//	                    future-wired dataflow pipelines (SubmitFlow),
 //	                    shedding, code/data residency and the locality-
 //	                    aware data plane
 //	cmd/htvmbench     — regenerates every experiment table
-//	cmd/htserved      — the job server under synthetic open-loop load
-//	                    or deterministic scenario scripts (-scenario,
-//	                    -adapt, -locality)
+//	cmd/htserved      — the job server under synthetic open-loop load,
+//	                    deterministic scenario scripts (-scenario,
+//	                    -adapt, -locality), or dataflow flows (-pipeline)
 //	cmd/litlxc        — the LITL-X script compiler/driver
 //	cmd/c64sim        — the standalone machine simulator
 //	examples/         — five runnable walkthroughs

@@ -35,7 +35,7 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3", "V1", "V2", "V3"}
+	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3", "V1", "V2", "V3", "V4"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -176,6 +176,24 @@ func TestShapeV2AdaptiveBeatsStaticOnSkew(t *testing.T) {
 		if res.Metrics[scn+"_batch_moves"] == 0 {
 			t.Errorf("%s: batch controller never retuned", scn)
 		}
+	}
+}
+
+func TestShapeV4PipelineBeatsResubmission(t *testing.T) {
+	res, _ := Run("V4", 1)
+	// Deterministic: modeled access costs come from the shared space
+	// directory under pure hash / majority-home routing.
+	if s := res.Metrics["modeled_speedup"]; s <= 1 {
+		t.Errorf("pipeline modeled speedup = %v, want > 1 (future-chained stages must beat caller round trips)", s)
+	}
+	if rf := res.Metrics["pipeline_remote_frac"]; rf > 0.05 {
+		t.Errorf("pipeline remote fraction = %v, want ~0 (locality-routed stages run at their data)", rf)
+	}
+	if pr, sr := res.Metrics["pipeline_remote_frac"], res.Metrics["resubmit_remote_frac"]; sr <= pr {
+		t.Errorf("resubmission remote fraction %v not above pipeline %v", sr, pr)
+	}
+	if res.Metrics["pipeline_fanout"] == 0 {
+		t.Error("fan-out stage never fanned out")
 	}
 }
 

@@ -5,27 +5,68 @@
 // (eager); consumers either block (Get) or attach continuations (Then)
 // that are buffered at the future's cell and run when the value arrives
 // — no consumer ever polls.
+//
+// Futures are error-carrying: a future resolves with either a value or
+// an error, and errors propagate through derived futures (Map, All)
+// without running the derivation — the dataflow analogue of error
+// returns, so a failing producer inside an SGT surfaces at its
+// consumers instead of panicking the worker. Value-only consumers
+// (Get, Then, ThenSpawn, Map) see only successful resolutions;
+// error-aware consumers use GetErr, ThenErr, and MapErr.
 package future
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/syncx"
 )
 
+// outcome is what a future's cell actually holds: the value or the
+// error it resolved with. Exactly one resolution ever happens (the cell
+// is write-once), so val and err are immutable after Put.
+type outcome[T any] struct {
+	val T
+	err error
+}
+
 // Future is a placeholder for a value of type T being computed
-// elsewhere.
+// elsewhere, or for the error that computation failed with.
 type Future[T any] struct {
-	cell *syncx.Cell[T]
+	cell *syncx.Cell[outcome[T]]
 	rt   *core.Runtime
-	home int // locale the value is produced at
+	// home is the locale the value is produced at. It is atomic because
+	// All re-homes its combined future at resolution time (to the
+	// last-resolved input's home) while consumers may concurrently ask
+	// Home.
+	home atomic.Int32
+}
+
+func newFuture[T any](rt *core.Runtime, home int) *Future[T] {
+	f := &Future[T]{cell: syncx.NewCell[outcome[T]](), rt: rt}
+	f.home.Store(int32(home))
+	return f
 }
 
 // Spawn eagerly starts fn as an SGT at the given locale and returns the
 // future of its result.
 func Spawn[T any](rt *core.Runtime, locale int, fn func() T) *Future[T] {
-	f := &Future[T]{cell: syncx.NewCell[T](), rt: rt, home: locale}
+	f := newFuture[T](rt, locale)
 	rt.GoAt(locale, 0, func(s *core.SGT) {
-		f.cell.Put(fn())
+		f.cell.Put(outcome[T]{val: fn()})
+	})
+	rt.Monitor().Counter("future.spawn").Inc()
+	return f
+}
+
+// SpawnErr is Spawn for fallible producers: a non-nil error resolves
+// the future as failed, and the failure propagates through any derived
+// futures instead of panicking on the worker.
+func SpawnErr[T any](rt *core.Runtime, locale int, fn func() (T, error)) *Future[T] {
+	f := newFuture[T](rt, locale)
+	rt.GoAt(locale, 0, func(s *core.SGT) {
+		v, err := fn()
+		f.cell.Put(outcome[T]{val: v, err: err})
 	})
 	rt.Monitor().Counter("future.spawn").Inc()
 	return f
@@ -34,9 +75,9 @@ func Spawn[T any](rt *core.Runtime, locale int, fn func() T) *Future[T] {
 // SpawnFrom starts fn as a child SGT of s (same locale, LIFO deque) —
 // the cheap fork for recursive divide-and-conquer futures.
 func SpawnFrom[T any](s *core.SGT, fn func() T) *Future[T] {
-	f := &Future[T]{cell: syncx.NewCell[T](), rt: s.Runtime(), home: s.Locale()}
+	f := newFuture[T](s.Runtime(), s.Locale())
 	s.Spawn(func(c *core.SGT) {
-		f.cell.Put(fn())
+		f.cell.Put(outcome[T]{val: fn()})
 	})
 	s.Runtime().Monitor().Counter("future.spawn").Inc()
 	return f
@@ -44,75 +85,184 @@ func SpawnFrom[T any](s *core.SGT, fn func() T) *Future[T] {
 
 // Resolved returns an already-filled future.
 func Resolved[T any](v T) *Future[T] {
-	f := &Future[T]{cell: syncx.NewCell[T]()}
-	f.cell.Put(v)
+	f := newFuture[T](nil, 0)
+	f.cell.Put(outcome[T]{val: v})
+	return f
+}
+
+// ResolvedAt returns an already-filled future bound to a runtime and a
+// home locale — a value that has already materialized at a known site,
+// from which ThenSpawn can ship continuations to other locales.
+func ResolvedAt[T any](rt *core.Runtime, home int, v T) *Future[T] {
+	f := newFuture[T](rt, home)
+	f.cell.Put(outcome[T]{val: v})
+	return f
+}
+
+// Err returns an already-failed future: Ready is true, GetErr reports
+// the error, and every future derived from it (Map, All) fails with the
+// same error without running its derivation.
+func Err[T any](err error) *Future[T] {
+	if err == nil {
+		panic("future: Err with nil error (use Resolved)")
+	}
+	f := newFuture[T](nil, 0)
+	f.cell.Put(outcome[T]{err: err})
 	return f
 }
 
 // Promise returns an empty future plus its resolver, for values
 // produced by external events (parcels, I/O).
 func Promise[T any](rt *core.Runtime) (*Future[T], func(T)) {
-	f := &Future[T]{cell: syncx.NewCell[T](), rt: rt}
-	return f, f.cell.Put
+	f := newFuture[T](rt, 0)
+	return f, func(v T) { f.cell.Put(outcome[T]{val: v}) }
+}
+
+// PromiseErr is Promise with a fallible resolver: resolving with a
+// non-nil error fails the future.
+func PromiseErr[T any](rt *core.Runtime) (*Future[T], func(T, error)) {
+	f := newFuture[T](rt, 0)
+	return f, func(v T, err error) { f.cell.Put(outcome[T]{val: v, err: err}) }
 }
 
 // Get blocks the calling goroutine until the value is available. From
-// worker code, prefer Then to keep the worker free.
-func (f *Future[T]) Get() T { return f.cell.Get() }
+// worker code, prefer Then to keep the worker free. Get on a failed
+// future panics — callers that can observe failures use GetErr.
+func (f *Future[T]) Get() T {
+	o := f.cell.Get()
+	if o.err != nil {
+		panic("future: Get on a failed future: " + o.err.Error())
+	}
+	return o.val
+}
 
-// Ready reports whether the value has been produced.
+// GetErr blocks until the future resolves and returns its value or the
+// error it failed with.
+func (f *Future[T]) GetErr() (T, error) {
+	o := f.cell.Get()
+	return o.val, o.err
+}
+
+// Ready reports whether the future has resolved (with a value or an
+// error).
 func (f *Future[T]) Ready() bool { return f.cell.Full() }
 
 // Home returns the locale the value is produced at (0 for Resolved).
-func (f *Future[T]) Home() int { return f.home }
+// For All-combined futures it is the last-resolved input's home — the
+// site where the combined value actually assembles.
+func (f *Future[T]) Home() int { return int(f.home.Load()) }
 
 // Then registers fn to run with the value once available; the request
 // is buffered at the future, and fn runs immediately when the value is
 // already there. fn executes on the producer's goroutine (or the
 // caller's when already resolved) — keep it small, or spawn inside it.
-func (f *Future[T]) Then(fn func(T)) { f.cell.OnFull(fn) }
+// On a failed future fn never runs; error-aware consumers use ThenErr.
+func (f *Future[T]) Then(fn func(T)) {
+	f.cell.OnFull(func(o outcome[T]) {
+		if o.err == nil {
+			fn(o.val)
+		}
+	})
+}
+
+// ThenErr registers fn to run once the future resolves, successfully or
+// not — the continuation form that lets stage failures propagate
+// instead of vanishing.
+func (f *Future[T]) ThenErr(fn func(T, error)) {
+	f.cell.OnFull(func(o outcome[T]) { fn(o.val, o.err) })
+}
 
 // ThenSpawn registers a continuation that runs as a fresh SGT at the
-// given locale when the value arrives, the parcel-friendly form.
+// given locale when the value arrives, the parcel-friendly form. On a
+// failed future nothing is spawned.
 func (f *Future[T]) ThenSpawn(locale int, fn func(*core.SGT, T)) {
 	if f.rt == nil {
 		panic("future: ThenSpawn on a runtime-less future (use Then)")
 	}
 	rt := f.rt
-	f.cell.OnFull(func(v T) {
-		rt.GoAt(locale, 0, func(s *core.SGT) { fn(s, v) })
+	f.cell.OnFull(func(o outcome[T]) {
+		if o.err != nil {
+			return
+		}
+		rt.GoAt(locale, 0, func(s *core.SGT) { fn(s, o.val) })
 	})
 }
 
 // Map derives a future whose value is g applied to f's value, computed
-// as soon as f resolves (eagerness is preserved through the chain).
+// as soon as f resolves (eagerness is preserved through the chain). If
+// f fails, the derived future fails with the same error and g never
+// runs.
 func Map[T, U any](f *Future[T], g func(T) U) *Future[U] {
-	out := &Future[U]{cell: syncx.NewCell[U](), rt: f.rt, home: f.home}
-	f.cell.OnFull(func(v T) { out.cell.Put(g(v)) })
+	out := newFuture[U](f.rt, f.Home())
+	f.cell.OnFull(func(o outcome[T]) {
+		if o.err != nil {
+			out.cell.Put(outcome[U]{err: o.err})
+			return
+		}
+		out.cell.Put(outcome[U]{val: g(o.val)})
+	})
+	return out
+}
+
+// MapErr is Map for fallible derivations: g's error fails the derived
+// future, and an already-failed input propagates without running g.
+func MapErr[T, U any](f *Future[T], g func(T) (U, error)) *Future[U] {
+	out := newFuture[U](f.rt, f.Home())
+	f.cell.OnFull(func(o outcome[T]) {
+		if o.err != nil {
+			out.cell.Put(outcome[U]{err: o.err})
+			return
+		}
+		v, err := g(o.val)
+		out.cell.Put(outcome[U]{val: v, err: err})
+	})
 	return out
 }
 
 // All collects n futures into one future of the slice of values, in
 // input order. It never blocks a goroutine: each input buffers a
-// continuation, and the last arrival assembles the result.
+// continuation, and the last arrival assembles the result — the
+// combined future's home is therefore the last-resolved input's home,
+// the locale where the full set first exists. If any input fails, the
+// combined future fails with the first error in input order (after all
+// inputs have resolved, so no producer is abandoned mid-flight).
 func All[T any](fs ...*Future[T]) *Future[[]T] {
-	out := &Future[[]T]{cell: syncx.NewCell[[]T]()}
-	if len(fs) > 0 {
-		out.rt = fs[0].rt
-		out.home = fs[0].home
+	out := newFuture[[]T](nil, 0)
+	for _, f := range fs {
+		if f.rt != nil {
+			out.rt = f.rt
+			break
+		}
 	}
 	n := len(fs)
 	if n == 0 {
-		out.cell.Put(nil)
+		out.cell.Put(outcome[[]T]{})
 		return out
 	}
 	results := make([]T, n)
-	slot := syncx.NewSlot(n, func() { out.cell.Put(results) })
+	errs := make([]error, n)
+	// A bare countdown rather than a syncx.Slot: the continuation that
+	// reaches zero knows it is the assembler, so the combined future's
+	// home is exactly the last-resolved input's (a Slot's fire callback
+	// cannot tell which signal fired it).
+	var pending atomic.Int64
+	pending.Store(int64(n))
 	for i, f := range fs {
-		i := i
-		f.cell.OnFull(func(v T) {
-			results[i] = v // distinct index per continuation: no race
-			slot.Signal()
+		i, f := i, f
+		f.cell.OnFull(func(o outcome[T]) {
+			results[i] = o.val // distinct index per continuation: no race
+			errs[i] = o.err
+			if pending.Add(-1) != 0 {
+				return
+			}
+			out.home.Store(f.home.Load()) // this input's arrival assembles the set
+			for _, err := range errs {
+				if err != nil {
+					out.cell.Put(outcome[[]T]{err: err})
+					return
+				}
+			}
+			out.cell.Put(outcome[[]T]{val: results})
 		})
 	}
 	return out

@@ -1,6 +1,7 @@
 package future
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -190,4 +191,207 @@ func TestHome(t *testing.T) {
 		t.Errorf("Home = %d, want 1", f.Home())
 	}
 	rt.Wait()
+}
+
+// gatedSpawn returns a future homed at locale whose resolution is held
+// until the returned release func is called — the deterministic way to
+// script resolution order across homes.
+func gatedSpawn(rt *core.Runtime, locale, v int) (*Future[int], func()) {
+	gate := make(chan struct{})
+	f := Spawn(rt, locale, func() int {
+		<-gate
+		return v
+	})
+	return f, func() {
+		close(gate)
+		for !f.Ready() {
+		}
+	}
+}
+
+func TestAllHomeIsLastResolvedInput(t *testing.T) {
+	rt := newRT(t)
+	f0, release0 := gatedSpawn(rt, 0, 10)
+	f1, release1 := gatedSpawn(rt, 1, 11)
+	all := All(f0, f1)
+	release1() // locale-1 input resolves first...
+	release0() // ...locale-0 input resolves last: the set assembles there
+	if vals := all.Get(); vals[0] != 10 || vals[1] != 11 {
+		t.Fatalf("All values = %v", vals)
+	}
+	if all.Home() != 0 {
+		t.Errorf("All home = %d, want 0 (last-resolved input's home)", all.Home())
+	}
+	// And the mirror image: resolve the locale-0 input first.
+	g0, gRelease0 := gatedSpawn(rt, 0, 20)
+	g1, gRelease1 := gatedSpawn(rt, 1, 21)
+	all2 := All(g0, g1)
+	gRelease0()
+	gRelease1()
+	all2.Get()
+	if all2.Home() != 1 {
+		t.Errorf("All home = %d, want 1 (last-resolved input's home)", all2.Home())
+	}
+	rt.Wait()
+}
+
+func TestErrConstructor(t *testing.T) {
+	boom := errors.New("boom")
+	f := Err[int](boom)
+	if !f.Ready() {
+		t.Fatal("Err future must be ready")
+	}
+	if _, err := f.GetErr(); err != boom {
+		t.Errorf("GetErr err = %v, want boom", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Get on a failed future must panic")
+		}
+	}()
+	f.Get()
+}
+
+func TestErrNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Err(nil) must panic")
+		}
+	}()
+	Err[int](nil)
+}
+
+func TestSpawnErr(t *testing.T) {
+	rt := newRT(t)
+	boom := errors.New("boom")
+	f := SpawnErr(rt, 0, func() (int, error) { return 0, boom })
+	if _, err := f.GetErr(); err != boom {
+		t.Errorf("SpawnErr err = %v, want boom", err)
+	}
+	ok := SpawnErr(rt, 1, func() (int, error) { return 42, nil })
+	if v, err := ok.GetErr(); err != nil || v != 42 {
+		t.Errorf("SpawnErr ok = (%d, %v), want (42, nil)", v, err)
+	}
+	if ok.Home() != 1 {
+		t.Errorf("SpawnErr home = %d, want 1", ok.Home())
+	}
+	rt.Wait()
+}
+
+func TestPromiseErr(t *testing.T) {
+	rt := newRT(t)
+	boom := errors.New("boom")
+	f, resolve := PromiseErr[string](rt)
+	if f.Ready() {
+		t.Error("promise should start empty")
+	}
+	resolve("", boom)
+	if _, err := f.GetErr(); err != boom {
+		t.Errorf("PromiseErr err = %v, want boom", err)
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	called := false
+	out := Map(Err[int](boom), func(v int) int { called = true; return v })
+	if _, err := out.GetErr(); err != boom {
+		t.Errorf("Map over failed future: err = %v, want boom", err)
+	}
+	if called {
+		t.Error("Map derivation ran on a failed input")
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	boom := errors.New("boom")
+	out := MapErr(Resolved(2), func(v int) (int, error) { return 0, boom })
+	if _, err := out.GetErr(); err != boom {
+		t.Errorf("MapErr err = %v, want boom", err)
+	}
+	// An already-failed input propagates without running g.
+	called := false
+	out2 := MapErr(Err[int](boom), func(v int) (int, error) { called = true; return v, nil })
+	if _, err := out2.GetErr(); err != boom || called {
+		t.Errorf("MapErr on failed input: err = %v, called = %v", err, called)
+	}
+	ok := MapErr(Resolved(3), func(v int) (int, error) { return v * 2, nil })
+	if v, err := ok.GetErr(); err != nil || v != 6 {
+		t.Errorf("MapErr ok = (%d, %v), want (6, nil)", v, err)
+	}
+}
+
+func TestAllFirstErrorInInputOrderWins(t *testing.T) {
+	rt := newRT(t)
+	err1, err3 := errors.New("one"), errors.New("three")
+	gates := make([]chan struct{}, 4)
+	fs := make([]*Future[int], 4)
+	for i := range fs {
+		i := i
+		gates[i] = make(chan struct{})
+		fs[i] = SpawnErr(rt, i%2, func() (int, error) {
+			<-gates[i]
+			switch i {
+			case 1:
+				return 0, err1
+			case 3:
+				return 0, err3
+			}
+			return i, nil
+		})
+	}
+	all := All(fs...)
+	// Resolve the later error first: input order, not resolution order,
+	// must pick the winner.
+	for _, i := range []int{3, 0, 2, 1} {
+		close(gates[i])
+		for !fs[i].Ready() {
+		}
+	}
+	if _, err := all.GetErr(); err != err1 {
+		t.Errorf("All err = %v, want first error in input order (one)", err)
+	}
+	rt.Wait()
+}
+
+func TestThenSkipsFailedFuture(t *testing.T) {
+	boom := errors.New("boom")
+	f := Err[int](boom)
+	ran := false
+	f.Then(func(int) { ran = true })
+	if ran {
+		t.Error("Then ran on a failed future")
+	}
+	var gotErr error
+	f.ThenErr(func(_ int, err error) { gotErr = err })
+	if gotErr != boom {
+		t.Errorf("ThenErr err = %v, want boom", gotErr)
+	}
+}
+
+func TestResolvedAt(t *testing.T) {
+	rt := newRT(t)
+	f := ResolvedAt(rt, 1, 7)
+	if !f.Ready() || f.Get() != 7 || f.Home() != 1 {
+		t.Fatalf("ResolvedAt: ready=%v home=%d", f.Ready(), f.Home())
+	}
+	ch := make(chan int, 1)
+	f.ThenSpawn(1, func(s *core.SGT, v int) { ch <- s.Locale() })
+	if loc := <-ch; loc != 1 {
+		t.Errorf("ThenSpawn on ResolvedAt ran at locale %d, want 1", loc)
+	}
+	rt.Wait()
+}
+
+func TestThenSpawnSkipsFailedFuture(t *testing.T) {
+	rt := newRT(t)
+	f := SpawnErr(rt, 0, func() (int, error) { return 0, errors.New("boom") })
+	var spawned atomic.Bool
+	f.ThenSpawn(1, func(*core.SGT, int) { spawned.Store(true) })
+	f.ThenErr(func(int, error) {}) // ensure resolution has happened
+	_, _ = f.GetErr()
+	rt.Wait()
+	if spawned.Load() {
+		t.Error("ThenSpawn spawned a continuation for a failed future")
+	}
 }

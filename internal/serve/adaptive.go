@@ -311,8 +311,10 @@ type AdaptStats struct {
 	// BatchGrows / BatchShrinks count batch-bound retunes.
 	BatchGrows, BatchShrinks int64
 	// Steals counts jobs moved between shards; Rebalances counts
-	// control ticks that moved at least one.
-	Steals, Rebalances int64
+	// control ticks that moved at least one. StageSteals is the subset
+	// of steals that moved pipeline stage jobs (flows rebalance like
+	// any other work).
+	Steals, Rebalances, StageSteals int64
 	// Migrations / Replications count the locality loop's data
 	// movements across the shared space (zero unless Adapt.Locality).
 	Migrations, Replications int64
@@ -336,6 +338,7 @@ func (s *Server) AdaptStats() AdaptStats {
 		BatchShrinks:    s.batchShrink.Value(),
 		Steals:          s.steals.Value(),
 		Rebalances:      s.rebalances.Value(),
+		StageSteals:     s.flowSteals.Value(),
 		Migrations:      s.migrations.Value(),
 		Replications:    s.replications.Value(),
 		ShedLevel:       s.overload.shedLevel(),

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/future"
 	"repro/internal/mem"
 	"repro/internal/syncx"
 )
@@ -130,6 +131,15 @@ type Job struct {
 	req      Request // Deadline already defaulted; zero means none
 	enqueued time.Time
 	done     func(Result) // invoked exactly once, on the executing SGT
+	// stage is the compiled pipeline stage this job executes — the
+	// tenant's solo stage for plain submits, a Pipeline stage for flow
+	// jobs. It carries the handler and the per-stage instruments. Nil
+	// only for detached test jobs, which fall back to the tenant handler.
+	stage *pipeStage
+	// flow is the owning flow's state for pipeline jobs (nil for plain
+	// submits): the done-exactly-once guard and the flow-scoped
+	// deadline/priority the stage inherited.
+	flow *flowState
 }
 
 // routeHash identifies the job's (tenant, key) routing pair — the same
@@ -164,10 +174,28 @@ func (j *Job) dataResidentAt(loc mem.Locale) bool {
 	return true
 }
 
-// Ticket follows a submitted request to completion.
+// Ticket follows a submitted request — or a submitted flow — to
+// completion.
 type Ticket struct {
 	cell *syncx.Cell[Result]
+	// stages holds the per-stage result futures of a flow ticket
+	// (Tenant.SubmitFlow); nil for single submits, whose one "stage" is
+	// the final result itself.
+	stages []*future.Future[Result]
 }
 
-// Wait blocks until the request resolves and returns its result.
+// Wait blocks until the request (for flows: the final stage) resolves
+// and returns its result.
 func (t *Ticket) Wait() Result { return t.cell.Get() }
+
+// Stages returns the number of pipeline stages behind this ticket;
+// zero for single submits.
+func (t *Ticket) Stages() int { return len(t.stages) }
+
+// StageFuture returns stage i's result future: it resolves with the
+// stage's Result when the stage completes, and with the flow's terminal
+// Result (StatusShed, StatusFailed, or StatusRejected — failed stages
+// also carry the error on the future's error channel) when the flow
+// ends before reaching it. Continuations attached to it buffer at the
+// producing shard, like any future.
+func (t *Ticket) StageFuture(i int) *future.Future[Result] { return t.stages[i] }

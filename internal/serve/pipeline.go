@@ -1,0 +1,546 @@
+package serve
+
+// This file is the dataflow-pipeline surface: multi-stage flows whose
+// intermediate values are futures chained shard-to-shard. A Pipeline is
+// compiled once from Stage declarations (handler + routing derivation);
+// Tenant.SubmitFlow admits stage 0 and from there every hand-off
+// happens at the producing shard — the stage's result resolves a
+// future.Future buffered there, and the continuation ships the value to
+// the next stage's routed locale with ThenSpawn. No intermediate result
+// ever bounces through the submitter, so locality routing, deadline
+// propagation, and the adaptivity loop keep working between stages,
+// which is exactly what per-stage resubmission through Submit loses
+// (exp V4 measures the difference).
+//
+// A Stage with Map set fans out: its input must be a []any, the handler
+// runs once per element (each element routed by its own derived working
+// set), and future.All fans the element results back in at the
+// last-resolved element's locale before the next stage runs.
+//
+// The plain Submit path is the degenerate one-stage pipeline: every
+// tenant compiles its handler into a solo pipeline at registration
+// (Tenant.Solo), and single submits execute as that pipeline's only
+// stage — one admission core, not two.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/future"
+	"repro/internal/mem"
+	"repro/internal/monitor"
+	"repro/internal/syncx"
+)
+
+// Stage declares one step of a dataflow pipeline: a handler plus the
+// routing declaration that derives this stage's admission inputs from
+// the previous stage's output. The derivations run at the producing
+// shard when the previous value arrives — they must be pure and cheap.
+type Stage struct {
+	// Name labels the stage in counters and StageStats (default "s<i>").
+	Name string
+	// Handler executes the stage. It runs exactly like a tenant handler
+	// — on a batch SGT at the admitting shard's locale, wrapped in the
+	// same server-wide and per-tenant middleware chains.
+	Handler Handler
+	// Map marks a fan-out stage: the previous stage's output (or the
+	// flow's initial payload for stage 0) must be a []any. The handler
+	// runs once per element, each element admitted and routed
+	// independently, and the next stage receives the []any of element
+	// results once future.All fans them back in. A non-slice input fails
+	// the flow with StatusFailed rather than panicking.
+	Map bool
+	// Key derives this stage's routing key from its input value; nil
+	// inherits the flow's original key, preserving (tenant, key)
+	// stickiness through the pipeline.
+	Key func(v any) uint64
+	// WorkingSet / WriteSet derive this stage's declared object sets
+	// from its input value — the routing declaration that keeps each
+	// stage at its data: under Config.Data.LocalityRoute the stage
+	// admits at the derived set's majority home locale. Nil derives
+	// nothing; stage 0 with nil derivations inherits the submitted
+	// Request's own sets.
+	WorkingSet func(v any) []mem.ObjID
+	WriteSet   func(v any) []mem.ObjID
+}
+
+// pipeStage is one compiled stage: middleware-composed handler, routing
+// derivations, and resolved per-stage instruments. The tenant's solo
+// stage leaves the counters nil — its outcomes are already the tenant
+// counters, and the single-submit hot path must not pay twice.
+type pipeStage struct {
+	idx     int
+	name    string
+	handler Handler
+	fanout  bool
+	last    bool
+	key     func(any) uint64
+	reads   func(any) []mem.ObjID
+	writes  func(any) []mem.ObjID
+
+	done, shed, failed    *monitor.Counter
+	fanouts               *monitor.Counter
+	localExec, remoteExec *monitor.Counter
+	steals                *monitor.Counter
+}
+
+// Pipeline is a compiled multi-stage dataflow plan for one tenant.
+// Build it once with Tenant.NewPipeline and submit flows through
+// Tenant.SubmitFlow; a Pipeline is immutable and safe for concurrent
+// submissions.
+type Pipeline struct {
+	t      *Tenant
+	name   string
+	stages []*pipeStage
+}
+
+// Name returns the pipeline's registered name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Len returns the number of stages.
+func (p *Pipeline) Len() int { return len(p.stages) }
+
+// NewPipeline compiles a pipeline for the tenant: middleware chains
+// compose into every stage handler here, stage counters resolve here,
+// and submissions replay the fixed plan — nothing is looked up or
+// composed on the flow hot path.
+func (t *Tenant) NewPipeline(name string, stages ...Stage) (*Pipeline, error) {
+	if name == "" {
+		return nil, errors.New("serve: pipeline name required")
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("serve: pipeline %q has no stages", name)
+	}
+	// Names must be unique — per-stage counters resolve by name, and the
+	// monitor hands the same counter to an identical name, so a
+	// collision would silently merge two stages' (or two pipelines')
+	// accounting.
+	t.pipeMu.Lock()
+	defer t.pipeMu.Unlock()
+	if t.pipes[name] {
+		return nil, fmt.Errorf("serve: tenant %q already has a pipeline %q", t.name, name)
+	}
+	p := &Pipeline{t: t, name: name}
+	mon := t.srv.sys.Mon
+	seen := make(map[string]bool, len(stages))
+	for i, st := range stages {
+		if st.Handler == nil {
+			return nil, fmt.Errorf("serve: pipeline %q stage %d has no handler", name, i)
+		}
+		h := composeMiddleware(st.Handler, t.mw, t.srv.cfg.Middleware)
+		sname := st.Name
+		if sname == "" {
+			sname = fmt.Sprintf("s%d", i)
+		}
+		if seen[sname] {
+			return nil, fmt.Errorf("serve: pipeline %q has two stages named %q", name, sname)
+		}
+		seen[sname] = true
+		prefix := "serve.pipe." + t.name + "." + name + "." + sname + "."
+		p.stages = append(p.stages, &pipeStage{
+			idx: i, name: sname, handler: h,
+			fanout: st.Map, last: i == len(stages)-1,
+			key: st.Key, reads: st.WorkingSet, writes: st.WriteSet,
+			done:       mon.Counter(prefix + "done"),
+			shed:       mon.Counter(prefix + "shed"),
+			failed:     mon.Counter(prefix + "failed"),
+			fanouts:    mon.Counter(prefix + "fanout"),
+			localExec:  mon.Counter(prefix + "local"),
+			remoteExec: mon.Counter(prefix + "remote"),
+			steals:     mon.Counter(prefix + "steals"),
+		})
+	}
+	if t.pipes == nil {
+		t.pipes = make(map[string]bool)
+	}
+	t.pipes[name] = true
+	return p, nil
+}
+
+// composeMiddleware wraps h in the per-tenant then the server-wide
+// chains (server outermost) — the one composition rule shared by
+// RegisterTenant and NewPipeline, so a tenant's pipeline stages run
+// exactly the middleware its plain handler runs.
+func composeMiddleware(h Handler, tenantMW, serverMW []Middleware) Handler {
+	for k := len(tenantMW) - 1; k >= 0; k-- {
+		h = tenantMW[k](h)
+	}
+	for k := len(serverMW) - 1; k >= 0; k-- {
+		h = serverMW[k](h)
+	}
+	return h
+}
+
+// Solo returns the tenant's degenerate one-stage pipeline — the
+// tenant's composed handler as its only stage. Submit(req) and
+// SubmitFlow(t.Solo(), req) execute identically; Submit just skips the
+// per-flow future allocations. The solo stage carries no extra
+// counters: its outcomes are the tenant counters.
+func (t *Tenant) Solo() *Pipeline { return t.solo }
+
+// StageStats is the per-stage accounting of one pipeline.
+type StageStats struct {
+	Name string
+	// Done / Shed / Failed count stage job outcomes. For Map stages
+	// these count per element.
+	Done, Shed, Failed int64
+	// FanOut counts elements issued by a Map stage.
+	FanOut int64
+	// Steals counts this stage's queued jobs the rebalancer moved.
+	Steals int64
+	// LocalExec / RemoteExec split executions by whether any declared
+	// working-set access was served remotely — the locality signal per
+	// stage.
+	LocalExec, RemoteExec int64
+}
+
+// StageStats snapshots the per-stage counters (all zero for the solo
+// pipeline, whose outcomes are the tenant counters).
+func (p *Pipeline) StageStats() []StageStats {
+	out := make([]StageStats, len(p.stages))
+	for i, st := range p.stages {
+		out[i].Name = st.name
+		if st.done == nil {
+			continue
+		}
+		out[i].Done = st.done.Value()
+		out[i].Shed = st.shed.Value()
+		out[i].Failed = st.failed.Value()
+		out[i].FanOut = st.fanouts.Value()
+		out[i].Steals = st.steals.Value()
+		out[i].LocalExec = st.localExec.Value()
+		out[i].RemoteExec = st.remoteExec.Value()
+	}
+	return out
+}
+
+// flowState is one in-flight flow: the pipeline-scoped routing key,
+// deadline, and priority every stage inherits, the per-stage result
+// futures, and the done-exactly-once terminal guard.
+type flowState struct {
+	p        *Pipeline
+	key      uint64
+	deadline time.Time
+	priority int
+	enqueued time.Time
+	done     func(Result)
+	finished atomic.Bool
+	futs     []*future.Future[Result]
+	resolve  []func(Result, error)
+}
+
+// SubmitFlow admits one flow through the pipeline and returns a ticket
+// that resolves with the final stage's result. The ticket's stage
+// futures expose every intermediate result (Ticket.StageFuture); a flow
+// that sheds or fails mid-pipeline resolves all downstream futures with
+// the terminal result. A refused scalar stage 0 returns
+// ErrOverload/ErrClosed like Submit and the flow never starts; refusals
+// past stage 0 — and element refusals of a Map-first stage, whose
+// partially admitted fan-out cannot be unwound — surface as a
+// StatusRejected final result instead.
+func (t *Tenant) SubmitFlow(p *Pipeline, req Request) (*Ticket, error) {
+	cell := syncx.NewCell[Result]()
+	futs, err := t.SubmitFlowFunc(p, req, func(r Result) { cell.Put(r) })
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{cell: cell, stages: futs}, nil
+}
+
+// SubmitFlowFunc is SubmitFlow with a callback instead of a ticket:
+// done is invoked exactly once with the flow's terminal result. It
+// returns the per-stage result futures.
+func (t *Tenant) SubmitFlowFunc(p *Pipeline, req Request, done func(Result)) ([]*future.Future[Result], error) {
+	if p == nil || p.t != t {
+		return nil, errors.New("serve: pipeline was not built by this tenant (use Tenant.NewPipeline)")
+	}
+	s := t.srv
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	now := time.Now()
+	if req.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
+		req.Deadline = now.Add(s.cfg.DefaultDeadline)
+	}
+	fl := &flowState{
+		p: p, key: req.Key, deadline: req.Deadline, priority: req.Priority,
+		enqueued: now, done: done,
+	}
+	n := len(p.stages)
+	fl.futs = make([]*future.Future[Result], n)
+	fl.resolve = make([]func(Result, error), n)
+	rt := s.sys.RT
+	for i := 0; i < n; i++ {
+		fl.futs[i], fl.resolve[i] = future.PromiseErr[Result](rt)
+	}
+	st := p.stages[0]
+	if st.fanout {
+		parts, ok := req.Payload.([]any)
+		if !ok {
+			return nil, fmt.Errorf("serve: pipeline %q stage %q fans out over []any, payload is %T",
+				p.name, st.name, req.Payload)
+		}
+		s.flowSub.Inc()
+		p.fanOut(fl, st, parts, &req)
+		return fl.futs, nil
+	}
+	sreq := p.stageRequest(fl, st, req.Payload)
+	// Stage 0 has no previous output: the submitted request's own set
+	// declarations stand in wherever the stage derives nothing (its Key
+	// already does — stageRequest defaults to the flow key).
+	if st.reads == nil {
+		sreq.WorkingSet = req.WorkingSet
+	}
+	if st.writes == nil {
+		sreq.WriteSet = req.WriteSet
+	}
+	j := &Job{tenant: t, req: sreq, enqueued: now, stage: st, flow: fl,
+		done: func(r Result) { p.complete(fl, st, r) }}
+	// Count the flow before it can possibly complete; a refused stage 0
+	// means the flow never existed, so the count rolls back.
+	s.flowSub.Inc()
+	s.flowStages.Inc()
+	if err := s.admit(t, s.routeShard(t, &j.req), j); err != nil {
+		s.flowSub.Add(-1)
+		s.flowStages.Add(-1)
+		return nil, err // nothing ran; the flow was never admitted
+	}
+	return fl.futs, nil
+}
+
+// stageRequest derives one stage's admission request from its input
+// value, inheriting the flow-scoped key, deadline, and priority.
+func (p *Pipeline) stageRequest(fl *flowState, st *pipeStage, v any) Request {
+	req := Request{Key: fl.key, Payload: v, Deadline: fl.deadline, Priority: fl.priority}
+	if st.key != nil {
+		req.Key = st.key(v)
+	}
+	if st.reads != nil {
+		req.WorkingSet = st.reads(v)
+	}
+	if st.writes != nil {
+		req.WriteSet = st.writes(v)
+	}
+	return req
+}
+
+// complete is a scalar stage job's done callback: it runs where the
+// job resolved — the executing SGT, or the dispatcher for sheds.
+func (p *Pipeline) complete(fl *flowState, st *pipeStage, r Result) {
+	switch r.Status {
+	case StatusOK:
+		if st.done != nil {
+			st.done.Inc()
+		}
+	case StatusShed:
+		if st.shed != nil {
+			st.shed.Inc()
+		}
+	default:
+		if st.failed != nil {
+			st.failed.Inc()
+		}
+	}
+	if r.Status != StatusOK {
+		p.finish(fl, st.idx, r)
+		return
+	}
+	if st.last {
+		p.finishOK(fl, r)
+		return
+	}
+	p.chain(fl, st, r)
+}
+
+// chain advances an OK stage result to the next stage. It runs at the
+// producing shard: the stage future resolves here, and the buffered
+// continuation ships the value to the next stage's routed locale with
+// ThenSpawn — the submitter never sees the intermediate value.
+func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
+	s := p.t.srv
+	next := p.stages[st.idx+1]
+	if next.fanout {
+		fl.resolve[st.idx](r, nil)
+		parts, ok := r.Value.([]any)
+		if !ok {
+			p.finish(fl, next.idx, Result{Status: StatusFailed,
+				Err: fmt.Errorf("serve: pipeline %q stage %q fans out over []any, stage %q produced %T",
+					p.name, next.name, st.name, r.Value)})
+			return
+		}
+		p.fanOut(fl, next, parts, nil)
+		return
+	}
+	req := p.stageRequest(fl, next, r.Value)
+	sh := s.routeShard(p.t, &req)
+	fl.resolve[st.idx](r, nil)
+	fl.futs[st.idx].ThenSpawn(int(sh.locale), func(_ *core.SGT, _ Result) {
+		p.submitStage(fl, next, sh, req)
+	})
+}
+
+// submitStage admits one scalar stage job at its routed shard; an
+// admission refusal past stage 0 terminates the flow with
+// StatusRejected (earlier stages already ran, so the uniform-Result
+// surface is the only honest one).
+func (p *Pipeline) submitStage(fl *flowState, st *pipeStage, sh *shard, req Request) {
+	s := p.t.srv
+	j := &Job{tenant: p.t, req: req, enqueued: time.Now(), stage: st, flow: fl,
+		done: func(r Result) { p.complete(fl, st, r) }}
+	s.flowStages.Inc()
+	if err := s.admit(p.t, sh, j); err != nil {
+		s.flowStages.Add(-1)
+		p.finish(fl, st.idx, Result{Status: StatusRejected, Err: err})
+	}
+}
+
+// fanOut admits one stage job per element of a Map stage's input, all
+// issued from the producing shard, each routed by its own derived
+// declarations. future.All fans the element futures back in: the join
+// continuation runs at the last-resolved element's locale. inherit is
+// the submitted Request for a Map-first stage 0 — its own declarations
+// stand in for derivations the stage doesn't define, exactly like the
+// scalar stage-0 path — and nil for every later stage.
+func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Request) {
+	s := p.t.srv
+	if st.fanouts != nil {
+		st.fanouts.Add(int64(len(parts)))
+	}
+	if len(parts) == 0 {
+		p.joinDone(fl, st, Result{Status: StatusOK, Value: []any{}})
+		return
+	}
+	rt := s.sys.RT
+	elems := make([]*future.Future[Result], len(parts))
+	resolvers := make([]func(Result, error), len(parts))
+	for i := range parts {
+		elems[i], resolvers[i] = future.PromiseErr[Result](rt)
+	}
+	future.All(elems...).ThenErr(func(rs []Result, err error) { p.join(fl, st, rs, err) })
+	now := time.Now()
+	for i, part := range parts {
+		req := p.stageRequest(fl, st, part)
+		if inherit != nil {
+			if st.reads == nil {
+				req.WorkingSet = inherit.WorkingSet
+			}
+			if st.writes == nil {
+				req.WriteSet = inherit.WriteSet
+			}
+		}
+		resolve := resolvers[i]
+		j := &Job{tenant: p.t, req: req, enqueued: now, stage: st, flow: fl,
+			done: func(r Result) {
+				switch r.Status {
+				case StatusOK:
+					if st.done != nil {
+						st.done.Inc()
+					}
+					resolve(r, nil)
+				case StatusShed:
+					if st.shed != nil {
+						st.shed.Inc()
+					}
+					resolve(r, nil)
+				default:
+					if st.failed != nil {
+						st.failed.Inc()
+					}
+					// A failed element fails its future: the error rides
+					// the future error channel through All to the join.
+					resolve(r, r.Err)
+				}
+			}}
+		s.flowStages.Inc()
+		s.flowFan.Inc()
+		if err := s.admit(p.t, s.routeShard(p.t, &j.req), j); err != nil {
+			s.flowStages.Add(-1)
+			s.flowFan.Add(-1)
+			if st.fanouts != nil {
+				st.fanouts.Add(-1)
+			}
+			resolve(Result{Status: StatusRejected, Err: err}, nil)
+		}
+	}
+}
+
+// join fans a Map stage's element results back in. A future-level error
+// (a failed element) fails the flow; otherwise the first non-OK element
+// in input order decides the flow's fate, and an all-OK set advances as
+// the []any of element values.
+func (p *Pipeline) join(fl *flowState, st *pipeStage, rs []Result, err error) {
+	if err != nil {
+		p.finish(fl, st.idx, Result{Status: StatusFailed, Err: err})
+		return
+	}
+	vals := make([]any, len(rs))
+	var wait time.Duration
+	for i, r := range rs {
+		if r.Status != StatusOK {
+			p.finish(fl, st.idx, r)
+			return
+		}
+		vals[i] = r.Value
+		if r.Wait > wait {
+			wait = r.Wait
+		}
+	}
+	p.joinDone(fl, st, Result{Status: StatusOK, Value: vals, Wait: wait})
+}
+
+// joinDone advances a completed Map stage exactly like a scalar one.
+func (p *Pipeline) joinDone(fl *flowState, st *pipeStage, r Result) {
+	if st.last {
+		p.finishOK(fl, r)
+		return
+	}
+	p.chain(fl, st, r)
+}
+
+// finish terminates a flow with a non-OK result, exactly once: the
+// terminal result resolves the originating stage's future and every
+// downstream future — a mid-pipeline shed is visible as StatusShed at
+// each of them — and then the flow's done callback fires.
+func (p *Pipeline) finish(fl *flowState, from int, r Result) {
+	if fl.finished.Swap(true) {
+		return
+	}
+	s := p.t.srv
+	r.Priority = fl.priority
+	r.Total = time.Since(fl.enqueued)
+	var ferr error
+	if r.Status == StatusFailed {
+		ferr = r.Err
+	}
+	for i := from; i < len(p.stages); i++ {
+		fl.resolve[i](r, ferr)
+	}
+	switch r.Status {
+	case StatusShed:
+		s.flowShed.Inc()
+	case StatusRejected:
+		s.flowRej.Inc()
+	default:
+		s.flowFail.Inc()
+	}
+	fl.done(r)
+}
+
+// finishOK completes a flow whose last stage succeeded: the final
+// stage future resolves with the stage result, and the done callback
+// receives it with the flow's full admission-to-completion Total.
+func (p *Pipeline) finishOK(fl *flowState, r Result) {
+	if fl.finished.Swap(true) {
+		return
+	}
+	s := p.t.srv
+	fl.resolve[len(p.stages)-1](r, nil)
+	final := r
+	final.Priority = fl.priority
+	final.Total = time.Since(fl.enqueued)
+	s.flowDone.Inc()
+	fl.done(final)
+}

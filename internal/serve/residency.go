@@ -171,18 +171,13 @@ func (s *Server) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 	if _, ok := s.tenants.Load(cfg.Name); ok {
 		return nil, fmt.Errorf("serve: tenant %q already registered", cfg.Name)
 	}
-	h := cfg.Handler
-	for i := len(cfg.Middleware) - 1; i >= 0; i-- {
-		h = cfg.Middleware[i](h)
-	}
-	for i := len(s.cfg.Middleware) - 1; i >= 0; i-- {
-		h = s.cfg.Middleware[i](h)
-	}
+	h := composeMiddleware(cfg.Handler, cfg.Middleware, s.cfg.Middleware)
 	t := &Tenant{
 		srv:      s,
 		name:     cfg.Name,
 		hash:     fnv64a(cfg.Name),
 		handler:  h,
+		mw:       append([]Middleware(nil), cfg.Middleware...),
 		codeSize: cfg.CodeSize,
 		resident: make([]atomic.Bool, len(s.shards)),
 		acc:      s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".accepted"),
@@ -190,6 +185,13 @@ func (s *Server) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 		shed:     s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".shed"),
 		ok:       s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".done"),
 	}
+	// Every tenant's plain Submit path executes as a degenerate
+	// one-stage pipeline over the composed handler: one admission core
+	// for single submits and flows. The solo stage carries no extra
+	// counters — its outcomes are the tenant counters.
+	t.solo = &Pipeline{t: t, name: "solo", stages: []*pipeStage{
+		{idx: 0, name: "handler", handler: h, last: true},
+	}}
 	if cfg.CodeSize > 0 {
 		t.model = s.res.codeModel(cfg.CodeSize)
 		t.transferUnits = spinUnitsForCycles(t.model.TransferCycles())

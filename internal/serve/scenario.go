@@ -222,6 +222,15 @@ type PlayConfig struct {
 	Tick time.Duration
 	// MaxSamples bounds the latency reservoir (default 1<<20).
 	MaxSamples int
+	// Flow, when non-nil, submits every arrival as a dataflow-pipeline
+	// flow (Tenant.SubmitFlowFunc) instead of a single request; every
+	// arrival must then reference the pipeline's tenant. The report
+	// counts flow terminal outcomes, one per arrival.
+	Flow *Pipeline
+	// FlowPayload builds each flow's initial payload from its arrival
+	// (nil: the arrival's Key). A Map-first pipeline needs a payload
+	// that is a []any.
+	FlowPayload func(a Arrival) any
 }
 
 // PlayScenario plays the script against s, tick by tick: each tick's
@@ -255,12 +264,29 @@ func PlayScenario(s *Server, sc Scenario, cfg PlayConfig) LoadReport {
 			if a.DeadlineTicks > 0 {
 				dl = now.Add(time.Duration(a.DeadlineTicks) * cfg.Tick)
 			}
-			perTenant[a.Tenant] = append(perTenant[a.Tenant], Request{
+			req := Request{
 				Key: a.Key, Priority: a.Priority, Deadline: dl,
 				WorkingSet: resolveObjs(cfg.Tenants[a.Tenant], a.WorkingSet),
 				WriteSet:   resolveObjs(cfg.Tenants[a.Tenant], a.WriteSet),
-			})
+			}
 			offered++
+			if cfg.Flow != nil {
+				tn := cfg.Tenants[a.Tenant]
+				if tn != cfg.Flow.t {
+					panic(fmt.Sprintf("serve: scenario arrival references tenant %q, but the flow pipeline belongs to %q",
+						tn.name, cfg.Flow.t.name))
+				}
+				req.Payload = any(a.Key)
+				if cfg.FlowPayload != nil {
+					req.Payload = cfg.FlowPayload(a)
+				}
+				col.expect(1)
+				if _, err := tn.SubmitFlowFunc(cfg.Flow, req, col.done); err != nil {
+					col.done(Result{Status: StatusRejected, Err: err, Priority: a.Priority})
+				}
+				continue
+			}
+			perTenant[a.Tenant] = append(perTenant[a.Tenant], req)
 		}
 		for ti, reqs := range perTenant {
 			if len(reqs) == 0 {

@@ -36,6 +36,15 @@
 //     same-key admission order and tenant code residency), and an
 //     overload controller sheds low-Request.Priority work when the
 //     wait EWMA crosses the latency budget. See AdaptConfig.
+//   - dataflow pipelines (Tenant.NewPipeline / SubmitFlow) — multi-stage
+//     flows compiled once from Stage declarations (handler + routing
+//     derivation) whose intermediate values are error-carrying futures
+//     chained shard-to-shard: each stage's result resolves at the
+//     producing shard and ThenSpawn ships it to the next stage's routed
+//     locale, Map stages fan out over []any with future.All fanning
+//     back in, and the flow's deadline and priority propagate to every
+//     stage. Plain Submit is the degenerate one-stage pipeline
+//     (Tenant.Solo). See pipeline.go.
 //
 // The v2 surface is handle-based: RegisterTenant returns a *Tenant
 // whose Submit/SubmitFunc/SubmitMany methods carry the resolved
@@ -166,6 +175,11 @@ type Server struct {
 	datastage                               *monitor.Counter
 	latencyUS, waitUS                       *monitor.EWMA
 
+	// Dataflow-pipeline accounting (Tenant.SubmitFlow): flow terminal
+	// outcomes, stage-job volume, fan-out width, and stage-job steals.
+	flowSub, flowDone, flowShed, flowFail, flowRej *monitor.Counter
+	flowStages, flowFan, flowSteals                *monitor.Counter
+
 	// Adaptivity loop (nil / unused when Config.Adapt is off).
 	load                     *adapt.LoadController
 	overload                 *overloadController
@@ -187,7 +201,11 @@ type Tenant struct {
 	srv           *Server
 	name          string
 	hash          uint64
-	handler       Handler // middleware-composed chain
+	handler       Handler      // middleware-composed chain
+	mw            []Middleware // per-tenant chain, kept for pipeline compilation
+	solo          *Pipeline    // the degenerate one-stage pipeline Submit executes
+	pipeMu        sync.Mutex   // guards pipes (NewPipeline registrations)
+	pipes         map[string]bool
 	codeSize      int
 	model         percolate.CodeModel
 	transferUnits int64         // spin units modeling one cold code fetch
@@ -242,6 +260,15 @@ func New(sys *litlx.System, cfg Config) *Server {
 		datastage: sys.Mon.Counter("serve.data.staged"),
 		latencyUS: sys.Mon.EWMA("serve.latency_us", 0.05),
 		waitUS:    sys.Mon.EWMA("serve.wait_us", 0.05),
+
+		flowSub:    sys.Mon.Counter("serve.flow.submitted"),
+		flowDone:   sys.Mon.Counter("serve.flow.completed"),
+		flowShed:   sys.Mon.Counter("serve.flow.shed"),
+		flowFail:   sys.Mon.Counter("serve.flow.failed"),
+		flowRej:    sys.Mon.Counter("serve.flow.rejected"),
+		flowStages: sys.Mon.Counter("serve.flow.stage_jobs"),
+		flowFan:    sys.Mon.Counter("serve.flow.fanout"),
+		flowSteals: sys.Mon.Counter("serve.flow.stage_steals"),
 
 		steals:       sys.Mon.Counter("serve.adapt.steals"),
 		rebalances:   sys.Mon.Counter("serve.adapt.rebalances"),
@@ -326,7 +353,9 @@ func (t *Tenant) Submit(req Request) (*Ticket, error) {
 // executing SGT for completed requests; for shed ones, on the
 // dispatcher (expired in queue) or on the batch SGT (expired after
 // draining). Rejected requests return ErrOverload (full shard) or
-// ErrClosed (server closed) and done is never invoked.
+// ErrClosed (server closed) and done is never invoked. The request
+// executes as the tenant's degenerate one-stage pipeline (Tenant.Solo)
+// — the same admission core flows run on.
 func (t *Tenant) SubmitFunc(req Request, done func(Result)) error {
 	s := t.srv
 	if s.closed.Load() {
@@ -336,8 +365,14 @@ func (t *Tenant) SubmitFunc(req Request, done func(Result)) error {
 	if req.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
 		req.Deadline = now.Add(s.cfg.DefaultDeadline)
 	}
-	j := &Job{tenant: t, req: req, enqueued: now, done: done}
-	sh := s.routeShard(t, &req)
+	j := &Job{tenant: t, req: req, enqueued: now, done: done, stage: t.solo.stages[0]}
+	return s.admit(t, s.routeShard(t, &req), j)
+}
+
+// admit enqueues one prepared job at its routed shard, keeping the
+// admission accounting in one place for every submission surface —
+// single submits, bursts, and pipeline stage jobs alike.
+func (s *Server) admit(t *Tenant, sh *shard, j *Job) error {
 	if !sh.enqueue(j) {
 		// Shards only refuse when full or shut; Close sets s.closed
 		// before shutting shards, so the flag distinguishes the two.
@@ -398,7 +433,7 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 		if r.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
 			r.Deadline = now.Add(s.cfg.DefaultDeadline)
 		}
-		jobs[i] = &Job{tenant: t, req: r, enqueued: now, done: func(res Result) { done(i, res) }}
+		jobs[i] = &Job{tenant: t, req: r, enqueued: now, done: func(res Result) { done(i, res) }, stage: t.solo.stages[0]}
 		si := s.routeShard(t, &r).id
 		home[i] = si
 		counts[si]++
@@ -496,10 +531,26 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 		t.resident[sh.id].Store(true)
 		s.codexfer.Inc()
 	}
+	remote := false
 	for _, id := range j.req.WorkingSet {
 		if info := s.space.ReadAccess(sh.locale, id, 0); info.Remote {
+			remote = true
 			spinWork(s.res.transferUnits(info.Bytes))
 		}
+	}
+	// Per-stage locality accounting: whether this stage execution was
+	// served entirely from local copies — the signal pipeline routing
+	// declarations exist to maximize.
+	if j.stage != nil && j.stage.localExec != nil {
+		if remote {
+			j.stage.remoteExec.Inc()
+		} else {
+			j.stage.localExec.Inc()
+		}
+	}
+	handler := t.handler
+	if j.stage != nil {
+		handler = j.stage.handler
 	}
 	start := time.Now()
 	res := Result{Wait: start.Sub(j.enqueued), Priority: j.req.Priority}
@@ -513,7 +564,7 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 				res.Err = fmt.Errorf("serve: handler panic: %v", r)
 			}
 		}()
-		v, err := t.handler(ctx, j.req)
+		v, err := handler(ctx, j.req)
 		if err != nil {
 			res.Status = StatusFailed
 			res.Err = err
@@ -600,10 +651,35 @@ type Stats struct {
 	// Migrations / Replications count the locality loop's data
 	// movements (zero unless Config.Adapt.Locality is on).
 	Migrations, Replications int64
-	LatencyEWMAus            float64
+	// Flow aggregates the dataflow-pipeline path (Tenant.SubmitFlow).
+	// Stage jobs also count in the per-job fields above (Accepted, Done,
+	// Shed, ...): a flow is bookkept as one flow plus its stage jobs.
+	Flow          FlowStats
+	LatencyEWMAus float64
 	// WaitEWMAus is the smoothed admission-to-execution wait — the
 	// signal the overload controller steers by.
 	WaitEWMAus float64
+}
+
+// FlowStats is a point-in-time view of the dataflow-pipeline path.
+type FlowStats struct {
+	// Submitted counts flows admitted at stage 0; Completed, Shed,
+	// Failed, and Rejected are the terminal outcomes. Rejected means a
+	// refusal past stage 0 or within a stage-0 fan-out (a partially
+	// admitted fan-out cannot be unwound); a refused scalar stage 0
+	// surfaces as a submission error and is not counted as a flow.
+	Submitted, Completed, Shed, Failed, Rejected int64
+	// StageJobs counts stage executions admitted on behalf of flows;
+	// FanOut counts Map-stage elements among them.
+	StageJobs, FanOut int64
+	// StageSteals counts flow stage jobs the rebalancer moved between
+	// shards (also counted in Stats.Steals).
+	StageSteals int64
+}
+
+// InFlight derives the flows admitted but not yet resolved.
+func (f FlowStats) InFlight() int64 {
+	return f.Submitted - f.Completed - f.Shed - f.Failed - f.Rejected
 }
 
 // InFlight derives the jobs admitted but not yet resolved. Because
@@ -628,10 +704,21 @@ func (s *Server) Stats() Stats {
 		Replications:    s.replications.Value(),
 		LatencyEWMAus:   s.latencyUS.Value(),
 		WaitEWMAus:      s.waitUS.Value(),
+		Flow: FlowStats{
+			Completed:   s.flowDone.Value(),
+			Shed:        s.flowShed.Value(),
+			Failed:      s.flowFail.Value(),
+			Rejected:    s.flowRej.Value(),
+			StageJobs:   s.flowStages.Value(),
+			FanOut:      s.flowFan.Value(),
+			StageSteals: s.flowSteals.Value(),
+		},
 	}
-	// Accepted is read last: a job increments accepted before it can
-	// ever count as done or shed, so reading completions first keeps
-	// the InFlight derivation consistent (>= 0) in a moving system.
+	// Accepted (and Flow.Submitted) is read last: a job increments
+	// accepted before it can ever count as done or shed, so reading
+	// completions first keeps the InFlight derivations consistent
+	// (>= 0) in a moving system.
+	st.Flow.Submitted = s.flowSub.Value()
 	st.Accepted = s.accepted.Value()
 	return st
 }

@@ -188,6 +188,14 @@ func stealJobs(src, dst *shard, want int) int {
 	for i, j := range src.q {
 		if take[i] {
 			dst.q = append(dst.q, j)
+			// Per-stage steal accounting: pipeline stage jobs record the
+			// move on their stage and in the server's flow aggregate.
+			if j.stage != nil && j.stage.steals != nil {
+				j.stage.steals.Inc()
+			}
+			if j.flow != nil {
+				j.tenant.srv.flowSteals.Inc()
+			}
 			continue
 		}
 		kept = append(kept, j)
