@@ -37,8 +37,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"time"
 
@@ -76,6 +80,10 @@ func main() {
 		objects  = flag.Int("objects", 16, "data objects per tenant for -locality / -scenario localhot")
 		pipeline = flag.Bool("pipeline", false, "drive 3-stage fan-out dataflow flows (parse -> enrich -> aggregate) through Tenant.SubmitFlow; stages route by their declared working sets")
 		fan      = flag.Int("fan", 4, "fan-out width for -pipeline flows")
+		observe  = flag.Float64("observe", 0, "flow-trace sample rate in (0,1] (0 = tracing off); sampled flows record span trees in the flight recorder")
+		ring     = flag.Int("ring", 256, "flight-recorder capacity (retained flow traces; shed/failed flows retained preferentially)")
+		httpAddr = flag.String("http", "", "serve debug endpoints on this address (/debug/serve/metrics, /debug/serve/trace, /debug/vars, /debug/pprof)")
+		dumpTr   = flag.Bool("dump-traces", false, "dump the flight recorder (text span trees) to stderr on shutdown (requires -observe > 0)")
 	)
 	flag.Parse()
 
@@ -115,6 +123,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "htserved: -fan must be >= 1")
 		os.Exit(2)
 	}
+	if *observe < 0 || *observe > 1 {
+		fmt.Fprintln(os.Stderr, "htserved: -observe must be in [0,1]")
+		os.Exit(2)
+	}
+	if *dumpTr && *observe == 0 {
+		fmt.Fprintln(os.Stderr, "htserved: -dump-traces requires -observe > 0 (nothing is recorded otherwise)")
+		os.Exit(2)
+	}
 
 	sys, err := litlx.New(litlx.Config{Locales: *locales, WorkersPerLocale: *workers})
 	if err != nil {
@@ -134,8 +150,28 @@ func main() {
 		// additionally stages batches, but routing alone is the default.
 		cfg.Data.LocalityRoute = true
 	}
+	if *observe > 0 || *httpAddr != "" {
+		// -http alone turns on the metrics layer (Export publishes the
+		// expvar Snapshot); -observe adds sampled flow tracing and the
+		// flight recorder on top.
+		cfg.Observe = serve.ObserveConfig{SampleRate: *observe, RingSize: *ring, Export: true}
+	}
 	srv := serve.New(sys, cfg)
 	defer srv.Close()
+
+	// Flight-recorder shutdown dump: the last thing the process prints,
+	// after every report, so a scripted run's "why did those flows die?"
+	// answer is always at the tail of stderr.
+	if *dumpTr {
+		defer func() {
+			if r := srv.Recorder(); r != nil {
+				r.WriteText(os.Stderr)
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		serveDebugHTTP(srv, *httpAddr)
+	}
 
 	if *pipeline {
 		runPipelineFlows(sys, srv, *rate, *duration, *fan, *locales, *work, *keys, *loose, *seed)
@@ -301,6 +337,42 @@ func main() {
 			sp.Reads+sp.Writes, 100*sys.Space.RemoteFraction(), sp.TotalCost,
 			st.DataStaged, st.Migrations, st.Replications)
 	}
+	if ob := srv.Snapshot().Observe; ob.Enabled {
+		fmt.Printf("observe: %d traced flows (rate %.3g), %d in flight recorder, %d adapt events (%d dropped)\n",
+			ob.TracedFlows, ob.SampleRate, ob.Recorded, ob.AdaptEvents, ob.DroppedEvents)
+	}
+}
+
+// serveDebugHTTP exposes the server's observability surface over HTTP:
+// /debug/serve/metrics (the JSON Snapshot), /debug/serve/trace (the
+// adapt timeline plus flight-recorder span trees), plus the /debug/vars
+// expvar dump (the serve layer publishes its Snapshot there under
+// "serve") and net/http/pprof, both registered on the default mux by
+// their packages. The listener binds before returning so callers can
+// poll immediately; serving runs in the background for the lifetime of
+// the load run.
+func serveDebugHTTP(srv *serve.Server, addr string) {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	http.HandleFunc("/debug/serve/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, srv.Snapshot())
+	})
+	http.HandleFunc("/debug/serve/trace", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, srv.TraceDump())
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htserved: -http:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("debug endpoints on http://%s/debug/serve/metrics\n", ln.Addr())
+	go func() { _ = http.Serve(ln, nil) }()
 }
 
 // runPipelineFlows is the -pipeline mode: a dedicated tenant registers

@@ -32,6 +32,20 @@
 // expire (experiment V4 measures pipelines against per-stage
 // resubmission). Plain Submit is the degenerate one-stage pipeline.
 //
+// The same monitoring methodology turns outward as the serving path's
+// observability layer (serve.Config.Observe): deterministically sampled
+// per-flow traces whose events — admit, batch, steal, dispatch, stage
+// hop, percolation, shed/fail/complete — are attributed to the shard
+// and locale they happened on and merge (trace.Merge's deterministic
+// total order) into span trees; a bounded flight recorder that retains
+// shed and failed flows, each carrying the adaptivity decision that
+// killed it; the controllers' shared adapt-decision timeline
+// (Server.TraceDump); and Server.Snapshot metrics export — per-shard
+// queue-depth/batch-size histograms and per-tenant wait/latency EWMAs —
+// published via expvar and htserved's /debug/serve/ HTTP endpoints.
+// Disabled, the whole layer costs one nil check on the hot path
+// (BENCH_serve.json is the committed allocation baseline).
+//
 // The implementation lives under internal/; see README.md for the map,
 // DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
 // paper-versus-measured results. Entry points:
@@ -42,11 +56,14 @@
 //	                    sharded admission, batching + burst admission,
 //	                    future-wired dataflow pipelines (SubmitFlow),
 //	                    shedding, code/data residency and the locality-
-//	                    aware data plane
+//	                    aware data plane, flow tracing + flight recorder
+//	                    + metrics export (Config.Observe)
 //	cmd/htvmbench     — regenerates every experiment table
 //	cmd/htserved      — the job server under synthetic open-loop load,
 //	                    deterministic scenario scripts (-scenario,
-//	                    -adapt, -locality), or dataflow flows (-pipeline)
+//	                    -adapt, -locality), or dataflow flows (-pipeline);
+//	                    -observe/-http expose traces and metrics over
+//	                    /debug/serve/ endpoints
 //	cmd/litlxc        — the LITL-X script compiler/driver
 //	cmd/c64sim        — the standalone machine simulator
 //	examples/         — five runnable walkthroughs

@@ -33,7 +33,7 @@ func ExpAdaptiveServe(scale int) *Result {
 	)
 	ticks := 150 * scale
 
-	run := func(sc serve.Scenario, adaptive bool) (serve.LoadReport, serve.AdaptStats) {
+	run := func(sc serve.Scenario, adaptive bool) (serve.LoadReport, serve.AdaptStats, serve.ObserveSnapshot, int) {
 		sys, err := litlx.New(litlx.Config{Locales: 2, WorkersPerLocale: 16})
 		if err != nil {
 			panic(err)
@@ -48,6 +48,10 @@ func ExpAdaptiveServe(scale int) *Result {
 				RebalanceEvery: 250 * time.Microsecond,
 				LatencyBudget:  time.Second, // isolate stealing + batching from overload shedding
 			}
+			// The adaptive run traces every flow: its flight recorder is
+			// the experiment's explanation — which controller decisions
+			// (steals, batch retunes) each scenario's traffic provoked.
+			cfg.Observe = serve.ObserveConfig{SampleRate: 1, RingSize: 128}
 		}
 		srv := serve.New(sys, cfg)
 		defer srv.Close()
@@ -62,7 +66,11 @@ func ExpAdaptiveServe(scale int) *Result {
 			panic(err)
 		}
 		rep := serve.PlayScenario(srv, sc, serve.PlayConfig{Tenants: []*serve.Tenant{tn}, Tick: tick})
-		return rep, srv.AdaptStats()
+		badFlows := 0
+		if r := srv.Recorder(); r != nil {
+			badFlows = len(r.Failures())
+		}
+		return rep, srv.AdaptStats(), srv.Snapshot().Observe, badFlows
 	}
 
 	scenarios := []struct {
@@ -79,9 +87,11 @@ func ExpAdaptiveServe(scale int) *Result {
 	for _, s := range scenarios {
 		var reports [2]serve.LoadReport
 		var stats [2]serve.AdaptStats
+		var obsSnaps [2]serve.ObserveSnapshot
+		var badFlows [2]int
 		for i, adaptive := range []bool{false, true} {
-			rep, as := run(s.sc, adaptive)
-			reports[i], stats[i] = rep, as
+			rep, as, obs, bad := run(s.sc, adaptive)
+			reports[i], stats[i], obsSnaps[i], badFlows[i] = rep, as, obs, bad
 			label := "static"
 			if adaptive {
 				label = "adaptive"
@@ -102,8 +112,17 @@ func ExpAdaptiveServe(scale int) *Result {
 		}
 		res.Metrics[s.name+"_steals"] = float64(stats[1].Steals)
 		res.Metrics[s.name+"_batch_moves"] = float64(stats[1].BatchGrows + stats[1].BatchShrinks)
+		// Observability cross-check: the adaptive run traces at rate 1, so
+		// the controllers' decisions must show up as adapt events and the
+		// flight recorder must have retained any shed/failed flows.
+		res.Metrics[s.name+"_traced_flows"] = float64(obsSnaps[1].TracedFlows)
+		res.Metrics[s.name+"_adapt_events"] = float64(obsSnaps[1].AdaptEvents)
+		res.Metrics[s.name+"_recorded_bad_flows"] = float64(badFlows[1])
 		if stats[0].Steals != 0 {
 			panic(fmt.Sprintf("exp V2: static server stole %d jobs", stats[0].Steals))
+		}
+		if obsSnaps[0].Enabled {
+			panic("exp V2: static server should not have observability enabled")
 		}
 	}
 	return res

@@ -95,6 +95,7 @@ func (m *Monitor) Snapshot() Report {
 	r := Report{
 		Counters: make(map[string]int64, len(m.counters)),
 		EWMAs:    make(map[string]float64, len(m.ewmas)),
+		Hists:    make(map[string]HistView, len(m.hists)),
 	}
 	for n, c := range m.counters {
 		r.Counters[n] = c.Value()
@@ -102,14 +103,19 @@ func (m *Monitor) Snapshot() Report {
 	for n, e := range m.ewmas {
 		r.EWMAs[n] = e.Value()
 	}
+	for n, h := range m.hists {
+		r.Hists[n] = h.View()
+	}
 	return r
 }
 
 // Report is a point-in-time view of the monitor, consumed by the
-// dynamic compiler and the adaptivity controllers.
+// dynamic compiler, the adaptivity controllers, and the serve layer's
+// metrics export.
 type Report struct {
 	Counters map[string]int64
 	EWMAs    map[string]float64
+	Hists    map[string]HistView
 }
 
 // Names returns the counter names in sorted order (for stable output).
@@ -196,6 +202,33 @@ func NewHistogram(bounds []float64) *Histogram {
 func (h *Histogram) Observe(x float64) {
 	i := sort.SearchFloat64s(h.bounds, x)
 	h.counts[i].Add(1)
+}
+
+// Bounds returns a copy of the ascending bucket bounds.
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// HistView is a point-in-time copy of one histogram: Counts[i] counts
+// samples <= Bounds[i], with the final entry the overflow bucket. It is
+// the JSON-friendly shape exported by metrics endpoints.
+type HistView struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Total sums the view's bucket counts.
+func (v HistView) Total() int64 {
+	var t int64
+	for _, c := range v.Counts {
+		t += c
+	}
+	return t
+}
+
+// View captures the histogram's current state.
+func (h *Histogram) View() HistView {
+	return HistView{Bounds: h.Bounds(), Counts: h.Counts()}
 }
 
 // Counts returns a copy of the bucket counts (len(bounds)+1 entries).

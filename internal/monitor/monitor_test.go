@@ -200,3 +200,56 @@ func TestHistogramPropertyTotalMatches(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramViewAndBounds(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	v := h.View()
+	if len(v.Bounds) != 2 || len(v.Counts) != 3 {
+		t.Fatalf("view shape = %d bounds, %d counts", len(v.Bounds), len(v.Counts))
+	}
+	if v.Counts[0] != 1 || v.Counts[1] != 1 || v.Counts[2] != 1 {
+		t.Errorf("view counts = %v", v.Counts)
+	}
+	if v.Total() != 3 {
+		t.Errorf("view total = %d, want 3", v.Total())
+	}
+	// The view is a copy: later observations must not leak into it.
+	h.Observe(5)
+	if v.Counts[0] != 1 {
+		t.Error("HistView aliases live histogram state")
+	}
+	b := h.Bounds()
+	b[0] = -1
+	if h.Bounds()[0] != 10 {
+		t.Error("Bounds returned aliased storage")
+	}
+}
+
+func TestSnapshotIncludesHistograms(t *testing.T) {
+	m := New()
+	m.Histogram("lat", []float64{1, 2}).Observe(1.5)
+	var wg sync.WaitGroup
+	// Observers racing a snapshot: the -race guarantee metrics export
+	// depends on.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.Histogram("lat", []float64{1, 2}).Observe(float64(j % 3))
+			}
+		}()
+	}
+	r := m.Snapshot()
+	wg.Wait()
+	v, ok := r.Hists["lat"]
+	if !ok {
+		t.Fatal("snapshot missing histogram")
+	}
+	if v.Total() < 1 {
+		t.Errorf("histogram view total = %d, want >= 1", v.Total())
+	}
+}

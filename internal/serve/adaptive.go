@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/mem"
 	"repro/internal/monitor"
 )
 
@@ -119,9 +120,12 @@ type batchController struct {
 	lat      *monitor.Histogram // batch service latency, microseconds
 	grow     *monitor.Counter   // server-wide serve.adapt.batch_grow
 	shrink   *monitor.Counter   // server-wide serve.adapt.batch_shrink
+	obs      *observer          // nil unless Config.Observe: retunes land on the adapt timeline
+	shard    int
+	locale   mem.Locale
 }
 
-func newBatchController(mon *monitor.Monitor, shard int, cfg Config) *batchController {
+func newBatchController(mon *monitor.Monitor, shard int, cfg Config, obs *observer, locale mem.Locale) *batchController {
 	c := &batchController{
 		min:      cfg.Adapt.BatchMin,
 		max:      cfg.Adapt.BatchMax,
@@ -130,6 +134,9 @@ func newBatchController(mon *monitor.Monitor, shard int, cfg Config) *batchContr
 		lat:      mon.Histogram(fmt.Sprintf("serve.shard%02d.batch_us", shard), batchLatencyBounds),
 		grow:     mon.Counter("serve.adapt.batch_grow"),
 		shrink:   mon.Counter("serve.adapt.batch_shrink"),
+		obs:      obs,
+		shard:    shard,
+		locale:   locale,
 	}
 	start := cfg.Batch
 	if start < c.min {
@@ -161,6 +168,10 @@ func (c *batchController) observeDepth(d int) {
 		}
 		c.cur.Store(int64(next))
 		c.grow.Inc()
+		if c.obs != nil {
+			c.obs.adapt(c.shard, c.locale,
+				fmt.Sprintf("batch grow %d -> %d (depth ewma %.1f)", cur, next, e))
+		}
 	case cur > c.min && (e*4 <= float64(cur) || !c.latencyHeadroom()):
 		next := cur / 2
 		if next < c.min {
@@ -168,6 +179,10 @@ func (c *batchController) observeDepth(d int) {
 		}
 		c.cur.Store(int64(next))
 		c.shrink.Inc()
+		if c.obs != nil {
+			c.obs.adapt(c.shard, c.locale,
+				fmt.Sprintf("batch shrink %d -> %d (depth ewma %.1f)", cur, next, e))
+		}
 	}
 }
 
@@ -271,6 +286,10 @@ func (s *Server) localityOnce() {
 		case "replicate":
 			s.replications.Inc()
 		}
+		if s.obs != nil {
+			s.obs.adapt(len(s.shards), a.To,
+				fmt.Sprintf("locality %s obj %d -> locale %d", a.Kind, a.Obj, a.To))
+		}
 	}
 }
 
@@ -279,7 +298,16 @@ func (s *Server) localityOnce() {
 // controller's migration plan. Split out so tests can drive the loop
 // deterministically.
 func (s *Server) adaptOnce() {
-	s.overload.update(s.waitUS.Value())
+	// The control loop's own decisions are attributed to producer
+	// len(shards) on the adapt timeline — one id past the shard range.
+	ctl := len(s.shards)
+	wait := s.waitUS.Value()
+	prevLevel := s.overload.shedLevel()
+	s.overload.update(wait)
+	if cur := s.overload.shedLevel(); cur != prevLevel && s.obs != nil {
+		s.obs.adapt(ctl, 0,
+			fmt.Sprintf("overload shed level %d -> %d (wait ewma %.0fus)", prevLevel, cur, wait))
+	}
 	pending := make([]int, len(s.shards))
 	for i, sh := range s.shards {
 		pending[i] = sh.pending()
@@ -291,7 +319,12 @@ func (s *Server) adaptOnce() {
 	}
 	moved := 0
 	for _, p := range s.load.Plan(pending) {
-		moved += stealJobs(s.shards[p.From], s.shards[p.To], p.Count)
+		n := stealJobs(s.shards[p.From], s.shards[p.To], p.Count)
+		moved += n
+		if n > 0 && s.obs != nil {
+			s.obs.adapt(ctl, s.shards[p.To].locale,
+				fmt.Sprintf("rebalance: stole %d jobs shard %d -> %d (imbalance %.2f)", n, p.From, p.To, imb))
+		}
 	}
 	if moved > 0 {
 		s.steals.Add(int64(moved))

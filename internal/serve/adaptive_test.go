@@ -13,7 +13,7 @@ func newTestBatchController(min, max, start int, budget time.Duration) *batchCon
 		Batch: start,
 		Adapt: AdaptConfig{Enabled: true, BatchMin: min, BatchMax: max, LatencyBudget: budget},
 	}.withDefaults()
-	return newBatchController(monitor.New(), 0, cfg)
+	return newBatchController(monitor.New(), 0, cfg, nil, 0)
 }
 
 func TestBatchControllerGrowsOnBacklog(t *testing.T) {

@@ -87,6 +87,30 @@ func BenchmarkSubmitLegacyString(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitFlow measures the dataflow-pipeline admission path:
+// one two-stage scalar flow per iteration, futures and flow state
+// included — the per-flow cost SubmitFlow adds over plain Submit.
+func BenchmarkSubmitFlow(b *testing.B) {
+	_, tn := newBenchServer(b)
+	pl, err := tn.NewPipeline("bench-flow",
+		Stage{Name: "a", Handler: func(_ *Ctx, req Request) (any, error) { return req.Payload, nil }},
+		Stage{Name: "b", Handler: func(_ *Ctx, req Request) (any, error) { return req.Payload, nil }},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := func(Result) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			if _, err := tn.SubmitFlowFunc(pl, Request{Key: uint64(i)}, done); err != ErrOverload {
+				break
+			}
+		}
+	}
+}
+
 func BenchmarkSubmitManyBurst(b *testing.B) {
 	_, tn := newBenchServer(b)
 	const burst = 64

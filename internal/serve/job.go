@@ -140,6 +140,22 @@ type Job struct {
 	// submits): the done-exactly-once guard and the flow-scoped
 	// deadline/priority the stage inherited.
 	flow *flowState
+	// ft is the sampled trace context the job's lifecycle events append
+	// to; nil (the common case — unsampled, or observability off) makes
+	// every emission point a single pointer check.
+	ft *FlowTrace
+	// elem is the job's fan-out element index plus one (0 for scalar
+	// stage executions), packed into each event's Arg via spanArg.
+	elem int32
+}
+
+// spanArg packs the job's stage/element context for its trace events;
+// zero (no stage context) only for detached test jobs.
+func (j *Job) spanArg() int64 {
+	if j.stage == nil {
+		return 0
+	}
+	return spanArg(j.stage.idx, j.elem)
 }
 
 // routeHash identifies the job's (tenant, key) routing pair — the same

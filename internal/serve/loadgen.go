@@ -58,6 +58,10 @@ type LoadReport struct {
 	Throughput float64
 	// Latency quantiles over completed jobs (admission to completion).
 	P50, P99, Max time.Duration
+	// Wait quantiles over completed jobs (admission to execution start)
+	// — the queueing component of the latency above, the signal the
+	// overload controller defends.
+	WaitP50, WaitP99 time.Duration
 }
 
 // collector accumulates per-request outcomes for a load run. It is the
@@ -67,7 +71,8 @@ type LoadReport struct {
 type collector struct {
 	outstanding                       atomic.Int64
 	completed, rejected, shed, failed atomic.Int64
-	samples                           []float64
+	samples                           []float64 // Result.Total of completed jobs
+	waits                             []float64 // Result.Wait of the same jobs
 	nsamples                          atomic.Int64
 }
 
@@ -75,7 +80,10 @@ func newCollector(maxSamples int) *collector {
 	if maxSamples <= 0 {
 		maxSamples = 1 << 20
 	}
-	return &collector{samples: make([]float64, maxSamples)}
+	return &collector{
+		samples: make([]float64, maxSamples),
+		waits:   make([]float64, maxSamples),
+	}
 }
 
 // expect registers n submissions whose outcomes will arrive via done.
@@ -89,6 +97,7 @@ func (c *collector) done(r Result) {
 		c.completed.Add(1)
 		if i := c.nsamples.Add(1) - 1; int(i) < len(c.samples) {
 			c.samples[i] = float64(r.Total)
+			c.waits[i] = float64(r.Wait)
 		}
 	case StatusRejected:
 		c.rejected.Add(1)
@@ -131,6 +140,12 @@ func (c *collector) report(offered int64, elapsed time.Duration) LoadReport {
 		rep.P50 = time.Duration(stats.Quantile(lats, 0.50))
 		rep.P99 = time.Duration(stats.Quantile(lats, 0.99))
 		rep.Max = time.Duration(lats[len(lats)-1])
+	}
+	waits := c.waits[:n]
+	sort.Float64s(waits)
+	if len(waits) > 0 {
+		rep.WaitP50 = time.Duration(stats.Quantile(waits, 0.50))
+		rep.WaitP99 = time.Duration(stats.Quantile(waits, 0.99))
 	}
 	return rep
 }

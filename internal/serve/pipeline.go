@@ -33,6 +33,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/syncx"
+	"repro/internal/trace"
 )
 
 // Stage declares one step of a dataflow pipeline: a handler plus the
@@ -230,6 +231,9 @@ type flowState struct {
 	finished atomic.Bool
 	futs     []*future.Future[Result]
 	resolve  []func(Result, error)
+	// ft is the flow's sampled trace context (nil when unsampled);
+	// every stage job of the flow shares it.
+	ft *FlowTrace
 }
 
 // SubmitFlow admits one flow through the pipeline and returns a ticket
@@ -269,6 +273,7 @@ func (t *Tenant) SubmitFlowFunc(p *Pipeline, req Request, done func(Result)) ([]
 		p: p, key: req.Key, deadline: req.Deadline, priority: req.Priority,
 		enqueued: now, done: done,
 	}
+	fl.ft = s.obs.sample(t, p, req.Key)
 	n := len(p.stages)
 	fl.futs = make([]*future.Future[Result], n)
 	fl.resolve = make([]func(Result, error), n)
@@ -297,7 +302,7 @@ func (t *Tenant) SubmitFlowFunc(p *Pipeline, req Request, done func(Result)) ([]
 	if st.writes == nil {
 		sreq.WriteSet = req.WriteSet
 	}
-	j := &Job{tenant: t, req: sreq, enqueued: now, stage: st, flow: fl,
+	j := &Job{tenant: t, req: sreq, enqueued: now, stage: st, flow: fl, ft: fl.ft,
 		done: func(r Result) { p.complete(fl, st, r) }}
 	// Count the flow before it can possibly complete; a refused stage 0
 	// means the flow never existed, so the count rolls back.
@@ -376,6 +381,12 @@ func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 	}
 	req := p.stageRequest(fl, next, r.Value)
 	sh := s.routeShard(p.t, &req)
+	if fl.ft != nil {
+		// The hop is attributed to its destination: the shard (and
+		// locale) the routed value is about to ship to.
+		fl.ft.add(trace.KindStageHop, sh.id, sh.locale, spanArg(next.idx, 0),
+			fmt.Sprintf("%s -> %s", st.name, next.name))
+	}
 	fl.resolve[st.idx](r, nil)
 	fl.futs[st.idx].ThenSpawn(int(sh.locale), func(_ *core.SGT, _ Result) {
 		p.submitStage(fl, next, sh, req)
@@ -388,7 +399,7 @@ func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 // surface is the only honest one).
 func (p *Pipeline) submitStage(fl *flowState, st *pipeStage, sh *shard, req Request) {
 	s := p.t.srv
-	j := &Job{tenant: p.t, req: req, enqueued: time.Now(), stage: st, flow: fl,
+	j := &Job{tenant: p.t, req: req, enqueued: time.Now(), stage: st, flow: fl, ft: fl.ft,
 		done: func(r Result) { p.complete(fl, st, r) }}
 	s.flowStages.Inc()
 	if err := s.admit(p.t, sh, j); err != nil {
@@ -432,7 +443,15 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 			}
 		}
 		resolve := resolvers[i]
+		sh := s.routeShard(p.t, &req)
+		if fl.ft != nil {
+			// Per-element hop: each fan-out element routes independently,
+			// so each records its own destination shard and locale.
+			fl.ft.add(trace.KindStageHop, sh.id, sh.locale, spanArg(st.idx, int32(i+1)),
+				fmt.Sprintf("%s fan-out [%d/%d]", st.name, i, len(parts)))
+		}
 		j := &Job{tenant: p.t, req: req, enqueued: now, stage: st, flow: fl,
+			ft: fl.ft, elem: int32(i + 1),
 			done: func(r Result) {
 				switch r.Status {
 				case StatusOK:
@@ -456,7 +475,7 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 			}}
 		s.flowStages.Inc()
 		s.flowFan.Inc()
-		if err := s.admit(p.t, s.routeShard(p.t, &j.req), j); err != nil {
+		if err := s.admit(p.t, sh, j); err != nil {
 			s.flowStages.Add(-1)
 			s.flowFan.Add(-1)
 			if st.fanouts != nil {
@@ -526,6 +545,7 @@ func (p *Pipeline) finish(fl *flowState, from int, r Result) {
 	default:
 		s.flowFail.Inc()
 	}
+	s.obs.finishFlow(fl.ft, r.Status)
 	fl.done(r)
 }
 
@@ -542,5 +562,6 @@ func (p *Pipeline) finishOK(fl *flowState, r Result) {
 	final.Priority = fl.priority
 	final.Total = time.Since(fl.enqueued)
 	s.flowDone.Inc()
+	s.obs.finishFlow(fl.ft, StatusOK)
 	fl.done(final)
 }

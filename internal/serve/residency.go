@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/percolate"
+	"repro/internal/trace"
 )
 
 // This file is the residency subsystem: one mechanism deciding what —
@@ -134,6 +135,12 @@ func (s *Server) stageBatch(sh *shard, jobs []*Job) {
 			s.space.Replicate(id, sh.locale)
 			s.datastage.Inc()
 			spinWork(s.res.transferUnits(s.space.Size(id)))
+			if j.ft != nil {
+				// Attribute the staging transfer to the job whose working
+				// set triggered it — the rest of the batch rides along.
+				j.ft.add(trace.KindPercolate, sh.id, sh.locale, j.spanArg(),
+					fmt.Sprintf("staged obj %d into locale %d", id, sh.locale))
+			}
 		}
 	}
 }
@@ -184,6 +191,8 @@ func (s *Server) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 		rej:      s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".rejected"),
 		shed:     s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".shed"),
 		ok:       s.sys.Mon.Counter("serve.tenant." + cfg.Name + ".done"),
+		waitUS:   s.sys.Mon.EWMA("serve.tenant."+cfg.Name+".wait_us", 0.05),
+		latUS:    s.sys.Mon.EWMA("serve.tenant."+cfg.Name+".latency_us", 0.05),
 	}
 	// Every tenant's plain Submit path executes as a degenerate
 	// one-stage pipeline over the composed handler: one admission core

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/mem"
@@ -231,6 +232,11 @@ type PlayConfig struct {
 	// (nil: the arrival's Key). A Map-first pipeline needs a payload
 	// that is a []any.
 	FlowPayload func(a Arrival) any
+	// DumpTraces, when non-nil, receives the server's flight-recorder
+	// dump (text span trees) after playback completes — no-op unless
+	// the server was built with Config.Observe. A scenario run thus
+	// explains itself: every retained flow's lifecycle, shard by shard.
+	DumpTraces io.Writer
 }
 
 // PlayScenario plays the script against s, tick by tick: each tick's
@@ -298,6 +304,11 @@ func PlayScenario(s *Server, sc Scenario, cfg PlayConfig) LoadReport {
 		}
 	}
 	col.drain()
+	if cfg.DumpTraces != nil {
+		if r := s.Recorder(); r != nil {
+			r.WriteText(cfg.DumpTraces)
+		}
+	}
 	return col.report(offered, time.Since(start))
 }
 

@@ -75,6 +75,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/percolate"
 	"repro/internal/syncx"
+	"repro/internal/trace"
 )
 
 // ErrOverload reports an admission rejected by backpressure.
@@ -115,6 +116,10 @@ type Config struct {
 	// still recorded and priced as accesses, they just run where the
 	// hash lands them.
 	Data DataConfig
+	// Observe configures flow tracing, the flight recorder, and metrics
+	// export (see ObserveConfig). Zero value: off — the hot path pays a
+	// single nil check and no extra allocations.
+	Observe ObserveConfig
 }
 
 // DataConfig switches on the serving path's locale-aware data plane.
@@ -158,6 +163,7 @@ type Server struct {
 	cfg   Config
 	space *mem.Space // the system's global space; data-plane directory
 	res   *residency // unified code/data transfer models and staging
+	obs   *observer  // nil unless Config.Observe is enabled
 
 	shards   []*shard
 	byLocale [][]*shard // shards grouped by pinned locale, for routing
@@ -213,6 +219,7 @@ type Tenant struct {
 	objects       []mem.ObjID   // data objects registered in the shared space
 
 	acc, rej, shed, ok *monitor.Counter
+	waitUS, latUS      *monitor.EWMA
 }
 
 // Name returns the tenant's registered name.
@@ -279,6 +286,12 @@ func New(sys *litlx.System, cfg Config) *Server {
 		replications: sys.Mon.Counter("serve.adapt.replications"),
 	}
 	s.res = newResidency()
+	if cfg.Observe.enabled() {
+		s.obs = newObserver(cfg.Observe, cfg.Shards, sys.Mon)
+		if cfg.Observe.Export {
+			s.publishExpvar()
+		}
+	}
 	if cfg.Adapt.Enabled {
 		s.load = adapt.NewLoadController()
 		s.load.ImbalanceThreshold = cfg.Adapt.StealThreshold
@@ -297,8 +310,10 @@ func New(sys *litlx.System, cfg Config) *Server {
 	for i := 0; i < cfg.Shards; i++ {
 		sh := newShard(i, cfg.QueueDepth)
 		sh.locale = mem.Locale(i % locales)
+		sh.qdepth = sys.Mon.Histogram(fmt.Sprintf("serve.shard%02d.queue_depth", i), queueDepthBounds)
+		sh.bsize = sys.Mon.Histogram(fmt.Sprintf("serve.shard%02d.batch_size", i), batchSizeBounds)
 		if cfg.Adapt.Enabled {
-			sh.ctrl = newBatchController(sys.Mon, i, cfg)
+			sh.ctrl = newBatchController(sys.Mon, i, cfg, s.obs, mem.Locale(i%locales))
 		}
 		s.shards = append(s.shards, sh)
 		s.byLocale[sh.locale] = append(s.byLocale[sh.locale], sh)
@@ -366,6 +381,7 @@ func (t *Tenant) SubmitFunc(req Request, done func(Result)) error {
 		req.Deadline = now.Add(s.cfg.DefaultDeadline)
 	}
 	j := &Job{tenant: t, req: req, enqueued: now, done: done, stage: t.solo.stages[0]}
+	j.ft = s.obs.sample(t, t.solo, req.Key)
 	return s.admit(t, s.routeShard(t, &req), j)
 }
 
@@ -381,10 +397,19 @@ func (s *Server) admit(t *Tenant, sh *shard, j *Job) error {
 		}
 		t.rej.Inc()
 		s.rejected.Inc()
+		if j.ft != nil {
+			j.ft.add(trace.KindFail, sh.id, sh.locale, j.spanArg(), "admission refused: shard queue full")
+			if j.flow == nil {
+				s.obs.finishFlow(j.ft, StatusRejected)
+			}
+		}
 		return ErrOverload
 	}
 	t.acc.Inc()
 	s.accepted.Inc()
+	if j.ft != nil {
+		j.ft.add(trace.KindAdmit, sh.id, sh.locale, j.spanArg(), "")
+	}
 	return nil
 }
 
@@ -434,6 +459,7 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 			r.Deadline = now.Add(s.cfg.DefaultDeadline)
 		}
 		jobs[i] = &Job{tenant: t, req: r, enqueued: now, done: func(res Result) { done(i, res) }, stage: t.solo.stages[0]}
+		jobs[i].ft = s.obs.sample(t, t.solo, r.Key)
 		si := s.routeShard(t, &r).id
 		home[i] = si
 		counts[si]++
@@ -465,6 +491,14 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 		if acc > 0 {
 			t.acc.Add(int64(acc))
 			s.accepted.Add(int64(acc))
+			if s.obs != nil {
+				sh := s.shards[si]
+				for _, j := range g[:acc] {
+					if j.ft != nil {
+						j.ft.add(trace.KindAdmit, sh.id, sh.locale, j.spanArg(), "")
+					}
+				}
+			}
 		}
 		if acc == len(g) {
 			continue
@@ -480,6 +514,11 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 			s.rejected.Add(int64(len(g) - acc))
 		}
 		for _, j := range g[acc:] {
+			if j.ft != nil {
+				sh := s.shards[si]
+				j.ft.add(trace.KindFail, sh.id, sh.locale, j.spanArg(), "admission refused: "+errv.Error())
+				s.obs.finishFlow(j.ft, StatusRejected)
+			}
 			j.done(Result{Status: StatusRejected, Err: errv, Priority: j.req.Priority})
 		}
 	}
@@ -521,7 +560,7 @@ func (s *Server) SubmitFunc(tenantName string, key uint64, payload any, deadline
 func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 	if !j.req.Deadline.IsZero() {
 		if now := time.Now(); now.After(j.req.Deadline) {
-			s.shed(j, now)
+			s.shed(sh, j, now, "deadline expired before execution")
 			return
 		}
 	}
@@ -530,12 +569,20 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 		spinWork(t.transferUnits)
 		t.resident[sh.id].Store(true)
 		s.codexfer.Inc()
+		if j.ft != nil {
+			j.ft.add(trace.KindPercolate, sh.id, sh.locale, j.spanArg(),
+				fmt.Sprintf("cold code fetch: tenant %s (%d bytes)", t.name, t.codeSize))
+		}
 	}
 	remote := false
 	for _, id := range j.req.WorkingSet {
 		if info := s.space.ReadAccess(sh.locale, id, 0); info.Remote {
 			remote = true
 			spinWork(s.res.transferUnits(info.Bytes))
+			if j.ft != nil {
+				j.ft.add(trace.KindPercolate, sh.id, sh.locale, j.spanArg(),
+					fmt.Sprintf("demand fetch: obj %d (%d bytes)", id, info.Bytes))
+			}
 		}
 	}
 	// Per-stage locality accounting: whether this stage execution was
@@ -554,7 +601,12 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 	}
 	start := time.Now()
 	res := Result{Wait: start.Sub(j.enqueued), Priority: j.req.Priority}
-	s.waitUS.Observe(float64(res.Wait) / float64(time.Microsecond))
+	waitUS := float64(res.Wait) / float64(time.Microsecond)
+	s.waitUS.Observe(waitUS)
+	t.waitUS.Observe(waitUS)
+	if j.ft != nil {
+		j.ft.add(trace.KindDispatch, sh.id, sh.locale, j.spanArg(), "")
+	}
 	ctx := &Ctx{sgt: sg, shard: sh.id, locale: sh.locale, tenant: t, deadline: j.req.Deadline}
 	func() {
 		defer func() {
@@ -589,14 +641,39 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 		t.ok.Inc()
 	}
 	s.done.Inc()
-	s.latencyUS.Observe(float64(res.Total) / float64(time.Microsecond))
+	latUS := float64(res.Total) / float64(time.Microsecond)
+	s.latencyUS.Observe(latUS)
+	t.latUS.Observe(latUS)
+	if j.ft != nil {
+		if res.Status == StatusFailed {
+			j.ft.add(trace.KindFail, sh.id, sh.locale, j.spanArg(), res.Err.Error())
+		} else {
+			j.ft.add(trace.KindComplete, sh.id, sh.locale, j.spanArg(), "")
+		}
+		if j.flow == nil {
+			// Solo jobs have no pipeline terminal path: seal here. Flow
+			// stage jobs leave sealing to finish/finishOK.
+			s.obs.finishFlow(j.ft, res.Status)
+		}
+	}
 	j.done(res)
 }
 
-// shed completes an expired job without running its handler.
-func (s *Server) shed(j *Job, now time.Time) {
+// shed completes an expired job without running its handler. cause is
+// the human-readable reason recorded on the job's flow trace (when it
+// carries one) as the KindAdapt decision that ended it, followed by the
+// KindShed outcome — the flight recorder's answer to "why did this
+// flow die?".
+func (s *Server) shed(sh *shard, j *Job, now time.Time, cause string) {
 	j.tenant.shed.Inc()
 	s.shedc.Inc()
+	if j.ft != nil {
+		j.ft.add(trace.KindAdapt, sh.id, sh.locale, j.spanArg(), cause)
+		j.ft.add(trace.KindShed, sh.id, sh.locale, j.spanArg(), "")
+		if j.flow == nil {
+			s.obs.finishFlow(j.ft, StatusShed)
+		}
+	}
 	age := now.Sub(j.enqueued)
 	j.done(Result{Status: StatusShed, Wait: age, Total: age, Priority: j.req.Priority})
 }
@@ -604,7 +681,7 @@ func (s *Server) shed(j *Job, now time.Time) {
 // shedLow sheds a job the overload controller dropped for its priority:
 // the same shed accounting, plus the dedicated low-priority counter so
 // overload shedding is distinguishable from deadline shedding.
-func (s *Server) shedLow(j *Job, now time.Time) {
+func (s *Server) shedLow(sh *shard, j *Job, now time.Time, level int) {
 	// The shed path must keep feeding the wait estimator: in a full-shed
 	// regime execute() observes nothing, and a frozen above-budget EWMA
 	// would latch the shed level at max forever. Shed jobs report their
@@ -612,7 +689,11 @@ func (s *Server) shedLow(j *Job, now time.Time) {
 	// controller lets traffic back in.
 	s.waitUS.Observe(float64(now.Sub(j.enqueued)) / float64(time.Microsecond))
 	s.shedLowPri.Inc()
-	s.shed(j, now)
+	cause := ""
+	if j.ft != nil {
+		cause = fmt.Sprintf("overload: priority %d below shed level %d", j.req.Priority, level)
+	}
+	s.shed(sh, j, now, cause)
 }
 
 // Close shuts the admission queues, drains the tails, and waits for all
@@ -634,6 +715,9 @@ func (s *Server) Close() {
 	}
 	s.dispatchers.Wait()
 	s.inflight.Wait()
+	// Release the expvar claim only if this server holds it: a newer
+	// server may have claimed the "serve" var since.
+	expvarSrv.CompareAndSwap(s, nil)
 }
 
 // Stats is a point-in-time view of the server's monitor counters.

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/monitor"
+	"repro/internal/trace"
 )
 
 // shard is one admission queue: a bounded FIFO guarded by its own lock,
@@ -23,6 +26,10 @@ type shard struct {
 	cap    int
 	shut   bool
 	ctrl   *batchController // nil unless Config.Adapt is enabled
+	// Always-on drain instruments (atomic, alloc-free): the queue depth
+	// seen at each drain and the size of each dispatched batch. They
+	// feed Server.Snapshot's per-shard histograms.
+	qdepth, bsize *monitor.Histogram
 }
 
 func newShard(id, depth int) *shard {
@@ -196,6 +203,10 @@ func stealJobs(src, dst *shard, want int) int {
 			if j.flow != nil {
 				j.tenant.srv.flowSteals.Inc()
 			}
+			if j.ft != nil {
+				j.ft.add(trace.KindSteal, dst.id, dst.locale, j.spanArg(),
+					fmt.Sprintf("stolen: shard %d -> %d", src.id, dst.id))
+			}
 			continue
 		}
 		kept = append(kept, j)
@@ -230,6 +241,7 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		if !ok {
 			return
 		}
+		sh.qdepth.Observe(float64(depth))
 		if sh.ctrl != nil {
 			sh.ctrl.observeDepth(depth)
 		}
@@ -238,13 +250,13 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		live := batch[:0]
 		for _, j := range batch {
 			if !j.req.Deadline.IsZero() && now.After(j.req.Deadline) {
-				s.shed(j, now)
+				s.shed(sh, j, now, "deadline expired in queue")
 				continue
 			}
 			// Only an engaged overload controller (level > 0) sheds by
 			// priority; at level 0 even negative priorities run.
 			if shedBelow > 0 && j.req.Priority < shedBelow {
-				s.shedLow(j, now)
+				s.shedLow(sh, j, now, shedBelow)
 				continue
 			}
 			live = append(live, j)
@@ -254,6 +266,22 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		}
 		jobs := make([]*Job, len(live))
 		copy(jobs, live)
+		sh.bsize.Observe(float64(len(jobs)))
+		if s.obs != nil {
+			// One batch-formation event per traced job; the label (shared
+			// across the batch) is built once and only when some job in
+			// the batch is traced.
+			lbl := ""
+			for _, j := range jobs {
+				if j.ft == nil {
+					continue
+				}
+				if lbl == "" {
+					lbl = fmt.Sprintf("batch of %d (depth %d)", len(jobs), depth)
+				}
+				j.ft.add(trace.KindBatch, sh.id, sh.locale, j.spanArg(), lbl)
+			}
+		}
 		tokens <- struct{}{} // bound in-flight batches for this shard
 		s.batches.Inc()
 		s.inflight.Add(1)

@@ -18,7 +18,11 @@ import (
 // Kind classifies trace events.
 type Kind uint8
 
-// Event kinds recorded by the runtime and simulator.
+// Event kinds recorded by the runtime and simulator. The serve-layer
+// kinds (KindAdmit onward) mark the lifecycle edges of one served
+// request or flow: admission onto a shard queue, drain into a batch,
+// dispatch onto an executing SGT, a pipeline stage hop, and the
+// terminal outcomes.
 const (
 	KindThreadSpawn Kind = iota
 	KindThreadStart
@@ -32,11 +36,19 @@ const (
 	KindPercolate
 	KindAdapt
 	KindUser
+	KindAdmit
+	KindBatch
+	KindDispatch
+	KindStageHop
+	KindShed
+	KindFail
+	KindComplete
 )
 
 var kindNames = [...]string{
 	"spawn", "start", "end", "parcel-send", "parcel-recv", "mem",
 	"migrate", "steal", "sync-fire", "percolate", "adapt", "user",
+	"admit", "batch", "dispatch", "stage-hop", "shed", "fail", "complete",
 }
 
 // String returns a short human-readable name for the kind.
@@ -49,18 +61,28 @@ func (k Kind) String() string {
 
 // Event is one trace record. Time is in the producer's clock domain:
 // nanoseconds for the native runtime, cycles for the simulator.
+//
+// Producer and Seq pin the event's place in the total order: Producer
+// is the emitting producer's id and Seq its per-producer append
+// sequence. Emit fills both; callers building events by hand (tests,
+// offline merges) may set them directly. Merge breaks equal-Time ties
+// by (Producer, Seq), so a merged timeline is deterministic even when
+// many producers share one timestamp.
 type Event struct {
-	Time   int64
-	Kind   Kind
-	Locale int    // node or worker the event occurred on
-	Arg    int64  // event-specific argument (thread id, address, bytes...)
-	Label  string // optional, interned by the caller
+	Time     int64
+	Kind     Kind
+	Locale   int    // node or worker the event occurred on
+	Producer int    // emitting producer id (shard, TU, worker)
+	Seq      uint64 // per-producer append sequence, assigned at Emit
+	Arg      int64  // event-specific argument (thread id, address, bytes...)
+	Label    string // optional, interned by the caller
 }
 
 // shard is a per-producer event buffer padded to avoid false sharing.
 type shard struct {
 	mu     sync.Mutex
 	events []Event
+	seq    uint64 // next per-shard sequence number
 	_      [32]byte
 }
 
@@ -95,7 +117,9 @@ func (t *Tracer) SetEnabled(on bool) {
 	}
 }
 
-// Emit records one event. Safe for concurrent use; nil-safe.
+// Emit records one event, stamping its Producer and per-producer Seq
+// so snapshots merge into a deterministic total order. Safe for
+// concurrent use; nil-safe.
 func (t *Tracer) Emit(producer int, e Event) {
 	if t == nil || !t.enabled.Load() {
 		return
@@ -107,6 +131,9 @@ func (t *Tracer) Emit(producer int, e Event) {
 		t.dropped.Add(1)
 		return
 	}
+	e.Producer = producer
+	e.Seq = s.seq
+	s.seq++
 	s.events = append(s.events, e)
 	s.mu.Unlock()
 }
@@ -119,20 +146,57 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped.Load()
 }
 
-// Snapshot returns all collected events merged and sorted by time.
-// The tracer keeps its events; call Reset to clear.
+// Snapshot returns all collected events merged into the deterministic
+// total order (see Merge). The tracer keeps its events; call Reset to
+// clear.
 func (t *Tracer) Snapshot() []Event {
 	if t == nil {
 		return nil
 	}
-	var all []Event
+	streams := make([][]Event, 0, len(t.shards))
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		all = append(all, s.events...)
+		if len(s.events) > 0 {
+			streams = append(streams, append([]Event(nil), s.events...))
+		}
 		s.mu.Unlock()
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	return Merge(streams...)
+}
+
+// Before reports whether a precedes b in the merged total order: by
+// Time, then by Producer, then by per-producer Seq. The tie-breaks are
+// what make a merge of many producer streams deterministic — two
+// producers stamping the same timestamp (coarse clocks, simulator
+// cycles) always interleave the same way, so a replayed scenario's
+// merged trace is bit-identical run to run.
+func Before(a, b Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Producer != b.Producer {
+		return a.Producer < b.Producer
+	}
+	return a.Seq < b.Seq
+}
+
+// Merge combines per-producer event streams into one slice in the
+// deterministic total order defined by Before. Streams need not be
+// pre-sorted and may interleave producers; the result is a fresh slice.
+func Merge(streams ...[]Event) []Event {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	if n == 0 {
+		return nil
+	}
+	all := make([]Event, 0, n)
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return Before(all[i], all[j]) })
 	return all
 }
 
@@ -145,6 +209,7 @@ func (t *Tracer) Reset() {
 		s := &t.shards[i]
 		s.mu.Lock()
 		s.events = s.events[:0]
+		s.seq = 0
 		s.mu.Unlock()
 	}
 	t.dropped.Store(0)

@@ -88,6 +88,99 @@ func TestResetClears(t *testing.T) {
 	}
 }
 
+func TestMergeTieBreakDeterministic(t *testing.T) {
+	// Events with equal timestamps from different producers must merge
+	// stably by producer id, then per-producer sequence — regardless of
+	// the order the streams are handed in.
+	a := []Event{{Time: 5, Producer: 2, Seq: 0}, {Time: 5, Producer: 2, Seq: 1}}
+	b := []Event{{Time: 5, Producer: 0, Seq: 0}, {Time: 7, Producer: 0, Seq: 1}}
+	c := []Event{{Time: 5, Producer: 1, Seq: 0}}
+	want := []Event{
+		{Time: 5, Producer: 0, Seq: 0},
+		{Time: 5, Producer: 1, Seq: 0},
+		{Time: 5, Producer: 2, Seq: 0},
+		{Time: 5, Producer: 2, Seq: 1},
+		{Time: 7, Producer: 0, Seq: 1},
+	}
+	for _, streams := range [][][]Event{{a, b, c}, {c, b, a}, {b, a, c}} {
+		got := Merge(streams[0], streams[1], streams[2])
+		if len(got) != len(want) {
+			t.Fatalf("merged %d events, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("merge order differs at %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEmitStampsProducerAndSeq(t *testing.T) {
+	tr := New(2, 0)
+	// Producers 1 and 3 share tracer shard 1; their events still carry
+	// their own producer ids and strictly increasing sequence numbers.
+	tr.Emit(1, Event{Time: 9})
+	tr.Emit(3, Event{Time: 9})
+	tr.Emit(1, Event{Time: 9})
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Equal times: total order is by producer then seq.
+	wantProd := []int{1, 1, 3}
+	for i, e := range evs {
+		if e.Producer != wantProd[i] {
+			t.Fatalf("event %d producer = %d, want %d (%+v)", i, e.Producer, wantProd[i], evs)
+		}
+	}
+	if !(evs[0].Seq < evs[1].Seq) {
+		t.Errorf("same-producer events not in seq order: %+v", evs)
+	}
+}
+
+func TestConcurrentEmitSnapshotRace(t *testing.T) {
+	// Many producers appending while a reader snapshots concurrently —
+	// the -race guarantee the serve layer's tracing relies on.
+	tr := New(4, 1<<20)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(w, Event{Time: int64(i), Kind: KindAdmit, Locale: w})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				evs := tr.Snapshot()
+				for i := 1; i < len(evs); i++ {
+					if Before(evs[i], evs[i-1]) {
+						t.Error("snapshot not in total order")
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if n := len(tr.Snapshot()); n != workers*per {
+		t.Errorf("got %d events, want %d", n, workers*per)
+	}
+}
+
 func TestCountByKind(t *testing.T) {
 	evs := []Event{
 		{Kind: KindSteal}, {Kind: KindSteal}, {Kind: KindParcelSend},

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Regenerates BENCH_serve.json, the serve hot-path benchmark baseline.
+#
+# Usage: scripts/bench_serve.sh [raw-bench-output-file]
+#
+# With no argument, runs the internal/serve benchmarks (full default
+# benchtime, Config.Observe zero-valued — the disabled-path numbers)
+# and rewrites BENCH_serve.json at the repo root. With an argument,
+# parses an existing `go test -bench` output file instead of re-running.
+#
+# The file this writes is the reference the observability work is held
+# to: allocs/op on Submit* must not grow while Observe is off. Compare
+# a candidate change with:
+#
+#   go test ./internal/serve/ -bench . -run '^$' | scripts/bench_serve.sh /dev/stdin
+#
+# and diff the allocs_per_op fields against the committed baseline
+# (ns/op and B/op drift with the machine; allocs/op should not).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+raw="${1:-}"
+if [ -z "$raw" ]; then
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    go test ./internal/serve/ -bench . -run '^$' -count 1 | tee "$raw" >&2
+fi
+
+awk '
+BEGIN { n = 0 }
+/^pkg:/ { pkg = $2 }
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix if present
+    iters[n] = $2
+    ns[n] = $3
+    b[n] = ""; allocs[n] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op") b[n] = $(i - 1)
+        if ($(i) == "allocs/op") allocs[n] = $(i - 1)
+    }
+    names[n] = name
+    n++
+}
+END {
+    printf "{\n"
+    printf "  \"package\": \"%s\",\n", pkg
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"note\": \"serve hot-path baseline with Config.Observe zero-valued; allocs_per_op is the guarded invariant\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], iters[i], ns[i]
+        if (b[i] != "") printf ", \"bytes_per_op\": %s", b[i]
+        if (allocs[i] != "") printf ", \"allocs_per_op\": %s", allocs[i]
+        printf "}%s\n", (i < n - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$raw" > BENCH_serve.json
+
+echo "wrote BENCH_serve.json" >&2
