@@ -28,12 +28,20 @@
 // routed by its declared working set, and the report covers whole
 // flows plus per-stage done/shed/steal/locality accounting.
 //
+// -listen turns the process into one node of a real cluster
+// (internal/cluster) on the TCP parcel transport: -join enters an
+// existing cluster through any member, -nodes is the membership the
+// node waits for before driving load, and -rate 0 hosts the node's
+// locale range without generating flows. See cluster.go and the README
+// "Cluster" section for the three-shell quickstart.
+//
 // Examples:
 //
 //	htserved -rate 5000 -tenants 64 -shards 8 -duration 2s
 //	htserved -scenario hotkey -hotfrac 0.8 -adapt -rate 8000 -duration 2s
 //	htserved -scenario localhot -adapt -locality -locales 2 -rate 4000 -duration 2s
 //	htserved -pipeline -fan 4 -locales 2 -rate 1000 -duration 2s
+//	htserved -listen 127.0.0.1:7101 -nodes 2 -locales 64 -rate 0 -duration 60s
 package main
 
 import (
@@ -84,6 +92,9 @@ func main() {
 		ring     = flag.Int("ring", 256, "flight-recorder capacity (retained flow traces; shed/failed flows retained preferentially)")
 		httpAddr = flag.String("http", "", "serve debug endpoints on this address (/debug/serve/metrics, /debug/serve/trace, /debug/vars, /debug/pprof)")
 		dumpTr   = flag.Bool("dump-traces", false, "dump the flight recorder (text span trees) to stderr on shutdown (requires -observe > 0)")
+		listen   = flag.String("listen", "", "cluster mode: host:port this node's parcel transport listens on")
+		join     = flag.String("join", "", "cluster mode: address of a running member to join (requires -listen)")
+		nodes    = flag.Int("nodes", 1, "cluster mode: expected member count; the node waits for the cluster to reach it before driving load")
 	)
 	flag.Parse()
 
@@ -91,8 +102,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "htserved: -tenants must be >= 1")
 		os.Exit(2)
 	}
-	if *rate <= 0 {
-		fmt.Fprintln(os.Stderr, "htserved: -rate must be > 0")
+	if *join != "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "htserved: -join requires -listen (a joining node must be reachable itself)")
+		os.Exit(2)
+	}
+	if *nodes < 1 {
+		fmt.Fprintln(os.Stderr, "htserved: -nodes must be >= 1")
+		os.Exit(2)
+	}
+	if *nodes > 1 && *listen == "" {
+		fmt.Fprintln(os.Stderr, "htserved: -nodes > 1 requires -listen (a multi-node cluster needs a transport address)")
+		os.Exit(2)
+	}
+	if *rate < 0 || (*rate == 0 && *listen == "") {
+		fmt.Fprintln(os.Stderr, "htserved: -rate must be > 0 (0 is allowed only in cluster mode: host without driving load)")
 		os.Exit(2)
 	}
 	if *duration <= 0 {
@@ -130,6 +153,17 @@ func main() {
 	if *dumpTr && *observe == 0 {
 		fmt.Fprintln(os.Stderr, "htserved: -dump-traces requires -observe > 0 (nothing is recorded otherwise)")
 		os.Exit(2)
+	}
+
+	if *listen != "" {
+		// Cluster mode: the node owns its own litlx.System and
+		// serve.Server; the single-process load modes below don't apply.
+		runCluster(clusterOpts{
+			listen: *listen, join: *join, nodes: *nodes,
+			locales: *locales, workers: *workers, shards: *shards, depth: *depth,
+			imgKB: *imgKB, rate: *rate, duration: *duration, seed: *seed, work: *work,
+		})
+		return
 	}
 
 	sys, err := litlx.New(litlx.Config{Locales: *locales, WorkersPerLocale: *workers})

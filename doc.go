@@ -44,7 +44,23 @@
 // queue-depth/batch-size histograms and per-tenant wait/latency EWMAs —
 // published via expvar and htserved's /debug/serve/ HTTP endpoints.
 // Disabled, the whole layer costs one nil check on the hot path
-// (BENCH_serve.json is the committed allocation baseline).
+// (BENCH_serve.json is the committed allocation baseline, gated in CI
+// by scripts/bench_serve.sh -check).
+//
+// The cluster subsystem (internal/cluster) takes the serving path
+// multi-node: each node is a process hosting its own litlx.System and
+// serve.Server plus one contiguous arc of the global locale space,
+// assigned by a consistent-hash ring over a small join/leave membership
+// protocol. Parcels between nodes ride the parcel.Transport interface —
+// the in-process parcel.Fabric for deterministic replay, or
+// internal/cluster/netparcel's length-prefixed TCP+gob transport with
+// per-peer connection pooling, write coalescing, and bounded
+// outstanding-call windows. Admission routes across node boundaries,
+// pipeline flows chain machine-to-machine with done-exactly-once
+// completion parcels, code images and global objects percolate as real
+// bytes (single-flight, counted), and flow traces stitch across nodes
+// by flow id (experiment V5 compares one node against three; htserved's
+// -listen/-join/-nodes flags run a real cluster from several shells).
 //
 // The implementation lives under internal/; see README.md for the map,
 // DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
@@ -58,6 +74,9 @@
 //	                    shedding, code/data residency and the locality-
 //	                    aware data plane, flow tracing + flight recorder
 //	                    + metrics export (Config.Observe)
+//	internal/cluster  — multi-node serving: membership, the locale ring,
+//	                    cross-node flows and percolation; netparcel is
+//	                    the TCP transport
 //	cmd/htvmbench     — regenerates every experiment table
 //	cmd/htserved      — the job server under synthetic open-loop load,
 //	                    deterministic scenario scripts (-scenario,

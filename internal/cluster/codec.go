@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// This file is the cluster wire codec: every parcel body on the
+// transport is one gob-encoded message struct, and flow values cross
+// nodes inside a wireValue wrapper so `any` payloads and results ride
+// gob's interface encoding. Concrete payload types beyond the common
+// scalars registered in init must be announced with RegisterType on
+// every node before traffic carries them — gob names the concrete type
+// on the wire, and an unregistered type fails the encode, which the
+// flow layer degrades to local execution (forward path) or a
+// StatusFailed completion (result path) rather than wedging the flow.
+
+// wireValue wraps one flow value for transmission. A nil V encodes as
+// the empty struct and decodes back to nil.
+type wireValue struct {
+	V any
+}
+
+// joinMsg rides "cluster.join" (the Call a joiner makes to any member)
+// and "cluster.leave" (Addr unused).
+type joinMsg struct {
+	ID   string
+	Addr string
+}
+
+// memberMsg is the membership snapshot: the join reply and the
+// "cluster.members" broadcast.
+type memberMsg struct {
+	Epoch   uint64
+	Members map[string]string // node id -> dialable address
+}
+
+// stageMsg ships the remainder of a flow to the node owning its next
+// stage ("cluster.stage"). Origin is the node holding the flow's
+// pending futures; completions return there.
+type stageMsg struct {
+	Flow     uint64 // origin-scoped flow id
+	Origin   string
+	Tenant   string
+	Pipe     string
+	Stage    int
+	Key      uint64 // the flow's routing key (stage keys re-derive from the value)
+	Deadline int64  // unix nanoseconds; 0 = none
+	Priority int
+	Value    []byte // wireValue-encoded stage input
+}
+
+// completeMsg resolves a forwarded flow at its origin
+// ("cluster.complete").
+type completeMsg struct {
+	Flow   uint64
+	Status uint8
+	Value  []byte // wireValue-encoded final value (StatusOK only)
+	Err    string
+}
+
+// fetchMsg requests a percolation transfer: the tenant's code image
+// ("cluster.fetchcode", Object empty) or one global object
+// ("cluster.fetch").
+type fetchMsg struct {
+	Tenant string
+	Object string
+}
+
+// traceMsg asks a peer for its recorded events of one flow
+// ("cluster.trace").
+type traceMsg struct {
+	Origin string
+	Flow   uint64
+}
+
+func init() {
+	// The payload types a demo or test is likely to ship; anything else
+	// goes through RegisterType.
+	for _, v := range []any{
+		int(0), int8(0), int16(0), int32(0), int64(0),
+		uint(0), uint8(0), uint16(0), uint32(0), uint64(0),
+		float32(0), float64(0), "", false,
+		[]any(nil), []byte(nil), []int(nil), []string(nil), []float64(nil),
+		map[string]any(nil), map[string]int(nil), map[string]string(nil),
+	} {
+		gob.Register(v)
+	}
+}
+
+// RegisterType announces a concrete payload type to the wire codec.
+// Call it on every node (the same way parcel handlers register
+// everywhere) before flows carry values of that type across nodes.
+func RegisterType(v any) { gob.Register(v) }
+
+// encode gobs one message struct into a parcel body.
+func encode(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// decode parses a parcel body into the given message struct.
+func decode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// encodeValue wraps and gobs one flow value.
+func encodeValue(v any) ([]byte, error) { return encode(wireValue{V: v}) }
+
+// decodeValue unwraps one flow value.
+func decodeValue(b []byte) (any, error) {
+	var w wireValue
+	if err := decode(b, &w); err != nil {
+		return nil, err
+	}
+	return w.V, nil
+}

@@ -1,0 +1,403 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/parcel"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// This file threads SubmitFlow across machines. A cluster Pipeline
+// compiles twice on every node: the full serve pipeline (what a locally
+// originated flow runs on, chained by the serve layer with this Node as
+// its RemoteRouter) and one single-stage serve pipeline per stage (what
+// a stage parcel executes when the flow arrives from another node).
+// Hand-offs are stage parcels; the flow then chains machine-to-machine
+// — each executing node advances the flow itself, forwarding to the
+// next stage's owner or running it locally — and the terminal result
+// returns to the origin as one completion parcel. Done-exactly-once
+// holds by construction: the completion pops the origin's pending entry
+// under a lock (at most one winner), and the serve layer's flowState
+// guard backs the locally-chained case.
+
+// StageRoute derives one stage's cluster routing from its input value:
+// the key that mixes onto the global locale space (the ring then names
+// the owning node) and the names of the tenant globals the stage reads
+// (the executing node percolates them before running). A nil route
+// inherits the flow's submission key and reads no globals.
+type StageRoute func(v any) (key uint64, globals []string)
+
+// PipelineConfig declares one cluster pipeline.
+type PipelineConfig struct {
+	Name string
+	// Stages are the serve-layer stage declarations, exactly as for
+	// Tenant.NewPipeline.
+	Stages []serve.Stage
+	// Routes gives each stage its cluster routing; nil entries (or a nil
+	// slice) inherit the flow key. Length must be 0 or len(Stages).
+	Routes []StageRoute
+}
+
+// Pipeline is a compiled cluster pipeline: immutable, safe for
+// concurrent submissions. Build the same pipeline (same tenant, name,
+// stages) on every node.
+type Pipeline struct {
+	n          *Node
+	t          *Tenant
+	name       string
+	sp         *serve.Pipeline   // full pipeline: locally admitted flows
+	stagePipes []*serve.Pipeline // one per stage: remote stage execution
+	routes     []StageRoute
+}
+
+// NewPipeline compiles a cluster pipeline for the tenant. Alongside the
+// full serve pipeline it registers one single-stage pipeline per stage
+// (named "<name>.s<i>"), the execution vehicle for arriving stage
+// parcels — each runs the stage under the node's own admission,
+// batching, and adaptivity exactly like local work.
+func (t *Tenant) NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if len(cfg.Routes) != 0 && len(cfg.Routes) != len(cfg.Stages) {
+		return nil, fmt.Errorf("cluster: pipeline %q has %d stages but %d routes",
+			cfg.Name, len(cfg.Stages), len(cfg.Routes))
+	}
+	sp, err := t.st.NewPipeline(cfg.Name, cfg.Stages...)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{n: t.n, t: t, name: cfg.Name, sp: sp}
+	for i, st := range cfg.Stages {
+		solo, err := t.st.NewPipeline(fmt.Sprintf("%s.s%d", cfg.Name, i), st)
+		if err != nil {
+			return nil, err
+		}
+		p.stagePipes = append(p.stagePipes, solo)
+	}
+	if len(cfg.Routes) > 0 {
+		p.routes = append([]StageRoute(nil), cfg.Routes...)
+	}
+	t.n.tenantsMu.Lock()
+	t.n.pipes[t.name+"/"+cfg.Name] = p
+	t.n.tenantsMu.Unlock()
+	return p, nil
+}
+
+// Name returns the pipeline's registered name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Len returns the number of stages.
+func (p *Pipeline) Len() int { return p.sp.Len() }
+
+// route derives one stage's cluster routing inputs.
+func (p *Pipeline) route(stage int, v any, flowKey uint64) (uint64, []string) {
+	if stage < len(p.routes) && p.routes[stage] != nil {
+		return p.routes[stage](v)
+	}
+	return flowKey, nil
+}
+
+// pipeline looks a compiled cluster pipeline up by tenant and name.
+func (n *Node) pipeline(tenant, name string) *Pipeline {
+	n.tenantsMu.RLock()
+	defer n.tenantsMu.RUnlock()
+	return n.pipes[tenant+"/"+name]
+}
+
+// Ticket follows one cluster flow to its terminal result.
+type Ticket struct {
+	ch   chan serve.Result
+	once sync.Once
+	r    serve.Result
+}
+
+// Wait blocks until the flow resolves (idempotent).
+func (tk *Ticket) Wait() serve.Result {
+	tk.once.Do(func() { tk.r = <-tk.ch })
+	return tk.r
+}
+
+// Submit admits one flow into the cluster and returns its ticket.
+func (p *Pipeline) Submit(req serve.Request) (*Ticket, error) {
+	tk := &Ticket{ch: make(chan serve.Result, 1)}
+	if err := p.SubmitFunc(req, func(r serve.Result) { tk.ch <- r }); err != nil {
+		return nil, err
+	}
+	return tk, nil
+}
+
+// SubmitFunc admits one flow, invoking done exactly once with the
+// terminal result. Admission itself is ring-routed: when stage 0's home
+// locale belongs to another node, the whole flow ships there as a stage
+// parcel instead of admitting locally, and done fires when the
+// completion parcel returns.
+func (p *Pipeline) SubmitFunc(req serve.Request, done func(serve.Result)) error {
+	n := p.n
+	if n.closed.Load() {
+		return ErrNodeClosed
+	}
+	finish := func(r serve.Result) {
+		n.flowsCompleted.Add(1)
+		done(r)
+	}
+	key0, _ := p.route(0, req.Payload, req.Key)
+	if owner, _ := n.ownerOf(p.t.hash, key0); owner != n.self {
+		if n.shipStage(p, owner, stageMsg{
+			Origin:   string(n.self),
+			Tenant:   p.t.name,
+			Pipe:     p.name,
+			Stage:    0,
+			Key:      req.Key,
+			Deadline: deadlineNS(req.Deadline),
+			Priority: req.Priority,
+		}, req.Payload, finish) {
+			n.flowsOriginated.Add(1)
+			return nil
+		}
+		// Could not ship (encode failure, peer just left): admit locally.
+	}
+	if _, err := p.t.st.SubmitFlowFunc(p.sp, req, finish); err != nil {
+		return err
+	}
+	n.flowsOriginated.Add(1)
+	return nil
+}
+
+// shipStage encodes and sends one stage parcel carrying a flow this
+// node originates, registering its finish callback under a fresh flow
+// id. Returns false (nothing registered, nothing sent) when the value
+// cannot cross the wire or the peer is unreachable.
+func (n *Node) shipStage(p *Pipeline, dest parcel.NodeID, sp stageMsg, v any, finish func(serve.Result)) bool {
+	body, err := encodeValue(v)
+	if err != nil {
+		return false
+	}
+	sp.Value = body
+	flow := n.nextFlow.Add(1)
+	sp.Flow = flow
+	pb, err := encode(sp)
+	if err != nil {
+		return false
+	}
+	n.pendingMu.Lock()
+	n.pending[flow] = finish
+	n.pendingMu.Unlock()
+	if err := n.t.Send(dest, "cluster.stage", pb); err != nil {
+		n.pendingMu.Lock()
+		delete(n.pending, flow)
+		n.pendingMu.Unlock()
+		return false
+	}
+	n.forwardedStages.Add(1)
+	n.traces.record(n.self, flow, trace.KindRemoteHop,
+		fmt.Sprintf("%s/%s stage %d: %s -> %s", sp.Tenant, sp.Pipe, sp.Stage, n.self, dest))
+	return true
+}
+
+// ForwardStage implements serve.RemoteRouter: the serve layer consults
+// it at every scalar stage boundary of a locally executing flow. When
+// the ring homes the next stage on another node, the remainder of the
+// flow ships there and the serve layer's remaining futures resolve via
+// finish when the completion parcel returns.
+func (n *Node) ForwardStage(st *serve.Tenant, sp *serve.Pipeline, next int, v any,
+	key uint64, deadline time.Time, priority int, finish func(serve.Result)) bool {
+	if n.closed.Load() {
+		return false
+	}
+	p := n.pipeline(st.Name(), sp.Name())
+	if p == nil {
+		return false // not a cluster pipeline (solo submits, stage pipes)
+	}
+	skey, _ := p.route(next, v, key)
+	owner, _ := n.ownerOf(p.t.hash, skey)
+	if owner == n.self {
+		return false
+	}
+	return n.shipStage(p, owner, stageMsg{
+		Origin:   string(n.self),
+		Tenant:   p.t.name,
+		Pipe:     p.name,
+		Stage:    next,
+		Key:      key,
+		Deadline: deadlineNS(deadline),
+		Priority: priority,
+	}, v, finish)
+}
+
+// handleStage executes one arriving stage parcel. It runs on a
+// transport delivery goroutine; the stage itself is admitted through
+// the node's serve layer like any local work.
+func (n *Node) handleStage(_ parcel.NodeID, body []byte) ([]byte, error) {
+	var sp stageMsg
+	if err := decode(body, &sp); err != nil {
+		return nil, err
+	}
+	origin := parcel.NodeID(sp.Origin)
+	p := n.pipeline(sp.Tenant, sp.Pipe)
+	if p == nil || sp.Stage < 0 || sp.Stage >= p.Len() {
+		n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusFailed,
+			Err: fmt.Errorf("cluster: node %s has no pipeline %s/%s (stage %d)",
+				n.self, sp.Tenant, sp.Pipe, sp.Stage)})
+		return nil, nil
+	}
+	v, err := decodeValue(sp.Value)
+	if err != nil {
+		n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusFailed,
+			Err: fmt.Errorf("cluster: stage %d value: %w", sp.Stage, err)})
+		return nil, nil
+	}
+	n.execStage(p, sp, v)
+	return nil, nil
+}
+
+// execStage runs stage sp.Stage of a forwarded flow on this node:
+// deadline check, percolation, then the single-stage pipeline under
+// local admission. Its completion advances the flow.
+func (n *Node) execStage(p *Pipeline, sp stageMsg, v any) {
+	origin := parcel.NodeID(sp.Origin)
+	deadline := nsTime(sp.Deadline)
+	if !deadline.IsZero() {
+		if now := time.Now(); now.After(deadline) {
+			n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusShed})
+			return
+		}
+	}
+	if origin != n.self {
+		n.remoteStages.Add(1)
+	} else {
+		n.localStages.Add(1)
+	}
+	_, globals := p.route(sp.Stage, v, sp.Key)
+	p.t.ensureResident(origin, globals)
+	n.traces.record(origin, sp.Flow, trace.KindDispatch,
+		fmt.Sprintf("%s/%s stage %d @ %s", sp.Tenant, sp.Pipe, sp.Stage, n.self))
+	req := serve.Request{Key: sp.Key, Payload: v, Deadline: deadline, Priority: sp.Priority}
+	_, err := p.t.st.SubmitFlowFunc(p.stagePipes[sp.Stage], req, func(r serve.Result) {
+		n.advance(p, sp, r)
+	})
+	if err != nil {
+		n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusRejected, Err: err})
+	}
+}
+
+// advance moves a forwarded flow past a finished stage: a terminal
+// result (non-OK, or the last stage) completes back to the origin;
+// otherwise the next stage routes by the current ring — executing here
+// or shipping onward, so a flow chains machine-to-machine without ever
+// revisiting its origin mid-flight.
+func (n *Node) advance(p *Pipeline, sp stageMsg, r serve.Result) {
+	origin := parcel.NodeID(sp.Origin)
+	if r.Status != serve.StatusOK || sp.Stage >= p.Len()-1 {
+		n.completeFlow(origin, sp.Flow, r)
+		return
+	}
+	next := sp.Stage + 1
+	key, _ := p.route(next, r.Value, sp.Key)
+	owner, _ := n.ownerOf(p.t.hash, key)
+	sp.Stage = next
+	if owner != n.self {
+		body, err := encodeValue(r.Value)
+		if err != nil {
+			n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusFailed,
+				Err: fmt.Errorf("cluster: stage %d value does not encode: %w (see RegisterType)", next, err)})
+			return
+		}
+		sp.Value = body
+		if pb, err := encode(sp); err == nil && n.t.Send(owner, "cluster.stage", pb) == nil {
+			n.forwardedStages.Add(1)
+			n.traces.record(origin, sp.Flow, trace.KindRemoteHop,
+				fmt.Sprintf("%s/%s stage %d: %s -> %s", sp.Tenant, sp.Pipe, next, n.self, owner))
+			return
+		}
+		// The owner became unreachable (left, crashed): degrade to local
+		// execution rather than losing the flow.
+	}
+	sp.Value = nil
+	n.execStage(p, sp, r.Value)
+}
+
+// completeFlow returns a forwarded flow's terminal result to its
+// origin — directly when the flow ended where it began, else as a
+// completion parcel.
+func (n *Node) completeFlow(origin parcel.NodeID, flow uint64, r serve.Result) {
+	if origin == n.self {
+		n.finishFlow(flow, r)
+		return
+	}
+	cm := completeMsg{Flow: flow, Status: uint8(r.Status)}
+	if r.Err != nil {
+		cm.Err = r.Err.Error()
+	}
+	if r.Status == serve.StatusOK && r.Value != nil {
+		body, err := encodeValue(r.Value)
+		if err != nil {
+			cm.Status = uint8(serve.StatusFailed)
+			cm.Err = fmt.Sprintf("cluster: result value does not encode: %v (see RegisterType)", err)
+		} else {
+			cm.Value = body
+		}
+	}
+	body, err := encode(cm)
+	if err != nil {
+		return
+	}
+	// A send failure means the origin is gone; its pending entry resolves
+	// at its own Close.
+	_ = n.t.Send(origin, "cluster.complete", body)
+}
+
+// handleComplete resolves a completion parcel at the flow's origin.
+func (n *Node) handleComplete(from parcel.NodeID, body []byte) ([]byte, error) {
+	var cm completeMsg
+	if err := decode(body, &cm); err != nil {
+		return nil, err
+	}
+	r := serve.Result{Status: serve.Status(cm.Status)}
+	if cm.Err != "" {
+		r.Err = errors.New(cm.Err)
+	}
+	if len(cm.Value) > 0 {
+		v, err := decodeValue(cm.Value)
+		if err != nil {
+			r.Status = serve.StatusFailed
+			r.Err = fmt.Errorf("cluster: completion value: %w", err)
+		} else {
+			r.Value = v
+		}
+	}
+	n.traces.record(n.self, cm.Flow, trace.KindComplete,
+		fmt.Sprintf("completion from %s: %s", from, r.Status))
+	n.finishFlow(cm.Flow, r)
+	return nil, nil
+}
+
+// finishFlow pops the flow's pending finish callback and fires it —
+// the pop is the exactly-once gate: a duplicate or late completion
+// finds no entry and is dropped.
+func (n *Node) finishFlow(flow uint64, r serve.Result) {
+	n.pendingMu.Lock()
+	fin := n.pending[flow]
+	delete(n.pending, flow)
+	n.pendingMu.Unlock()
+	if fin != nil {
+		fin(r)
+	}
+}
+
+// deadlineNS packs a deadline for the wire; zero time is 0.
+func deadlineNS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// nsTime unpacks a wire deadline; 0 is the zero time.
+func nsTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}

@@ -1,0 +1,580 @@
+// Package netparcel carries parcels between cluster nodes over TCP: the
+// real-wire implementation of parcel.Transport. Frames are
+// length-prefixed gob — a 4-byte big-endian body length, then one
+// gob-encoded frame — so a reader never depends on gob's internal
+// buffering to find message boundaries.
+//
+// Each peer gets a small connection pool (ConnsPerPeer). Writers
+// coalesce: frames queue on a per-connection channel and the writer
+// goroutine encodes everything pending before flushing the buffered
+// writer once — a burst of stage hand-offs or percolation fetches pays
+// one syscall, the way a parcel batch amortizes round trips. Calls are
+// split transactions matched by sequence number, bounded per peer by an
+// outstanding-call window (Window) so a slow peer backpressures its
+// callers instead of accumulating unbounded in-flight state.
+package netparcel
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parcel"
+)
+
+// Frame kinds. hello identifies the dialing node; send is one-way; call
+// expects a reply with the same Seq.
+const (
+	kindHello = iota
+	kindSend
+	kindCall
+	kindReply
+)
+
+// frame is the unit on the wire.
+type frame struct {
+	Kind   uint8
+	Seq    uint64
+	From   string // sender NodeID (hello); unused on other kinds
+	Addr   string // sender's dialable address (hello)
+	Method string
+	Body   []byte
+	Err    string // reply only: handler error, empty for success
+}
+
+// Config tunes a transport; the zero value is usable.
+type Config struct {
+	// ConnsPerPeer is the connection-pool size per peer (default 2).
+	ConnsPerPeer int
+	// Window bounds outstanding calls per peer (default 256).
+	Window int
+	// CallTimeout fails a call whose reply has not arrived (default 30s)
+	// — a wedged peer must not wedge its callers forever.
+	CallTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConnsPerPeer <= 0 {
+		c.ConnsPerPeer = 2
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Transport is the TCP implementation of parcel.Transport.
+type Transport struct {
+	self parcel.NodeID
+	cfg  Config
+	ln   net.Listener
+
+	mu       sync.RWMutex
+	peers    map[parcel.NodeID]*peer
+	handlers map[string]parcel.TransportHandler
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	seq     atomic.Uint64
+	pending sync.Map // seq -> pendingCall
+
+	bytesSent, bytesRecv     atomic.Int64
+	parcelsSent, parcelsRecv atomic.Int64
+	calls                    atomic.Int64
+}
+
+// peer is the pooled connection state for one remote node.
+type peer struct {
+	id    parcel.NodeID
+	mu    sync.Mutex
+	conns []*wconn
+	next  atomic.Uint64  // round-robin pool index
+	sem   chan struct{}  // outstanding-call window
+}
+
+// wconn is one live connection with its coalescing writer queue.
+type wconn struct {
+	c      net.Conn
+	out    chan frame
+	closed atomic.Bool
+	tr     *Transport
+}
+
+// pendingCall is one outstanding Call: the reply channel and the
+// connection the request left on, so a dying connection can fail
+// exactly the calls stranded on it.
+type pendingCall struct {
+	w  *wconn
+	ch chan frame
+}
+
+var errClosed = parcel.ErrTransportClosed
+
+// Listen starts a transport for node self on addr (host:port; port 0
+// picks a free one). The transport accepts peers immediately.
+func Listen(self parcel.NodeID, addr string, cfg Config) (*Transport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		self:     self,
+		cfg:      cfg.withDefaults(),
+		ln:       ln,
+		peers:    make(map[parcel.NodeID]*peer),
+		handlers: make(map[string]parcel.TransportHandler),
+	}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Self returns the node id this transport was started with.
+func (t *Transport) Self() parcel.NodeID { return t.self }
+
+// Addr returns the listener's address — what peers Dial.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Handle installs the handler for a method (re-registration replaces).
+func (t *Transport) Handle(method string, h parcel.TransportHandler) {
+	if h == nil {
+		panic("netparcel: nil handler")
+	}
+	t.mu.Lock()
+	t.handlers[method] = h
+	t.mu.Unlock()
+}
+
+func (t *Transport) handler(method string) (parcel.TransportHandler, bool) {
+	t.mu.RLock()
+	h, ok := t.handlers[method]
+	t.mu.RUnlock()
+	return h, ok
+}
+
+// Dial connects to the node listening at addr, exchanges hellos, and
+// returns its NodeID, opening ConnsPerPeer pooled connections. Dialing
+// an already-pooled peer is a no-op beyond the first connection.
+func (t *Transport) Dial(addr string) (parcel.NodeID, error) {
+	id, err := t.dialOne(addr)
+	if err != nil {
+		return "", err
+	}
+	for {
+		t.mu.RLock()
+		p := t.peers[id]
+		t.mu.RUnlock()
+		p.mu.Lock()
+		n := len(p.conns)
+		p.mu.Unlock()
+		if n >= t.cfg.ConnsPerPeer {
+			return id, nil
+		}
+		if _, err := t.dialOne(addr); err != nil {
+			// One live connection is enough to serve traffic.
+			return id, nil
+		}
+	}
+}
+
+// dialOne opens one hello-complete connection to addr.
+func (t *Transport) dialOne(addr string) (parcel.NodeID, error) {
+	if t.closed.Load() {
+		return "", errClosed
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	// Hello out, hello back: both sides learn who is on the wire before
+	// any parcel rides it.
+	hello := frame{Kind: kindHello, From: string(t.self), Addr: t.Addr()}
+	if err := writeFrame(c, &hello, &t.bytesSent); err != nil {
+		c.Close()
+		return "", err
+	}
+	// Read the hello unbuffered: a buffered reader could slurp bytes of
+	// the frames that follow it, which belong to the connection's real
+	// read loop.
+	reply, err := readFrame(c, &t.bytesRecv)
+	if err != nil {
+		c.Close()
+		return "", fmt.Errorf("netparcel: hello to %s: %w", addr, err)
+	}
+	if reply.Kind != kindHello || reply.From == "" {
+		c.Close()
+		return "", fmt.Errorf("netparcel: bad hello from %s", addr)
+	}
+	id := parcel.NodeID(reply.From)
+	t.addConn(id, c)
+	return id, nil
+}
+
+// addConn registers a live, hello-complete connection under the peer and
+// starts its reader and coalescing writer.
+func (t *Transport) addConn(id parcel.NodeID, c net.Conn) *wconn {
+	t.mu.Lock()
+	p, ok := t.peers[id]
+	if !ok {
+		p = &peer{id: id, sem: make(chan struct{}, t.cfg.Window)}
+		t.peers[id] = p
+	}
+	t.mu.Unlock()
+	w := &wconn{c: c, out: make(chan frame, 512), tr: t}
+	p.mu.Lock()
+	p.conns = append(p.conns, w)
+	p.mu.Unlock()
+	t.wg.Add(2)
+	go w.writeLoop(&t.wg)
+	go t.readLoop(w, id)
+	return w
+}
+
+// accept admits inbound connections: the dialer's hello names it, we
+// hello back, and the connection joins that peer's pool.
+func (t *Transport) accept() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func(c net.Conn) {
+			// Unbuffered for the same reason as Dial: nothing past the
+			// hello may be consumed here.
+			h, err := readFrame(c, &t.bytesRecv)
+			if err != nil || h.Kind != kindHello || h.From == "" {
+				c.Close()
+				return
+			}
+			back := frame{Kind: kindHello, From: string(t.self), Addr: t.Addr()}
+			if err := writeFrame(c, &back, &t.bytesSent); err != nil {
+				c.Close()
+				return
+			}
+			t.addConn(parcel.NodeID(h.From), c)
+		}(c)
+	}
+}
+
+// readLoop drains one connection: replies resolve pending calls,
+// everything else dispatches to the method handler on its own goroutine
+// so a blocking handler never stalls the wire.
+func (t *Transport) readLoop(w *wconn, from parcel.NodeID) {
+	defer t.wg.Done()
+	br := bufio.NewReader(w.c)
+	for {
+		f, err := readFrame(br, &t.bytesRecv)
+		if err != nil {
+			w.shut()
+			t.failPending(w)
+			return
+		}
+		switch f.Kind {
+		case kindReply:
+			if pc, ok := t.pending.LoadAndDelete(f.Seq); ok {
+				pc.(pendingCall).ch <- f
+			}
+		case kindSend:
+			t.parcelsRecv.Add(1)
+			if h, ok := t.handler(f.Method); ok {
+				body := f.Body
+				go func() { _, _ = h(from, body) }()
+			}
+		case kindCall:
+			t.parcelsRecv.Add(1)
+			h, ok := t.handler(f.Method)
+			seq, body := f.Seq, f.Body
+			go func() {
+				rep := frame{Kind: kindReply, Seq: seq}
+				if !ok {
+					rep.Err = fmt.Sprintf("netparcel: node %s has no handler %q", t.self, f.Method)
+				} else if v, err := h(from, body); err != nil {
+					rep.Err = err.Error()
+				} else {
+					rep.Body = v
+				}
+				w.enqueue(rep)
+			}()
+		}
+	}
+}
+
+// peerFor returns the connected peer or an error; it never dials — the
+// cluster membership layer owns who is reachable.
+func (t *Transport) peerFor(dest parcel.NodeID) (*peer, error) {
+	if t.closed.Load() {
+		return nil, errClosed
+	}
+	t.mu.RLock()
+	p, ok := t.peers[dest]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", parcel.ErrUnknownPeer, dest)
+	}
+	return p, nil
+}
+
+// pick round-robins the pool, pruning dead connections.
+func (p *peer) pick() (*wconn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.conns) > 0 {
+		i := int(p.next.Add(1)) % len(p.conns)
+		w := p.conns[i]
+		if !w.closed.Load() {
+			return w, nil
+		}
+		p.conns = append(p.conns[:i], p.conns[i+1:]...)
+	}
+	return nil, fmt.Errorf("%w: %s (no live connections)", parcel.ErrUnknownPeer, p.id)
+}
+
+// Send delivers a one-way parcel.
+func (t *Transport) Send(dest parcel.NodeID, method string, body []byte) error {
+	p, err := t.peerFor(dest)
+	if err != nil {
+		return err
+	}
+	w, err := p.pick()
+	if err != nil {
+		return err
+	}
+	t.parcelsSent.Add(1)
+	return w.enqueue(frame{Kind: kindSend, Method: method, Body: body})
+}
+
+// Call performs a split transaction: the frame ships to dest, the
+// matching reply (or the handler's error) comes back. Outstanding calls
+// to one peer are bounded by the window; callers beyond it block until a
+// slot frees, which is the transport's backpressure.
+func (t *Transport) Call(dest parcel.NodeID, method string, body []byte) ([]byte, error) {
+	p, err := t.peerFor(dest)
+	if err != nil {
+		return nil, err
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	w, err := p.pick()
+	if err != nil {
+		return nil, err
+	}
+	seq := t.seq.Add(1)
+	ch := make(chan frame, 1)
+	t.pending.Store(seq, pendingCall{w: w, ch: ch})
+	t.parcelsSent.Add(1)
+	t.calls.Add(1)
+	if err := w.enqueue(frame{Kind: kindCall, Seq: seq, Method: method, Body: body}); err != nil {
+		t.pending.Delete(seq)
+		return nil, err
+	}
+	select {
+	case f := <-ch:
+		if f.Err != "" {
+			return nil, errors.New(f.Err)
+		}
+		return f.Body, nil
+	case <-time.After(t.cfg.CallTimeout):
+		t.pending.Delete(seq)
+		return nil, fmt.Errorf("netparcel: call %s to %s timed out after %v", method, dest, t.cfg.CallTimeout)
+	}
+}
+
+// Peers lists the currently connected peers.
+func (t *Transport) Peers() []parcel.NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]parcel.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Stats snapshots the wire counters. BytesSent/BytesRecv count real
+// framed bytes, length prefixes included.
+func (t *Transport) Stats() parcel.TransportStats {
+	return parcel.TransportStats{
+		BytesSent:   t.bytesSent.Load(),
+		BytesRecv:   t.bytesRecv.Load(),
+		ParcelsSent: t.parcelsSent.Load(),
+		ParcelsRecv: t.parcelsRecv.Load(),
+		Calls:       t.calls.Load(),
+	}
+}
+
+// failPending fails outstanding calls stranded on a dead connection
+// (or, with a nil w, all of them) so callers unblock immediately
+// instead of riding out the call timeout. LoadAndDelete makes each
+// entry single-winner against a racing reply.
+func (t *Transport) failPending(w *wconn) {
+	t.pending.Range(func(k, v any) bool {
+		pc := v.(pendingCall)
+		if w != nil && pc.w != w {
+			return true
+		}
+		if _, ok := t.pending.LoadAndDelete(k); ok {
+			pc.ch <- frame{Kind: kindReply, Err: errClosed.Error()}
+		}
+		return true
+	})
+}
+
+// Close shuts the listener and every pooled connection, fails every
+// outstanding call, and waits for the reader/writer goroutines to
+// drain.
+func (t *Transport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.ln.Close()
+	t.mu.Lock()
+	for _, p := range t.peers {
+		p.mu.Lock()
+		for _, w := range p.conns {
+			w.shut()
+		}
+		p.mu.Unlock()
+	}
+	t.mu.Unlock()
+	t.failPending(nil)
+	t.wg.Wait()
+	return nil
+}
+
+// enqueue queues one frame for the coalescing writer.
+func (w *wconn) enqueue(f frame) (err error) {
+	if w.closed.Load() {
+		return errClosed
+	}
+	// shut() may close the queue between the check and the send; the
+	// recovered panic is the close signal.
+	defer func() {
+		if recover() != nil {
+			err = errClosed
+		}
+	}()
+	w.out <- f
+	return nil
+}
+
+// shut closes the connection and its queue exactly once.
+func (w *wconn) shut() {
+	if w.closed.Swap(true) {
+		return
+	}
+	w.c.Close()
+	close(w.out)
+}
+
+// writeLoop is the coalescing writer: it encodes every frame pending on
+// the queue into the buffered writer and flushes once when the queue
+// goes empty — N queued frames, one flush.
+func (w *wconn) writeLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	bw := bufio.NewWriter(w.c)
+	var scratch bytes.Buffer
+	write := func(f frame) bool {
+		scratch.Reset()
+		if err := gob.NewEncoder(&scratch).Encode(f); err != nil {
+			return false
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(scratch.Len()))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return false
+		}
+		if _, err := bw.Write(scratch.Bytes()); err != nil {
+			return false
+		}
+		w.tr.bytesSent.Add(int64(4 + scratch.Len()))
+		return true
+	}
+	for f := range w.out {
+		if !write(f) {
+			w.shut()
+			for range w.out { // drain so enqueuers don't block
+			}
+			return
+		}
+	coalesce:
+		for {
+			select {
+			case f2, ok := <-w.out:
+				if !ok {
+					bw.Flush()
+					return
+				}
+				if !write(f2) {
+					w.shut()
+					for range w.out {
+					}
+					return
+				}
+			default:
+				break coalesce
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			w.shut()
+			for range w.out {
+			}
+			return
+		}
+	}
+	bw.Flush()
+}
+
+// writeFrame writes one length-prefixed frame directly (hello path,
+// before the coalescing writer exists).
+func writeFrame(c net.Conn, f *frame, sent *atomic.Int64) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(*f); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.Write(buf.Bytes())
+	sent.Add(int64(4 + buf.Len()))
+	return err
+}
+
+// maxFrame bounds one frame body: a corrupt length prefix must not
+// allocate gigabytes.
+const maxFrame = 64 << 20
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader, recv *atomic.Int64) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return frame{}, fmt.Errorf("netparcel: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	recv.Add(int64(4 + n))
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}

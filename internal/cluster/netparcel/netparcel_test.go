@@ -1,0 +1,215 @@
+package netparcel
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/parcel"
+)
+
+func newPair(t *testing.T) (*Transport, *Transport) {
+	t.Helper()
+	a, err := Listen("a", "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatalf("listen a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Listen("b", "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatalf("listen b: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	id, err := a.Dial(b.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if id != "b" {
+		t.Fatalf("dial resolved %s, want b", id)
+	}
+	return a, b
+}
+
+func TestCallRoundtrip(t *testing.T) {
+	a, b := newPair(t)
+	b.Handle("echo", func(from parcel.NodeID, body []byte) ([]byte, error) {
+		if from != "a" {
+			t.Errorf("from = %s, want a", from)
+		}
+		return append([]byte("re:"), body...), nil
+	})
+	reply, err := a.Call("b", "echo", []byte("over tcp"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "re:over tcp" {
+		t.Errorf("reply = %q", reply)
+	}
+	// The hello registered a back-route: the callee can call the dialer.
+	a.Handle("ping", func(parcel.NodeID, []byte) ([]byte, error) { return []byte("pong"), nil })
+	reply, err = b.Call("a", "ping", nil)
+	if err != nil || string(reply) != "pong" {
+		t.Fatalf("reverse Call = %q, %v; want pong", reply, err)
+	}
+}
+
+func TestSendDelivery(t *testing.T) {
+	a, b := newPair(t)
+	const msgs = 100
+	var wg sync.WaitGroup
+	wg.Add(msgs)
+	var got atomic.Int64
+	b.Handle("tick", func(_ parcel.NodeID, body []byte) ([]byte, error) {
+		got.Add(int64(len(body)))
+		wg.Done()
+		return nil, nil
+	})
+	for i := 0; i < msgs; i++ {
+		if err := a.Send("b", "tick", make([]byte, 8)); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("delivered %d/800 bytes before timeout", got.Load())
+	}
+	if got.Load() != msgs*8 {
+		t.Errorf("received %d bytes, want %d", got.Load(), msgs*8)
+	}
+}
+
+func TestCallHandlerError(t *testing.T) {
+	a, b := newPair(t)
+	b.Handle("fail", func(parcel.NodeID, []byte) ([]byte, error) {
+		return nil, errors.New("deliberate")
+	})
+	_, err := a.Call("b", "fail", nil)
+	if err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Errorf("err = %v, want handler error text", err)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	a, _ := newPair(t)
+	_, err := a.Call("b", "no.such.method", nil)
+	if err == nil || !strings.Contains(err.Error(), "no.such.method") {
+		t.Errorf("err = %v, want unknown-method error naming the method", err)
+	}
+}
+
+func TestCallUnknownPeer(t *testing.T) {
+	a, _ := newPair(t)
+	if _, err := a.Call("ghost", "x", nil); !errors.Is(err, parcel.ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestConcurrentCallsUnderWindow(t *testing.T) {
+	a, b := newPair(t)
+	b.Handle("mul", func(_ parcel.NodeID, body []byte) ([]byte, error) {
+		out := make([]byte, len(body))
+		for i, c := range body {
+			out[i] = c * 2
+		}
+		return out, nil
+	})
+	const calls = 200
+	var wg sync.WaitGroup
+	wg.Add(calls)
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func(i int) {
+			defer wg.Done()
+			reply, err := a.Call("b", "mul", []byte{byte(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(reply) != 1 || reply[0] != byte(i)*2 {
+				errs <- errors.New("wrong reply")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent call: %v", err)
+	}
+}
+
+func TestStatsCountWire(t *testing.T) {
+	a, b := newPair(t)
+	b.Handle("echo", func(_ parcel.NodeID, body []byte) ([]byte, error) { return body, nil })
+	if _, err := a.Call("b", "echo", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.Calls != 1 || as.ParcelsSent == 0 {
+		t.Errorf("a stats = %+v", as)
+	}
+	if bs.ParcelsRecv == 0 {
+		t.Errorf("b stats = %+v, want a received parcel", bs)
+	}
+	// Length-prefixed frames: the wire carries at least the payload.
+	if as.BytesSent < 1024 || as.BytesRecv < 1024 {
+		t.Errorf("a bytes sent/recv = %d/%d, want ≥1024 each", as.BytesSent, as.BytesRecv)
+	}
+	if bs.BytesRecv < 1024 || bs.BytesSent < 1024 {
+		t.Errorf("b bytes recv/sent = %d/%d, want ≥1024 each", bs.BytesRecv, bs.BytesSent)
+	}
+}
+
+func TestLargeBody(t *testing.T) {
+	a, b := newPair(t)
+	b.Handle("echo", func(_ parcel.NodeID, body []byte) ([]byte, error) { return body, nil })
+	body := make([]byte, 1<<20)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	reply, err := a.Call("b", "echo", body)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if len(reply) != len(body) {
+		t.Fatalf("reply length %d, want %d", len(reply), len(body))
+	}
+	for i := range reply {
+		if reply[i] != body[i] {
+			t.Fatalf("reply corrupt at byte %d", i)
+		}
+	}
+}
+
+func TestCloseUnblocksCallers(t *testing.T) {
+	a, b := newPair(t)
+	release := make(chan struct{})
+	b.Handle("stall", func(parcel.NodeID, []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Call("b", "stall", nil)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the call reach b
+	a.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("in-flight call succeeded across Close, want error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("caller still blocked after Close")
+	}
+	close(release)
+	if err := a.Send("b", "x", nil); !errors.Is(err, parcel.ErrTransportClosed) {
+		t.Errorf("send after close: %v, want ErrTransportClosed", err)
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/parcel"
+)
+
+// Ring maps the global locale space onto cluster nodes by consistent
+// hashing: each node hashes to one cut point on a 64-bit ring, the L
+// locales spread evenly around the same ring in locale order, and a
+// locale belongs to the first cut at or after its point (wrapping).
+// Because the locale points are monotonic in locale id, every node owns
+// a contiguous range of the locale space (one wrapping arc), and a
+// joining node's cut splits exactly one arc — only the locales between
+// the split points move, the consistent-hashing property the membership
+// protocol leans on when the cluster grows mid-load.
+//
+// Every node rebuilds the ring independently from the member list, so
+// agreement on membership is agreement on routing.
+type Ring struct {
+	locales int
+	step    uint64 // distance between adjacent locale points
+	cuts    []cut  // sorted by position
+}
+
+type cut struct {
+	pos uint64
+	id  parcel.NodeID
+}
+
+// NewRing builds the ring for a member set over a locale space of size
+// locales. The member order is irrelevant; the ring is a pure function
+// of the set.
+func NewRing(locales int, members []parcel.NodeID) *Ring {
+	if locales < 1 {
+		locales = 1
+	}
+	r := &Ring{locales: locales, step: math.MaxUint64/uint64(locales) + 1}
+	for _, id := range members {
+		r.cuts = append(r.cuts, cut{pos: mix64(fnv64(string(id))), id: id})
+	}
+	sort.Slice(r.cuts, func(i, j int) bool {
+		if r.cuts[i].pos != r.cuts[j].pos {
+			return r.cuts[i].pos < r.cuts[j].pos
+		}
+		return r.cuts[i].id < r.cuts[j].id // deterministic collision order
+	})
+	return r
+}
+
+// Locales returns the size of the locale space the ring partitions.
+func (r *Ring) Locales() int { return r.locales }
+
+// Members returns the number of nodes on the ring.
+func (r *Ring) Members() int { return len(r.cuts) }
+
+// point is locale l's position on the ring.
+func (r *Ring) point(l int) uint64 { return uint64(l) * r.step }
+
+// Owner returns the node owning the locale — the first cut at or after
+// its point, wrapping past the top of the ring. An empty ring owns
+// nothing ("", false).
+func (r *Ring) Owner(locale int) (parcel.NodeID, bool) {
+	if len(r.cuts) == 0 {
+		return "", false
+	}
+	p := r.point(locale % r.locales)
+	i := sort.Search(len(r.cuts), func(i int) bool { return r.cuts[i].pos >= p })
+	if i == len(r.cuts) {
+		i = 0
+	}
+	return r.cuts[i].id, true
+}
+
+// Owned returns the locales the node owns, in ascending order — a
+// contiguous range of the locale space (wrapping at the top).
+func (r *Ring) Owned(id parcel.NodeID) []int {
+	var out []int
+	for l := 0; l < r.locales; l++ {
+		if o, ok := r.Owner(l); ok && o == id {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Moved counts the locales whose owner differs between two rings — the
+// rebalance cost of a membership change.
+func Moved(a, b *Ring) int {
+	n := a.locales
+	if b.locales < n {
+		n = b.locales
+	}
+	moved := 0
+	for l := 0; l < n; l++ {
+		ao, aok := a.Owner(l)
+		bo, bok := b.Owner(l)
+		if aok != bok || ao != bo {
+			moved++
+		}
+	}
+	return moved
+}
+
+// fnv64 is fnv64a — the same family the serve layer hashes tenant names
+// with; it spreads node cuts on the ring and names onto the key mix.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 finalizes a cut position. fnv64a barely diffuses a trailing
+// byte into the high bits, so similar node ids ("n0", "n1", ...) would
+// cluster their cuts into one arc and starve the rest of the ring; the
+// multiply-xorshift finalizer spreads them.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return h
+}
+
+// localeMix routes a (tenant, key) pair onto the global locale space —
+// the cluster analogue of the serve layer's shard hash, so one hot
+// tenant still spreads across nodes by key.
+func localeMix(tenantHash, key uint64, locales int) int {
+	h := tenantHash ^ (key * 0x9E3779B97F4A7C15)
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(locales))
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/parcel"
+)
+
+func ids(ss ...string) []parcel.NodeID {
+	out := make([]parcel.NodeID, len(ss))
+	for i, s := range ss {
+		out[i] = parcel.NodeID(s)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(16, ids("n0", "n1", "n2"))
+	b := NewRing(16, ids("n2", "n0", "n1")) // order must not matter
+	for l := 0; l < 16; l++ {
+		ao, aok := a.Owner(l)
+		bo, bok := b.Owner(l)
+		if !aok || !bok || ao != bo {
+			t.Fatalf("locale %d: owner %s/%v vs %s/%v", l, ao, aok, bo, bok)
+		}
+	}
+}
+
+func TestRingCoversAllLocales(t *testing.T) {
+	members := ids("n0", "n1", "n2", "n3")
+	r := NewRing(32, members)
+	seen := 0
+	for _, id := range members {
+		seen += len(r.Owned(id))
+	}
+	if seen != 32 {
+		t.Errorf("owned locales sum to %d, want 32", seen)
+	}
+	for l := 0; l < 32; l++ {
+		if _, ok := r.Owner(l); !ok {
+			t.Errorf("locale %d has no owner", l)
+		}
+	}
+}
+
+func TestRingOwnedContiguous(t *testing.T) {
+	members := ids("n0", "n1", "n2")
+	r := NewRing(24, members)
+	for _, id := range members {
+		owned := r.Owned(id)
+		if len(owned) == 0 {
+			continue
+		}
+		// A contiguous wrapping arc has at most one gap in the ascending
+		// locale sequence (the wrap point).
+		gaps := 0
+		for i := 1; i < len(owned); i++ {
+			if owned[i] != owned[i-1]+1 {
+				gaps++
+			}
+		}
+		if gaps > 1 {
+			t.Errorf("node %s owns non-contiguous locales %v (%d gaps)", id, owned, gaps)
+		}
+	}
+}
+
+func TestRingEmptyAndSolo(t *testing.T) {
+	empty := NewRing(8, nil)
+	if _, ok := empty.Owner(0); ok {
+		t.Error("empty ring claims an owner")
+	}
+	solo := NewRing(8, ids("only"))
+	for l := 0; l < 8; l++ {
+		if o, ok := solo.Owner(l); !ok || o != "only" {
+			t.Fatalf("locale %d: owner %s/%v, want only", l, o, ok)
+		}
+	}
+}
+
+func TestRingJoinMovesOneArc(t *testing.T) {
+	const locales = 64
+	before := NewRing(locales, ids("n0", "n1"))
+	after := NewRing(locales, ids("n0", "n1", "n2"))
+	moved := Moved(before, after)
+	if moved == 0 {
+		t.Fatal("join moved nothing — new node owns no locales")
+	}
+	// The joiner's cut splits one arc: everything that moved must now
+	// belong to the joiner, and nothing may shuffle between old members.
+	movedTo := make(map[parcel.NodeID]int)
+	for l := 0; l < locales; l++ {
+		bo, _ := before.Owner(l)
+		ao, _ := after.Owner(l)
+		if bo != ao {
+			movedTo[ao]++
+		}
+	}
+	if len(movedTo) != 1 || movedTo["n2"] != moved {
+		t.Errorf("moved locales landed on %v, want all %d on n2", movedTo, moved)
+	}
+	if got := len(after.Owned("n2")); got != moved {
+		t.Errorf("n2 owns %d locales, Moved reported %d", got, moved)
+	}
+}
+
+func TestLocaleMixInRangeAndSpread(t *testing.T) {
+	const locales = 8
+	hit := make(map[int]bool)
+	th := fnv64("tenant")
+	for k := uint64(0); k < 512; k++ {
+		l := localeMix(th, splitmix64(k), locales)
+		if l < 0 || l >= locales {
+			t.Fatalf("localeMix out of range: %d", l)
+		}
+		hit[l] = true
+	}
+	if len(hit) != locales {
+		t.Errorf("512 keys hit %d/%d locales", len(hit), locales)
+	}
+}

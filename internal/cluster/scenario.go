@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/litlx"
+	"repro/internal/parcel"
+	"repro/internal/serve"
+)
+
+// SplitBrainJoinConfig seeds the scenario. The zero value is usable.
+type SplitBrainJoinConfig struct {
+	// Seed drives the key stream (default 1).
+	Seed uint64
+	// Flows is the total flow count (default 64); the first half runs on
+	// the two-node cluster, the third node joins while they may still be
+	// in flight, and the second half runs on the rebalanced ring.
+	Flows int
+	// Locales sizes the global locale space (default 8).
+	Locales int
+}
+
+// SplitBrainJoinReport is the scenario's outcome. Submitted, Completed,
+// DoubleResolves, MembersBefore/After, and MovedLocales are
+// deterministic for a given config; the stage counters depend on how
+// far the first wave has progressed when the join lands and are
+// reported for inspection, not asserted.
+type SplitBrainJoinReport struct {
+	Submitted, Completed int
+	// DoubleResolves counts flows whose done callback fired more than
+	// once — the invariant under test: a mid-load membership change must
+	// not let a completion land twice. Always 0 on a correct build.
+	DoubleResolves int
+	// Unresolved counts flows that never completed (always 0: every
+	// terminal path — ok, shed, fail, reject — resolves the flow).
+	Unresolved int
+	// MembersBefore/After bracket the join; MovedLocales is how much of
+	// the locale space the join rebalanced (consistent hashing keeps it
+	// to the one split arc).
+	MembersBefore, MembersAfter int
+	MovedLocales                int
+	// ForwardedStages / RemoteStages aggregate the three nodes' cluster
+	// counters after the run.
+	ForwardedStages, RemoteStages int64
+}
+
+// SplitBrainJoinScenario drives a three-node cluster on the in-process
+// fabric: two nodes serve a seeded stream of three-stage flows, the
+// third joins mid-load, the ring rebalances, and the stream continues.
+// It verifies done-exactly-once survives the rebalance: every flow
+// resolves exactly once even when its stages routed by different rings.
+func SplitBrainJoinScenario(cfg SplitBrainJoinConfig) (SplitBrainJoinReport, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 64
+	}
+	if cfg.Locales <= 0 {
+		cfg.Locales = 8
+	}
+	var rep SplitBrainJoinReport
+
+	fabric := parcel.NewFabric()
+	nodes := make([]*Node, 3)
+	pipes := make([]*Pipeline, 3)
+	for i := range nodes {
+		node, err := NewNode(Config{
+			Transport: fabric.Node(parcel.NodeID(fmt.Sprintf("sbj-n%d", i))),
+			System:    litlx.Config{Locales: cfg.Locales, WorkersPerLocale: 2, Seed: cfg.Seed + uint64(i)},
+			Serve:     serve.Config{Shards: cfg.Locales, QueueDepth: 4096},
+		})
+		if err != nil {
+			return rep, err
+		}
+		defer node.Close()
+		nodes[i] = node
+		p, err := registerSBJ(node)
+		if err != nil {
+			return rep, err
+		}
+		pipes[i] = p
+	}
+	if err := nodes[1].Join(nodes[0].Transport().Addr()); err != nil {
+		return rep, err
+	}
+	rep.MembersBefore = len(nodes[0].Members())
+	ringBefore := nodes[0].Ring()
+
+	// Per-flow resolution counters: the done callback increments, so a
+	// double resolution is countable rather than fatal.
+	resolved := make([]atomic.Int32, cfg.Flows)
+	var wg sync.WaitGroup
+	submit := func(i int) error {
+		wg.Add(1)
+		slot := &resolved[i]
+		return pipes[0].SubmitFunc(serve.Request{
+			Key:     splitmix64(cfg.Seed + uint64(i)),
+			Payload: i,
+		}, func(serve.Result) {
+			if slot.Add(1) == 1 {
+				wg.Done()
+			}
+		})
+	}
+	half := cfg.Flows / 2
+	for i := 0; i < half; i++ {
+		if err := submit(i); err != nil {
+			return rep, err
+		}
+		rep.Submitted++
+	}
+	// The join lands while the first wave may still be chaining across
+	// the two-node ring.
+	if err := nodes[2].Join(nodes[0].Transport().Addr()); err != nil {
+		return rep, err
+	}
+	for i := half; i < cfg.Flows; i++ {
+		if err := submit(i); err != nil {
+			return rep, err
+		}
+		rep.Submitted++
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return rep, fmt.Errorf("cluster: split-brain-join scenario timed out")
+	}
+	// A double resolve races its first resolve by construction; settle
+	// briefly so late duplicates are counted, not missed.
+	time.Sleep(50 * time.Millisecond)
+
+	rep.MembersAfter = len(nodes[0].Members())
+	rep.MovedLocales = Moved(ringBefore, nodes[0].Ring())
+	for i := range resolved {
+		switch c := resolved[i].Load(); {
+		case c == 0:
+			rep.Unresolved++
+		case c > 1:
+			rep.DoubleResolves++
+		default:
+			rep.Completed++
+		}
+	}
+	for _, node := range nodes {
+		st := node.Stats()
+		rep.ForwardedStages += st.ForwardedStages
+		rep.RemoteStages += st.RemoteStages
+	}
+	return rep, nil
+}
+
+// registerSBJ installs the scenario's tenant and pipeline on one node —
+// symmetric registration, like parcel handlers.
+func registerSBJ(n *Node) (*Pipeline, error) {
+	echo := func(_ *serve.Ctx, req serve.Request) (any, error) {
+		switch v := req.Payload.(type) {
+		case int:
+			return v + 1, nil
+		default:
+			return v, nil
+		}
+	}
+	t, err := n.RegisterTenant(TenantConfig{
+		Serve:   serve.TenantConfig{Name: "sbj", Handler: echo, CodeSize: 4 << 10},
+		Globals: []GlobalObject{{Name: "table", Size: 1 << 10, Home: 0}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Each stage re-keys from its value, so consecutive stages of one
+	// flow spread across the ring and every hop is a routing decision.
+	rekey := func(v any) (uint64, []string) {
+		i, _ := v.(int)
+		return splitmix64(uint64(i) * 0x9E3779B97F4A7C15), []string{"table"}
+	}
+	return t.NewPipeline(PipelineConfig{
+		Name:   "chain",
+		Stages: []serve.Stage{{Name: "a", Handler: echo}, {Name: "b", Handler: echo}, {Name: "c", Handler: echo}},
+		Routes: []StageRoute{nil, rekey, rekey},
+	})
+}
+
+// splitmix64 is the scenario's seeded key stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

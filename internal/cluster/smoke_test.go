@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster/netparcel"
+	"repro/internal/litlx"
+	"repro/internal/parcel"
+	"repro/internal/serve"
+)
+
+// TestTwoNodeSmoke boots two nodes on real localhost TCP, joins them,
+// and drives pipelined flows whose stages re-key across the ring — the
+// end-to-end path CI's smoke job exercises through htserved: stage
+// parcels, completions, and percolation all cross an actual socket.
+func TestTwoNodeSmoke(t *testing.T) {
+	const locales = 8
+	newNode := func(i int) (*Node, *Pipeline) {
+		tr, err := netparcel.Listen(parcel.NodeID(fmt.Sprintf("smoke-n%d", i)), "127.0.0.1:0", netparcel.Config{})
+		if err != nil {
+			t.Fatalf("listen node %d: %v", i, err)
+		}
+		node, err := NewNode(Config{
+			Transport: tr,
+			System:    litlx.Config{Locales: locales, WorkersPerLocale: 2, Seed: uint64(i) + 1},
+			Serve:     serve.Config{Shards: locales, QueueDepth: 1024},
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		t.Cleanup(func() { node.Close() })
+		return node, registerTestPipe(t, node)
+	}
+	n0, p0 := newNode(0)
+	n1, _ := newNode(1)
+	if err := n1.Join(n0.Transport().Addr()); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if got := len(n0.Members()); got != 2 {
+		t.Fatalf("n0 has %d members after join, want 2", got)
+	}
+
+	const flows = 64
+	tickets := make([]*Ticket, flows)
+	for i := 0; i < flows; i++ {
+		tk, err := p0.Submit(serve.Request{Key: splitmix64(uint64(i)), Payload: i})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	for i, tk := range tickets {
+		r := tk.Wait()
+		if r.Status != serve.StatusOK {
+			t.Fatalf("flow %d: status %v err %v", i, r.Status, r.Err)
+		}
+		if got := r.Value.(int); got != i+3 {
+			t.Errorf("flow %d: value %d, want %d", i, got, i+3)
+		}
+	}
+
+	s0, s1 := n0.Stats(), n1.Stats()
+	if remote := s0.RemoteStages + s1.RemoteStages; remote == 0 {
+		t.Error("no stage executed on the non-origin node over TCP")
+	}
+	if s0.Wire.BytesSent == 0 || s1.Wire.BytesRecv == 0 {
+		t.Errorf("no bytes crossed the socket: n0 sent %d, n1 received %d",
+			s0.Wire.BytesSent, s1.Wire.BytesRecv)
+	}
+	if s1.RemoteStages > 0 && s1.CodeFetches == 0 {
+		t.Error("n1 ran remote stages without ever percolating the code image")
+	}
+	t.Logf("n0: %+v", s0)
+	t.Logf("n1: %+v", s1)
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parcel"
+	"repro/internal/serve"
+)
+
+// This file is cross-node percolation: the serve layer's residency
+// subsystem models what a cold code or data miss costs inside one
+// process; here the transfer is real. A node executing a stage for a
+// tenant it has never served pulls the tenant's code image from the
+// flow's origin, and each global object a stage declares from the owner
+// of the object's home locale — actual bytes over the transport,
+// single-flight per (node, image/object), counted in Stats
+// (CodeFetches, ObjectFetches, PercolateBytes).
+
+// GlobalObject declares one cluster-wide data object of a tenant: a
+// named block homed at one global locale. Stages name the globals they
+// read through their StageRoute; the executing node fetches each one it
+// does not yet hold from the home locale's owner.
+type GlobalObject struct {
+	Name string
+	// Size is the object size in bytes (the fetch payload volume).
+	Size int
+	// Home is the object's home in the global locale space;
+	// serve.AutoHome (-1) places objects round-robin.
+	Home int
+}
+
+// TenantConfig registers one traffic source on a cluster node. Register
+// the same tenants (and pipelines) on every node — stage parcels name
+// them, exactly like parcel handlers.
+type TenantConfig struct {
+	// Serve is the node-local registration: handler, middleware, code
+	// size, local data objects.
+	Serve serve.TenantConfig
+	// Globals declares the tenant's cluster-wide objects.
+	Globals []GlobalObject
+}
+
+// Tenant is the cluster handle for one registered traffic source.
+type Tenant struct {
+	n        *Node
+	st       *serve.Tenant
+	name     string
+	hash     uint64
+	codeSize int
+	globals  map[string]GlobalObject
+
+	// resident tracks what this node already holds, single-flight: the
+	// first stage needing an image or object fetches it, concurrent
+	// stages wait on the same entry, later ones find it resident.
+	resMu    sync.Mutex
+	resident map[string]*fetchState
+}
+
+type fetchState struct {
+	done chan struct{}
+	err  error
+}
+
+// RegisterTenant installs a tenant on this node and returns its cluster
+// handle. The underlying serve tenant is registered too (Tenant.Local).
+func (n *Node) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
+	seen := make(map[string]bool, len(cfg.Globals))
+	globals := make(map[string]GlobalObject, len(cfg.Globals))
+	for i, g := range cfg.Globals {
+		if g.Name == "" {
+			return nil, fmt.Errorf("cluster: tenant %q global %d has no name", cfg.Serve.Name, i)
+		}
+		if seen[g.Name] {
+			return nil, fmt.Errorf("cluster: tenant %q declares global %q twice", cfg.Serve.Name, g.Name)
+		}
+		seen[g.Name] = true
+		if g.Home == serve.AutoHome {
+			g.Home = i % n.locales
+		}
+		if g.Home < 0 || g.Home >= n.locales {
+			return nil, fmt.Errorf("cluster: tenant %q global %q homed at locale %d, have %d locales",
+				cfg.Serve.Name, g.Name, g.Home, n.locales)
+		}
+		globals[g.Name] = g
+	}
+	st, err := n.srv.RegisterTenant(cfg.Serve)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{
+		n:        n,
+		st:       st,
+		name:     cfg.Serve.Name,
+		hash:     fnv64(cfg.Serve.Name),
+		codeSize: cfg.Serve.CodeSize,
+		globals:  globals,
+		resident: make(map[string]*fetchState),
+	}
+	n.tenantsMu.Lock()
+	n.tenants[t.name] = t
+	n.tenantsMu.Unlock()
+	return t, nil
+}
+
+// Local returns the node-local serve tenant under this handle.
+func (t *Tenant) Local() *serve.Tenant { return t.st }
+
+// Name returns the tenant's registered name.
+func (t *Tenant) Name() string { return t.name }
+
+// tenant looks a tenant up by name.
+func (n *Node) tenant(name string) *Tenant {
+	n.tenantsMu.RLock()
+	defer n.tenantsMu.RUnlock()
+	return n.tenants[name]
+}
+
+// ensureResident percolates what a stage execution needs onto this
+// node: the tenant's code image (from the flow's origin — it admitted
+// the flow, so it has the tenant) and each named global (from the owner
+// of its home locale). Fetches are single-flight; failures are
+// tolerated — the stage still runs, the serve layer's own cost model
+// charges the miss.
+func (t *Tenant) ensureResident(origin parcel.NodeID, globals []string) {
+	n := t.n
+	if t.codeSize > 0 && origin != n.self {
+		body, err := encode(fetchMsg{Tenant: t.name})
+		if err == nil {
+			_ = t.fetchOnce("code", &n.codeFetches, func() (int, error) {
+				reply, err := n.t.Call(origin, "cluster.fetchcode", body)
+				return len(reply), err
+			})
+		}
+	}
+	for _, name := range globals {
+		g, ok := t.globals[name]
+		if !ok {
+			continue
+		}
+		owner, _ := n.Ring().Owner(g.Home)
+		if owner == n.self {
+			// The home is ours: resident by definition, no wire.
+			_ = t.fetchOnce("obj/"+name, nil, nil)
+			continue
+		}
+		body, err := encode(fetchMsg{Tenant: t.name, Object: name})
+		if err != nil {
+			continue
+		}
+		_ = t.fetchOnce("obj/"+name, &n.objectFetches, func() (int, error) {
+			reply, err := n.t.Call(owner, "cluster.fetch", body)
+			return len(reply), err
+		})
+	}
+}
+
+// fetchOnce runs fetch at most once per key: the first caller transfers
+// while concurrent callers wait; a failed fetch clears the entry so a
+// later stage retries. A nil fetch marks the key resident outright.
+func (t *Tenant) fetchOnce(key string, counter *atomic.Int64, fetch func() (int, error)) error {
+	t.resMu.Lock()
+	fs, ok := t.resident[key]
+	if ok {
+		t.resMu.Unlock()
+		<-fs.done
+		return fs.err
+	}
+	fs = &fetchState{done: make(chan struct{})}
+	t.resident[key] = fs
+	t.resMu.Unlock()
+	if fetch != nil {
+		nbytes, err := fetch()
+		fs.err = err
+		if err == nil {
+			counter.Add(1)
+			t.n.percolateBytes.Add(int64(nbytes))
+		}
+	}
+	close(fs.done)
+	if fs.err != nil {
+		t.resMu.Lock()
+		delete(t.resident, key)
+		t.resMu.Unlock()
+	}
+	return fs.err
+}
+
+// handleFetchCode serves a tenant's code image to a percolating peer.
+// The image content is synthetic (the data plane is modeled); the bytes
+// and their wire cost are real.
+func (n *Node) handleFetchCode(_ parcel.NodeID, body []byte) ([]byte, error) {
+	var fm fetchMsg
+	if err := decode(body, &fm); err != nil {
+		return nil, err
+	}
+	t := n.tenant(fm.Tenant)
+	if t == nil {
+		return nil, fmt.Errorf("cluster: node %s has no tenant %q", n.self, fm.Tenant)
+	}
+	return make([]byte, t.codeSize), nil
+}
+
+// handleFetch serves one global object to a percolating peer.
+func (n *Node) handleFetch(_ parcel.NodeID, body []byte) ([]byte, error) {
+	var fm fetchMsg
+	if err := decode(body, &fm); err != nil {
+		return nil, err
+	}
+	t := n.tenant(fm.Tenant)
+	if t == nil {
+		return nil, fmt.Errorf("cluster: node %s has no tenant %q", n.self, fm.Tenant)
+	}
+	g, ok := t.globals[fm.Object]
+	if !ok {
+		return nil, fmt.Errorf("cluster: tenant %q has no global %q", fm.Tenant, fm.Object)
+	}
+	return make([]byte, g.Size), nil
+}

@@ -35,7 +35,7 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3", "V1", "V2", "V3", "V4"}
+	want := []string{"A1", "A2", "A3", "A4", "F1", "F2", "F3", "G1", "L1", "L2", "L3", "L4", "M1", "N1", "S1", "S2", "S3", "V1", "V2", "V3", "V4", "V5"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -194,6 +194,19 @@ func TestShapeV4PipelineBeatsResubmission(t *testing.T) {
 	}
 	if res.Metrics["pipeline_fanout"] == 0 {
 		t.Error("fan-out stage never fanned out")
+	}
+}
+
+func TestShapeV5ClusterDistributesStages(t *testing.T) {
+	res, _ := Run("V5", 1)
+	if rf := res.Metrics["remote_frac_1node"]; rf != 0 {
+		t.Errorf("1-node remote fraction = %v, want 0 (nowhere to forward)", rf)
+	}
+	if rf := res.Metrics["remote_frac_3node"]; rf <= 0 {
+		t.Errorf("3-node remote fraction = %v, want > 0 (ring must route stages off-origin)", rf)
+	}
+	if wb := res.Metrics["wire_bytes_3node"]; wb <= res.Metrics["wire_bytes_1node"] {
+		t.Errorf("3-node wire bytes = %v, want above 1-node %v", wb, res.Metrics["wire_bytes_1node"])
 	}
 }
 

@@ -71,6 +71,32 @@ func (n *Net) handler(name string) Handler {
 	return h
 }
 
+// HandlerPanic is the value delivered to a Send result cell or a Call
+// continuation whose handler panicked: the call fails with an inspectable
+// error instead of wedging the caller's cell forever. It satisfies error
+// so callers can type-switch or errors.As on the reply.
+type HandlerPanic struct {
+	Handler string      // the registered handler name
+	Value   interface{} // the recovered panic value
+}
+
+// Error describes the panicked handler.
+func (e HandlerPanic) Error() string {
+	return fmt.Sprintf("parcel: handler %q panicked: %v", e.Handler, e.Value)
+}
+
+// run invokes the handler, converting a panic into a HandlerPanic reply
+// so split transactions always complete.
+func (n *Net) run(h Handler, name string, ctx *Ctx) (v interface{}) {
+	defer func() {
+		if r := recover(); r != nil {
+			n.mon.Counter("parcel.panics").Inc()
+			v = HandlerPanic{Handler: name, Value: r}
+		}
+	}()
+	return h(ctx)
+}
+
 // Send dispatches a one-way parcel: handler name runs at dest with the
 // payload. The returned cell fills when the handler finishes (its value
 // is the handler result), but callers are free to ignore it.
@@ -82,7 +108,7 @@ func (n *Net) Send(from, dest int, name string, payload interface{}) *syncx.Cell
 	}
 	result := syncx.NewCell[interface{}]()
 	n.rt.GoAt(dest, 0, func(s *core.SGT) {
-		v := h(&Ctx{SGT: s, From: from, Payload: payload, net: n})
+		v := n.run(h, name, &Ctx{SGT: s, From: from, Payload: payload, net: n})
 		result.Put(v)
 	})
 	return result
@@ -101,7 +127,7 @@ func (n *Net) Call(from, dest int, name string, payload interface{}, cont func(*
 		n.mon.Counter("parcel.remote").Inc()
 	}
 	n.rt.GoAt(dest, 0, func(s *core.SGT) {
-		v := h(&Ctx{SGT: s, From: from, Payload: payload, net: n})
+		v := n.run(h, name, &Ctx{SGT: s, From: from, Payload: payload, net: n})
 		n.mon.Counter("parcel.replies").Inc()
 		if cont == nil {
 			return

@@ -162,3 +162,73 @@ func TestManyParcelsStress(t *testing.T) {
 		t.Errorf("sum = %d, want %d", sum.Load(), k)
 	}
 }
+
+func TestForwardThreeHops(t *testing.T) {
+	mon := monitor.New()
+	rt := core.NewRuntime(core.Config{Locales: 5, WorkersPerLocale: 2, Monitor: mon})
+	defer rt.Shutdown()
+	n := NewNet(rt)
+	var visited atomic.Int32
+	var finalFrom atomic.Int32
+	n.Register("relay", func(c *Ctx) interface{} {
+		visited.Add(1)
+		if c.SGT.Locale() < 4 {
+			c.Forward(c.SGT.Locale()+1, "relay", c.Payload)
+			return nil
+		}
+		finalFrom.Store(int32(c.From))
+		return nil
+	})
+	n.Send(0, 1, "relay", "baton")
+	rt.Wait()
+	if visited.Load() != 4 {
+		t.Errorf("handler ran %d times, want 4 (locales 1..4)", visited.Load())
+	}
+	if finalFrom.Load() != 0 {
+		t.Errorf("original sender lost across hops: From = %d, want 0", finalFrom.Load())
+	}
+	if got := mon.Snapshot().Counters["parcel.forwarded"]; got != 3 {
+		t.Errorf("parcel.forwarded = %d, want 3", got)
+	}
+}
+
+func TestSendHandlerPanicFillsCell(t *testing.T) {
+	mon := monitor.New()
+	rt := core.NewRuntime(core.Config{Locales: 2, WorkersPerLocale: 2, Monitor: mon})
+	defer rt.Shutdown()
+	n := NewNet(rt)
+	n.Register("boom", func(c *Ctx) interface{} { panic("kapow") })
+	// The cell must fill despite the panic — a panicking handler fails
+	// the parcel, it does not wedge the caller.
+	v := n.Send(0, 1, "boom", nil).Get()
+	rt.Wait()
+	hp, ok := v.(HandlerPanic)
+	if !ok {
+		t.Fatalf("cell value = %#v, want HandlerPanic", v)
+	}
+	if hp.Handler != "boom" || hp.Value != "kapow" {
+		t.Errorf("HandlerPanic = %+v, want {boom kapow}", hp)
+	}
+	if hp.Error() == "" {
+		t.Error("HandlerPanic.Error() empty")
+	}
+	if got := mon.Snapshot().Counters["parcel.panics"]; got != 1 {
+		t.Errorf("parcel.panics = %d, want 1", got)
+	}
+}
+
+func TestCallHandlerPanicReachesContinuation(t *testing.T) {
+	n, rt := newNet(t, 2)
+	n.Register("boom", func(c *Ctx) interface{} { panic(42) })
+	ch := make(chan interface{}, 1)
+	n.Call(0, 1, "boom", nil, func(s *core.SGT, v interface{}) { ch <- v })
+	v := <-ch
+	rt.Wait()
+	hp, ok := v.(HandlerPanic)
+	if !ok {
+		t.Fatalf("continuation value = %#v, want HandlerPanic", v)
+	}
+	if hp.Value != 42 {
+		t.Errorf("panic value = %v, want 42", hp.Value)
+	}
+}

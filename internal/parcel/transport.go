@@ -1,0 +1,230 @@
+package parcel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the node-to-node transport abstraction under the cluster
+// subsystem (internal/cluster). The paper's parcels are split-transaction
+// messages between locales; when the locale space spans several
+// processes, the parcels between them have to be carried by something
+// real. Transport is that carrier: a byte-level, method-addressed
+// send/call surface between named nodes, deliberately decoupled from the
+// SGT runtime — what rides on it (cluster membership, stage hand-offs,
+// percolation fetches) decides where the work runs.
+//
+// Two implementations exist: the in-process Fabric below, which keeps
+// every "node" in one address space so clustered scenarios replay
+// deterministically next to the SimNet cost twin, and the length-prefixed
+// TCP+gob transport in internal/cluster/netparcel, which carries the same
+// frames between machines.
+
+// NodeID names one transport endpoint (one cluster node).
+type NodeID string
+
+// ErrUnknownPeer reports a send to a node the transport has no route to.
+var ErrUnknownPeer = errors.New("parcel: unknown transport peer")
+
+// ErrTransportClosed reports use of a closed transport.
+var ErrTransportClosed = errors.New("parcel: transport closed")
+
+// TransportHandler processes one inbound transport parcel. The returned
+// bytes are the reply for Call deliveries (ignored for Send); a non-nil
+// error fails the caller's Call.
+type TransportHandler func(from NodeID, body []byte) ([]byte, error)
+
+// TransportStats counts a transport's traffic: real bytes on the wire
+// (frame headers included for the TCP transport, body bytes for the
+// in-process fabric) and parcel volume.
+type TransportStats struct {
+	BytesSent, BytesRecv     int64
+	ParcelsSent, ParcelsRecv int64
+	Calls                    int64
+}
+
+// Transport carries parcels between cluster nodes.
+//
+// Send is one-way and asynchronous; Call is a split transaction that
+// blocks the caller until the reply (or the handler's error) comes back.
+// Handle installs the handler for a method name; handlers must be
+// installed before peers start sending to them. Dial makes the node at
+// addr reachable and returns its NodeID — for the in-process fabric the
+// address is the node id itself.
+type Transport interface {
+	Self() NodeID
+	// Addr returns the address peers dial to reach this node.
+	Addr() string
+	Handle(method string, h TransportHandler)
+	Send(dest NodeID, method string, body []byte) error
+	Call(dest NodeID, method string, body []byte) ([]byte, error)
+	Dial(addr string) (NodeID, error)
+	Peers() []NodeID
+	Stats() TransportStats
+	Close() error
+}
+
+// Fabric connects in-process InProc transports: every node lives in this
+// process, delivery is a function call, and nothing depends on the
+// network or the wall clock — the deterministic twin the cluster
+// scenarios replay on.
+type Fabric struct {
+	mu    sync.RWMutex
+	nodes map[NodeID]*InProc
+}
+
+// NewFabric creates an empty in-process fabric.
+func NewFabric() *Fabric {
+	return &Fabric{nodes: make(map[NodeID]*InProc)}
+}
+
+// Node creates (or returns) the in-process transport for id.
+func (f *Fabric) Node(id NodeID) *InProc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n, ok := f.nodes[id]; ok {
+		return n
+	}
+	n := &InProc{fabric: f, id: id, handlers: make(map[string]TransportHandler)}
+	f.nodes[id] = n
+	return n
+}
+
+func (f *Fabric) lookup(id NodeID) (*InProc, bool) {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	return n, ok
+}
+
+// InProc is one node of a Fabric. Call runs the destination handler
+// synchronously on the caller's goroutine; Send delivers asynchronously
+// so a handler can message its own sender without deadlocking.
+type InProc struct {
+	fabric   *Fabric
+	id       NodeID
+	mu       sync.RWMutex
+	handlers map[string]TransportHandler
+	closed   atomic.Bool
+
+	bytesSent, bytesRecv     atomic.Int64
+	parcelsSent, parcelsRecv atomic.Int64
+	calls                    atomic.Int64
+}
+
+// Self returns the node's id.
+func (n *InProc) Self() NodeID { return n.id }
+
+// Addr returns the node's dialable address — on a fabric, its id.
+func (n *InProc) Addr() string { return string(n.id) }
+
+// Handle installs the handler for a method (re-registration replaces).
+func (n *InProc) Handle(method string, h TransportHandler) {
+	if h == nil {
+		panic("parcel: nil transport handler")
+	}
+	n.mu.Lock()
+	n.handlers[method] = h
+	n.mu.Unlock()
+}
+
+func (n *InProc) handler(method string) (TransportHandler, error) {
+	n.mu.RLock()
+	h, ok := n.handlers[method]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("parcel: node %s has no transport handler %q", n.id, method)
+	}
+	return h, nil
+}
+
+// deliver runs the destination's handler, charging both ends' counters.
+func (n *InProc) deliver(dest *InProc, method string, body []byte) ([]byte, error) {
+	n.parcelsSent.Add(1)
+	n.bytesSent.Add(int64(len(body)))
+	dest.parcelsRecv.Add(1)
+	dest.bytesRecv.Add(int64(len(body)))
+	h, err := dest.handler(method)
+	if err != nil {
+		return nil, err
+	}
+	return h(n.id, body)
+}
+
+func (n *InProc) dest(id NodeID) (*InProc, error) {
+	if n.closed.Load() {
+		return nil, ErrTransportClosed
+	}
+	d, ok := n.fabric.lookup(id)
+	if !ok || d.closed.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPeer, id)
+	}
+	return d, nil
+}
+
+// Send delivers a one-way parcel on a fresh goroutine (handler errors
+// are dropped, as on a real wire).
+func (n *InProc) Send(dest NodeID, method string, body []byte) error {
+	d, err := n.dest(dest)
+	if err != nil {
+		return err
+	}
+	go func() { _, _ = n.deliver(d, method, body) }()
+	return nil
+}
+
+// Call runs the destination handler synchronously and returns its reply.
+func (n *InProc) Call(dest NodeID, method string, body []byte) ([]byte, error) {
+	d, err := n.dest(dest)
+	if err != nil {
+		return nil, err
+	}
+	n.calls.Add(1)
+	reply, err := n.deliver(d, method, body)
+	if err != nil {
+		return nil, err
+	}
+	n.bytesRecv.Add(int64(len(reply)))
+	d.bytesSent.Add(int64(len(reply)))
+	return reply, nil
+}
+
+// Dial resolves a fabric address (a node id) to its NodeID.
+func (n *InProc) Dial(addr string) (NodeID, error) {
+	if _, ok := n.fabric.lookup(NodeID(addr)); !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownPeer, addr)
+	}
+	return NodeID(addr), nil
+}
+
+// Peers lists the other live nodes on the fabric.
+func (n *InProc) Peers() []NodeID {
+	n.fabric.mu.RLock()
+	defer n.fabric.mu.RUnlock()
+	ids := make([]NodeID, 0, len(n.fabric.nodes)-1)
+	for id, p := range n.fabric.nodes {
+		if id != n.id && !p.closed.Load() {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Stats snapshots the node's traffic counters.
+func (n *InProc) Stats() TransportStats {
+	return TransportStats{
+		BytesSent:   n.bytesSent.Load(),
+		BytesRecv:   n.bytesRecv.Load(),
+		ParcelsSent: n.parcelsSent.Load(),
+		ParcelsRecv: n.parcelsRecv.Load(),
+		Calls:       n.calls.Load(),
+	}
+}
+
+// Close marks the node unreachable; in-flight deliveries finish.
+func (n *InProc) Close() error {
+	n.closed.Store(true)
+	return nil
+}

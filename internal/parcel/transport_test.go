@@ -1,0 +1,111 @@
+package parcel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFabricCallRoundtrip(t *testing.T) {
+	f := NewFabric()
+	a, b := f.Node("a"), f.Node("b")
+	b.Handle("echo", func(from NodeID, body []byte) ([]byte, error) {
+		if from != "a" {
+			t.Errorf("from = %s, want a", from)
+		}
+		return append([]byte("re:"), body...), nil
+	})
+	reply, err := a.Call("b", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "re:hi" {
+		t.Errorf("reply = %q, want re:hi", reply)
+	}
+}
+
+func TestFabricCallHandlerError(t *testing.T) {
+	f := NewFabric()
+	a, b := f.Node("a"), f.Node("b")
+	want := errors.New("nope")
+	b.Handle("fail", func(NodeID, []byte) ([]byte, error) { return nil, want })
+	if _, err := a.Call("b", "fail", nil); !errors.Is(err, want) {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}
+
+func TestFabricSendAsync(t *testing.T) {
+	f := NewFabric()
+	a, b := f.Node("a"), f.Node("b")
+	var wg sync.WaitGroup
+	wg.Add(3)
+	var got atomic.Int32
+	b.Handle("tick", func(NodeID, []byte) ([]byte, error) {
+		got.Add(1)
+		wg.Done()
+		return nil, nil
+	})
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", "tick", nil); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	wg.Wait()
+	if got.Load() != 3 {
+		t.Errorf("delivered %d, want 3", got.Load())
+	}
+}
+
+func TestFabricDialAndPeers(t *testing.T) {
+	f := NewFabric()
+	a := f.Node("a")
+	f.Node("b")
+	id, err := a.Dial("b")
+	if err != nil || id != "b" {
+		t.Fatalf("Dial = %s, %v; want b, nil", id, err)
+	}
+	if _, err := a.Dial("ghost"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("Dial ghost err = %v, want ErrUnknownPeer", err)
+	}
+	peers := a.Peers()
+	if len(peers) != 1 || peers[0] != "b" {
+		t.Errorf("Peers = %v, want [b]", peers)
+	}
+}
+
+func TestFabricUnknownPeerAndClosed(t *testing.T) {
+	f := NewFabric()
+	a, b := f.Node("a"), f.Node("b")
+	b.Handle("x", func(NodeID, []byte) ([]byte, error) { return nil, nil })
+	if _, err := a.Call("ghost", "x", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("call to ghost: %v, want ErrUnknownPeer", err)
+	}
+	b.Close()
+	if _, err := a.Call("b", "x", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("call to closed peer: %v, want ErrUnknownPeer", err)
+	}
+	a.Close()
+	if err := a.Send("b", "x", nil); !errors.Is(err, ErrTransportClosed) {
+		t.Errorf("send from closed node: %v, want ErrTransportClosed", err)
+	}
+}
+
+func TestFabricStats(t *testing.T) {
+	f := NewFabric()
+	a, b := f.Node("a"), f.Node("b")
+	b.Handle("echo", func(_ NodeID, body []byte) ([]byte, error) { return body, nil })
+	if _, err := a.Call("b", "echo", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.ParcelsSent != 1 || as.Calls != 1 {
+		t.Errorf("a stats = %+v, want 1 parcel, 1 call", as)
+	}
+	if as.BytesSent != 10 || as.BytesRecv != 10 {
+		t.Errorf("a bytes = sent %d recv %d, want 10/10", as.BytesSent, as.BytesRecv)
+	}
+	if bs.ParcelsRecv != 1 || bs.BytesRecv != 10 || bs.BytesSent != 10 {
+		t.Errorf("b stats = %+v, want 1 parcel, 10 bytes each way", bs)
+	}
+}

@@ -360,10 +360,27 @@ func (p *Pipeline) complete(fl *flowState, st *pipeStage, r Result) {
 	p.chain(fl, st, r)
 }
 
+// RemoteRouter is the cluster layer's hook into flow chaining
+// (Config.Remote). ForwardStage is consulted at every scalar stage
+// boundary with the flow's routing inputs; it runs at the producing
+// shard, where the previous stage just resolved. Returning false leaves
+// the hop in-process. Returning true means the router shipped the
+// remainder of the flow to another node; it must then invoke finish
+// exactly once — typically when its completion parcel arrives — with the
+// flow's terminal Result, which resolves every remaining stage future
+// and the flow's done callback on this node.
+type RemoteRouter interface {
+	ForwardStage(t *Tenant, p *Pipeline, next int, v any, key uint64,
+		deadline time.Time, priority int, finish func(Result)) bool
+}
+
 // chain advances an OK stage result to the next stage. It runs at the
 // producing shard: the stage future resolves here, and the buffered
 // continuation ships the value to the next stage's routed locale with
-// ThenSpawn — the submitter never sees the intermediate value.
+// ThenSpawn — the submitter never sees the intermediate value. Under a
+// cluster (Config.Remote) the next locale may live on another machine:
+// the router takes the flow, and the hand-off is recorded as a
+// remote-hop trace event.
 func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 	s := p.t.srv
 	next := p.stages[st.idx+1]
@@ -379,6 +396,19 @@ func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 		p.fanOut(fl, next, parts, nil)
 		return
 	}
+	// Resolve the producing stage before routing onward: a remote
+	// hand-off's completion parcel may race this shard, and the remote
+	// finisher only touches futures from next onward.
+	fl.resolve[st.idx](r, nil)
+	if rr := s.cfg.Remote; rr != nil &&
+		rr.ForwardStage(p.t, p, next.idx, r.Value, fl.key, fl.deadline, fl.priority,
+			func(final Result) { p.finishRemote(fl, next.idx, final) }) {
+		if fl.ft != nil {
+			fl.ft.add(trace.KindRemoteHop, 0, 0, spanArg(next.idx, 0),
+				fmt.Sprintf("%s -> %s (remote)", st.name, next.name))
+		}
+		return
+	}
 	req := p.stageRequest(fl, next, r.Value)
 	sh := s.routeShard(p.t, &req)
 	if fl.ft != nil {
@@ -387,10 +417,42 @@ func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 		fl.ft.add(trace.KindStageHop, sh.id, sh.locale, spanArg(next.idx, 0),
 			fmt.Sprintf("%s -> %s", st.name, next.name))
 	}
-	fl.resolve[st.idx](r, nil)
 	fl.futs[st.idx].ThenSpawn(int(sh.locale), func(_ *core.SGT, _ Result) {
 		p.submitStage(fl, next, sh, req)
 	})
+}
+
+// finishRemote terminates a flow whose remaining stages ran on another
+// node: the completion parcel's terminal result resolves every future
+// from the hand-off stage onward and fires the flow's done callback,
+// exactly once — the same guard local terminals use, so a racing local
+// shed and a remote completion cannot both land.
+func (p *Pipeline) finishRemote(fl *flowState, from int, r Result) {
+	if fl.finished.Swap(true) {
+		return
+	}
+	s := p.t.srv
+	r.Priority = fl.priority
+	r.Total = time.Since(fl.enqueued)
+	var ferr error
+	if r.Status == StatusFailed {
+		ferr = r.Err
+	}
+	for i := from; i < len(p.stages); i++ {
+		fl.resolve[i](r, ferr)
+	}
+	switch r.Status {
+	case StatusOK:
+		s.flowDone.Inc()
+	case StatusShed:
+		s.flowShed.Inc()
+	case StatusRejected:
+		s.flowRej.Inc()
+	default:
+		s.flowFail.Inc()
+	}
+	s.obs.finishFlow(fl.ft, r.Status)
+	fl.done(r)
 }
 
 // submitStage admits one scalar stage job at its routed shard; an

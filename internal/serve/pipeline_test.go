@@ -816,3 +816,125 @@ func TestPipelineFlowStress(t *testing.T) {
 		t.Errorf("flow in-flight = %d after drain", fi)
 	}
 }
+
+// stallRouter is a fake RemoteRouter that takes every hand-off at one
+// stage boundary, capturing the finish callback for the test to fire.
+type stallRouter struct {
+	at     int // boundary to accept (stage index of the next stage)
+	mu     sync.Mutex
+	finish []func(Result)
+}
+
+func (sr *stallRouter) ForwardStage(_ *Tenant, _ *Pipeline, next int, _ any,
+	_ uint64, _ time.Time, _ int, finish func(Result)) bool {
+	if next != sr.at {
+		return false
+	}
+	sr.mu.Lock()
+	sr.finish = append(sr.finish, finish)
+	sr.mu.Unlock()
+	return true
+}
+
+func TestPipelineRemoteRouterFinishResolvesRemainingStages(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	router := &stallRouter{at: 1}
+	s := New(sys, Config{Shards: 4, Remote: router})
+	defer s.Close()
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "t",
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Payload, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tn.NewPipeline("abc", echoStage("a"), echoStage("b"), echoStage("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done atomic.Int32
+	results := make(chan Result, 4)
+	futs, err := tn.SubmitFlowFunc(p, Request{Key: 9, Payload: "x"}, func(r Result) {
+		done.Add(1)
+		results <- r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0 runs locally; its future resolves before the router is
+	// consulted at the 0->1 boundary.
+	r0, err := futs[0].GetErr()
+	if err != nil || r0.Value.(string) != "xa" {
+		t.Fatalf("stage 0 = %+v, %v; want xa", r0, err)
+	}
+	// The router took the flow: nothing past stage 0 resolves yet.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		router.mu.Lock()
+		n := len(router.finish)
+		router.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router captured %d hand-offs, want 1", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case r := <-results:
+		t.Fatalf("flow finished %+v before the remote completion", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The remote completion resolves stages 1..2 and the flow, once.
+	final := Result{Status: StatusOK, Value: "xabc-remote"}
+	router.finish[0](final)
+	r := <-results
+	if r.Status != StatusOK || r.Value.(string) != "xabc-remote" {
+		t.Fatalf("flow result %+v", r)
+	}
+	for i := 1; i < 3; i++ {
+		ri, err := futs[i].GetErr()
+		if err != nil || ri.Value.(string) != "xabc-remote" {
+			t.Fatalf("stage %d = %+v, %v; want remote terminal", i, ri, err)
+		}
+	}
+	// A duplicate completion (late parcel, retry) must be dropped.
+	router.finish[0](Result{Status: StatusFailed, Err: errors.New("dup")})
+	time.Sleep(20 * time.Millisecond)
+	if got := done.Load(); got != 1 {
+		t.Fatalf("done fired %d times, want exactly 1", got)
+	}
+	st := s.Stats()
+	if st.Flow.Completed != 1 {
+		t.Errorf("flow stats = %+v, want 1 completed", st.Flow)
+	}
+}
+
+func TestPipelineRemoteRouterDeclinesStaysLocal(t *testing.T) {
+	sys := newTestSystem(t)
+	defer sys.Close()
+	router := &stallRouter{at: -1} // declines every boundary
+	s := New(sys, Config{Shards: 4, Remote: router})
+	defer s.Close()
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "t",
+		Handler: func(_ *Ctx, req Request) (any, error) { return req.Payload, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tn.NewPipeline("abc", echoStage("a"), echoStage("b"), echoStage("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := tn.SubmitFlow(p, Request{Key: 3, Payload: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tk.Wait()
+	if r.Status != StatusOK || r.Value.(string) != "xabc" {
+		t.Fatalf("declined-router flow = %+v, want local xabc", r)
+	}
+}

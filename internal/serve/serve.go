@@ -120,6 +120,15 @@ type Config struct {
 	// export (see ObserveConfig). Zero value: off — the hot path pays a
 	// single nil check and no extra allocations.
 	Observe ObserveConfig
+	// Remote, when non-nil, lets a cluster layer (internal/cluster) take
+	// over a flow at a scalar stage boundary: before chaining the next
+	// stage locally, the pipeline asks the router whether the stage's
+	// home locale lives on another node; if it does, the router ships the
+	// remainder of the flow over its parcel transport and the local stage
+	// futures resolve when the completion parcel returns. Nil (the
+	// default) keeps every stage in this process — the single-node path
+	// is unchanged.
+	Remote RemoteRouter
 }
 
 // DataConfig switches on the serving path's locale-aware data plane.

@@ -43,12 +43,18 @@ const (
 	KindShed
 	KindFail
 	KindComplete
+	// KindRemoteHop marks a flow stage crossing a node boundary: the
+	// cluster layer shipped the remainder of a pipeline to another
+	// machine over a parcel transport. Events on both sides carry the
+	// flow id, so traces stitch across nodes.
+	KindRemoteHop
 )
 
 var kindNames = [...]string{
 	"spawn", "start", "end", "parcel-send", "parcel-recv", "mem",
 	"migrate", "steal", "sync-fire", "percolate", "adapt", "user",
 	"admit", "batch", "dispatch", "stage-hop", "shed", "fail", "complete",
+	"remote-hop",
 }
 
 // String returns a short human-readable name for the kind.

@@ -1,24 +1,66 @@
 #!/bin/sh
-# Regenerates BENCH_serve.json, the serve hot-path benchmark baseline.
+# Regenerates or checks BENCH_serve.json, the serve hot-path benchmark
+# baseline.
 #
-# Usage: scripts/bench_serve.sh [raw-bench-output-file]
+# Usage: scripts/bench_serve.sh [-check] [raw-bench-output-file]
 #
 # With no argument, runs the internal/serve benchmarks (full default
 # benchtime, Config.Observe zero-valued — the disabled-path numbers)
 # and rewrites BENCH_serve.json at the repo root. With an argument,
 # parses an existing `go test -bench` output file instead of re-running.
 #
+# With -check, runs the benchmarks (BENCH_ARGS adds flags, e.g.
+# BENCH_ARGS="-benchtime 100x" for a quick CI gate) and compares each
+# benchmark's allocs/op against the committed baseline instead of
+# rewriting it, exiting 1 on regression. ns/op and B/op drift with the
+# machine; allocs/op should not, so that is the gated invariant — a
+# candidate fails when it allocates more than baseline + 10% + 1
+# (the slack absorbs batch-boundary jitter at short benchtimes).
+#
 # The file this writes is the reference the observability work is held
 # to: allocs/op on Submit* must not grow while Observe is off. Compare
-# a candidate change with:
+# a candidate change by hand with:
 #
 #   go test ./internal/serve/ -bench . -run '^$' | scripts/bench_serve.sh /dev/stdin
-#
-# and diff the allocs_per_op fields against the committed baseline
-# (ns/op and B/op drift with the machine; allocs/op should not).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-check" ]; then
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    # shellcheck disable=SC2086 # BENCH_ARGS is deliberately word-split
+    go test ./internal/serve/ -bench . -run '^$' -count 1 ${BENCH_ARGS:-} | tee "$raw" >&2
+    awk '
+    FNR == 1 { file++ }
+    # Pass 1: the committed baseline. One benchmark object per line.
+    file == 1 && /"name":/ {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        al = $0
+        if (sub(/.*"allocs_per_op": /, "", al)) { sub(/[^0-9.].*$/, "", al); base[name] = al }
+    }
+    # Pass 2: the candidate run.
+    file == 2 && /^Benchmark/ {
+        name = $1
+        sub(/^Benchmark/, "", name)
+        sub(/-[0-9]+$/, "", name)
+        for (i = 4; i <= NF; i++) if ($(i) == "allocs/op") cand[name] = $(i - 1)
+    }
+    END {
+        failed = 0; checked = 0
+        for (name in base) {
+            if (!(name in cand)) { printf "bench-check: MISSING %s (in baseline, not in run)\n", name; failed = 1; continue }
+            checked++
+            limit = base[name] * 1.10 + 1
+            status = (cand[name] + 0 > limit) ? "FAIL" : "ok"
+            if (status == "FAIL") failed = 1
+            printf "bench-check: %-4s %-24s allocs/op %s (baseline %s, limit %.1f)\n", status, name, cand[name], base[name], limit
+        }
+        if (checked == 0) { print "bench-check: no benchmarks compared"; failed = 1 }
+        exit failed
+    }' BENCH_serve.json "$raw"
+    exit $?
+fi
 
 raw="${1:-}"
 if [ -z "$raw" ]; then
