@@ -42,6 +42,9 @@ type clusterOpts struct {
 	duration         time.Duration
 	seed             uint64
 	work             int64
+	detectEvery      time.Duration
+	detectMisses     int
+	flowTimeout      time.Duration
 }
 
 func runCluster(o clusterOpts) {
@@ -61,6 +64,8 @@ func runCluster(o clusterOpts) {
 		Transport: tr,
 		System:    litlx.Config{Locales: o.locales, WorkersPerLocale: o.workers, Seed: o.seed},
 		Serve:     serve.Config{Shards: o.shards, QueueDepth: o.depth},
+		Detect:    cluster.DetectConfig{Every: o.detectEvery, Misses: o.detectMisses},
+		Recover:   cluster.RecoverConfig{FlowTimeout: o.flowTimeout},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "htserved:", err)

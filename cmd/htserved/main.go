@@ -95,6 +95,9 @@ func main() {
 		listen   = flag.String("listen", "", "cluster mode: host:port this node's parcel transport listens on")
 		join     = flag.String("join", "", "cluster mode: address of a running member to join (requires -listen)")
 		nodes    = flag.Int("nodes", 1, "cluster mode: expected member count; the node waits for the cluster to reach it before driving load")
+		detEvery = flag.Duration("detect-every", 250*time.Millisecond, "cluster mode: heartbeat probe period for the failure detector (0 = detector off)")
+		detMiss  = flag.Int("detect-misses", 3, "cluster mode: consecutive missed heartbeats before a member is evicted")
+		flowTO   = flag.Duration("flow-timeout", 5*time.Second, "cluster mode: origin-side recovery timer per shipped stage; a flow stuck longer re-routes to the current owner (negative = recovery off)")
 	)
 	flag.Parse()
 
@@ -162,6 +165,7 @@ func main() {
 			listen: *listen, join: *join, nodes: *nodes,
 			locales: *locales, workers: *workers, shards: *shards, depth: *depth,
 			imgKB: *imgKB, rate: *rate, duration: *duration, seed: *seed, work: *work,
+			detectEvery: *detEvery, detectMisses: *detMiss, flowTimeout: *flowTO,
 		})
 		return
 	}

@@ -48,6 +48,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/litlx"
 	"repro/internal/parcel"
@@ -74,6 +75,42 @@ type Config struct {
 	// remote stage executions, served to peers for StitchFlow. Off by
 	// default — the flow hot path then pays one nil check.
 	TraceFlows bool
+	// Detect configures the heartbeat failure detector. The zero value
+	// leaves it off; set Every to start probing.
+	Detect DetectConfig
+	// Recover configures origin-side pending-flow recovery. The zero
+	// value enables it with defaults (FlowTimeout 5s, MaxAttempts 3) —
+	// the invariant that no Ticket.Wait blocks forever holds out of the
+	// box; set FlowTimeout negative to disable.
+	Recover RecoverConfig
+	// Clock is the node's time source (default time.Now). Stage-deadline
+	// checks and recovery decisions read it, so tests and scenario
+	// harnesses can steer shedding deterministically.
+	Clock func() time.Time
+}
+
+// DetectConfig tunes the heartbeat failure detector: every Every the
+// node pings each peer it believes is a member, and a peer missing
+// Misses consecutive probes is evicted — removed from the member list,
+// the ring rebalanced onto the survivors, the shrunken list broadcast,
+// and the dead node's pending flows and global objects recovered.
+type DetectConfig struct {
+	// Every is the probe period; 0 disables the detector.
+	Every time.Duration
+	// Misses is how many consecutive failed probes evict a member
+	// (default 3).
+	Misses int
+}
+
+// RecoverConfig tunes origin-side pending-flow recovery.
+type RecoverConfig struct {
+	// FlowTimeout is how long the origin waits for a shipped flow before
+	// suspecting its executor and re-routing it (clipped to the flow's
+	// own deadline). 0 defaults to 5s; negative disables recovery.
+	FlowTimeout time.Duration
+	// MaxAttempts bounds re-routes per flow before it resolves
+	// StatusFailed (default 3).
+	MaxAttempts int
 }
 
 // Node is one cluster member: a process hosting a contiguous range of
@@ -95,21 +132,35 @@ type Node struct {
 	tenants   map[string]*Tenant
 	pipes     map[string]*Pipeline // "tenant/pipeline"
 
-	// pending holds the finish callbacks of flows this node originated
-	// and shipped away; a completion parcel pops its entry exactly once.
+	// pending holds the records of flows this node originated and shipped
+	// away; a completion parcel pops its entry exactly once, and the
+	// recovery timers re-route entries whose executor died.
 	nextFlow  atomic.Uint64
 	pendingMu sync.Mutex
-	pending   map[uint64]func(serve.Result)
+	pending   map[uint64]*pendingFlow
+
+	clock  func() time.Time
+	detCfg DetectConfig
+	recCfg RecoverConfig
+
+	detectStop chan struct{}
+	detectDone chan struct{}
 
 	flowsOriginated, flowsCompleted atomic.Int64
 	forwardedStages                 atomic.Int64
 	remoteStages, localStages       atomic.Int64
 	codeFetches, objectFetches      atomic.Int64
 	percolateBytes                  atomic.Int64
+	evictions, recoveredFlows       atomic.Int64
+	staleCompletions                atomic.Int64
+	rehomedObjects                  atomic.Int64
 
 	traces *flowTraces
 	closed atomic.Bool
 }
+
+// now reads the node's clock.
+func (n *Node) now() time.Time { return n.clock() }
 
 // NewNode boots a node: its own litlx.System and serve.Server, wired to
 // the transport, initially a cluster of one. Close it with Close.
@@ -127,7 +178,22 @@ func NewNode(cfg Config) (*Node, error) {
 		members: make(map[parcel.NodeID]string),
 		tenants: make(map[string]*Tenant),
 		pipes:   make(map[string]*Pipeline),
-		pending: make(map[uint64]func(serve.Result)),
+		pending: make(map[uint64]*pendingFlow),
+		clock:   cfg.Clock,
+		detCfg:  cfg.Detect,
+		recCfg:  cfg.Recover,
+	}
+	if n.clock == nil {
+		n.clock = time.Now
+	}
+	if n.detCfg.Misses <= 0 {
+		n.detCfg.Misses = 3
+	}
+	if n.recCfg.FlowTimeout == 0 {
+		n.recCfg.FlowTimeout = 5 * time.Second
+	}
+	if n.recCfg.MaxAttempts <= 0 {
+		n.recCfg.MaxAttempts = 3
 	}
 	if cfg.TraceFlows {
 		n.traces = newFlowTraces(n.self)
@@ -142,6 +208,11 @@ func NewNode(cfg Config) (*Node, error) {
 	n.members[n.self] = cfg.Transport.Addr()
 	n.ring = NewRing(n.locales, []parcel.NodeID{n.self})
 	n.registerHandlers()
+	if n.detCfg.Every > 0 {
+		n.detectStop = make(chan struct{})
+		n.detectDone = make(chan struct{})
+		go n.detectorLoop()
+	}
 	return n, nil
 }
 
@@ -198,6 +269,13 @@ func (n *Node) registerHandlers() {
 	n.t.Handle("cluster.fetch", n.handleFetch)
 	n.t.Handle("cluster.stats", n.handleStats)
 	n.t.Handle("cluster.trace", n.handleTrace)
+	n.t.Handle("cluster.ping", n.handlePing)
+}
+
+// handlePing answers a failure-detector probe. Reaching this handler is
+// the proof of life; the body is ignored and the reply is the node id.
+func (n *Node) handlePing(_ parcel.NodeID, _ []byte) ([]byte, error) {
+	return []byte(n.self), nil
 }
 
 // Join dials the member at seedAddr and enters its cluster: the seed
@@ -279,6 +357,7 @@ func (n *Node) handleJoin(_ parcel.NodeID, body []byte) ([]byte, error) {
 	}
 	n.mu.Unlock()
 	n.dialMissing(ml.Members)
+	go n.syncReplicas()
 	payload, err := encode(ml)
 	if err != nil {
 		return nil, err
@@ -324,6 +403,7 @@ func (n *Node) handleLeave(_ parcel.NodeID, body []byte) ([]byte, error) {
 		ml.Members[string(id)] = addr
 	}
 	n.mu.Unlock()
+	go n.syncReplicas()
 	payload, err := encode(ml)
 	if err != nil {
 		return nil, err
@@ -339,11 +419,23 @@ func (n *Node) handleLeave(_ parcel.NodeID, body []byte) ([]byte, error) {
 // install adopts a member list (force skips the epoch freshness gate —
 // the join path, where the reply is authoritative) and dials any member
 // this node cannot reach yet, so stage parcels can flow to everyone.
+// Members the new list dropped are recovered exactly as if this node's
+// own detector had evicted them — a survivor that learns of a death
+// from a peer's broadcast still takes over the globals and re-routes
+// the pending flows the dead node held. Replica placement re-syncs on
+// every ring change.
 func (n *Node) install(ml memberMsg, force bool) {
 	n.mu.Lock()
 	if !force && ml.Epoch <= n.epoch {
 		n.mu.Unlock()
 		return
+	}
+	oldRing := n.ring
+	var removed []parcel.NodeID
+	for id := range n.members {
+		if _, ok := ml.Members[string(id)]; !ok && id != n.self {
+			removed = append(removed, id)
+		}
 	}
 	n.epoch = ml.Epoch
 	n.members = make(map[parcel.NodeID]string, len(ml.Members))
@@ -351,8 +443,13 @@ func (n *Node) install(ml memberMsg, force bool) {
 		n.members[parcel.NodeID(id)] = addr
 	}
 	n.ring = NewRing(n.locales, memberIDs(n.members))
+	newRing := n.ring
 	n.mu.Unlock()
 	n.dialMissing(ml.Members)
+	for _, id := range removed {
+		n.recoverAfter(id, oldRing, newRing)
+	}
+	go n.syncReplicas()
 }
 
 // dialMissing opens transport routes to members this node has no peer
@@ -417,6 +514,15 @@ type Stats struct {
 	// object); PercolateBytes is their payload volume.
 	CodeFetches, ObjectFetches int64
 	PercolateBytes             int64
+	// Evictions counts members this node's failure detector declared
+	// dead; RecoveredFlows counts recovery-timer firings that re-routed
+	// or resolved a pending flow; StaleCompletions counts completion
+	// parcels dropped by the flow-epoch gate (zombie executors finishing
+	// after their eviction); RehomedObjects counts tenant globals this
+	// node took over as the new primary after an eviction.
+	Evictions, RecoveredFlows int64
+	StaleCompletions          int64
+	RehomedObjects            int64
 	// Wire is the transport's own traffic accounting.
 	Wire parcel.TransportStats
 }
@@ -427,20 +533,24 @@ func (n *Node) Stats() Stats {
 	members, epoch, ring := len(n.members), n.epoch, n.ring
 	n.mu.RUnlock()
 	return Stats{
-		Node:            string(n.self),
-		Addr:            n.t.Addr(),
-		Members:         members,
-		Epoch:           epoch,
-		OwnedLocales:    len(ring.Owned(n.self)),
-		FlowsOriginated: n.flowsOriginated.Load(),
-		FlowsCompleted:  n.flowsCompleted.Load(),
-		ForwardedStages: n.forwardedStages.Load(),
-		RemoteStages:    n.remoteStages.Load(),
-		LocalStages:     n.localStages.Load(),
-		CodeFetches:     n.codeFetches.Load(),
-		ObjectFetches:   n.objectFetches.Load(),
-		PercolateBytes:  n.percolateBytes.Load(),
-		Wire:            n.t.Stats(),
+		Node:             string(n.self),
+		Addr:             n.t.Addr(),
+		Members:          members,
+		Epoch:            epoch,
+		OwnedLocales:     len(ring.Owned(n.self)),
+		FlowsOriginated:  n.flowsOriginated.Load(),
+		FlowsCompleted:   n.flowsCompleted.Load(),
+		ForwardedStages:  n.forwardedStages.Load(),
+		RemoteStages:     n.remoteStages.Load(),
+		LocalStages:      n.localStages.Load(),
+		CodeFetches:      n.codeFetches.Load(),
+		ObjectFetches:    n.objectFetches.Load(),
+		PercolateBytes:   n.percolateBytes.Load(),
+		Evictions:        n.evictions.Load(),
+		RecoveredFlows:   n.recoveredFlows.Load(),
+		StaleCompletions: n.staleCompletions.Load(),
+		RehomedObjects:   n.rehomedObjects.Load(),
+		Wire:             n.t.Stats(),
 	}
 }
 
@@ -470,19 +580,27 @@ func (n *Node) ClusterStats() []Stats {
 	return out
 }
 
-// Close shuts the node: pending forwarded flows resolve as rejected (so
-// no origin-side caller hangs on a completion that cannot arrive), then
-// the server, system, and transport shut down in that order.
+// Close shuts the node: the failure detector stops, pending forwarded
+// flows resolve as rejected (so no origin-side caller hangs on a
+// completion that cannot arrive), then the server, system, and
+// transport shut down in that order.
 func (n *Node) Close() {
 	if n.closed.Swap(true) {
 		return
 	}
+	if n.detectStop != nil {
+		close(n.detectStop)
+		<-n.detectDone
+	}
 	n.pendingMu.Lock()
 	pend := n.pending
-	n.pending = make(map[uint64]func(serve.Result))
+	n.pending = make(map[uint64]*pendingFlow)
 	n.pendingMu.Unlock()
-	for _, fin := range pend {
-		fin(serve.Result{Status: serve.StatusRejected, Err: ErrNodeClosed})
+	for _, pf := range pend {
+		if pf.timer != nil {
+			pf.timer.Stop()
+		}
+		pf.fin(serve.Result{Status: serve.StatusRejected, Err: ErrNodeClosed})
 	}
 	n.srv.Close()
 	n.sys.Close()

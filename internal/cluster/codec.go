@@ -39,24 +39,30 @@ type memberMsg struct {
 // stage ("cluster.stage"). Origin is the node holding the flow's
 // pending futures; completions return there.
 type stageMsg struct {
-	Flow     uint64 // origin-scoped flow id
-	Origin   string
-	Tenant   string
-	Pipe     string
-	Stage    int
-	Key      uint64 // the flow's routing key (stage keys re-derive from the value)
-	Deadline int64  // unix nanoseconds; 0 = none
-	Priority int
-	Value    []byte // wireValue-encoded stage input
+	Flow uint64 // origin-scoped flow id
+	// FlowEpoch is the origin's recovery attempt counter for this flow.
+	// Every re-route after a suspected executor death bumps it; a
+	// completion carrying an older epoch is a zombie's and is dropped at
+	// the origin. 0 on the first shipment.
+	FlowEpoch uint32
+	Origin    string
+	Tenant    string
+	Pipe      string
+	Stage     int
+	Key       uint64 // the flow's routing key (stage keys re-derive from the value)
+	Deadline  int64  // unix nanoseconds; 0 = none
+	Priority  int
+	Value     []byte // wireValue-encoded stage input
 }
 
 // completeMsg resolves a forwarded flow at its origin
 // ("cluster.complete").
 type completeMsg struct {
-	Flow   uint64
-	Status uint8
-	Value  []byte // wireValue-encoded final value (StatusOK only)
-	Err    string
+	Flow      uint64
+	FlowEpoch uint32 // echoed from the stage parcel; the origin's staleness gate
+	Status    uint8
+	Value     []byte // wireValue-encoded final value (StatusOK only)
+	Err       string
 }
 
 // fetchMsg requests a percolation transfer: the tenant's code image

@@ -128,6 +128,24 @@ func (p *Pipeline) Submit(req serve.Request) (*Ticket, error) {
 	return tk, nil
 }
 
+// pendingFlow is the origin-side record of one shipped flow: the finish
+// callback a completion resolves, plus everything recovery needs to
+// re-route the flow if its executor dies — the last stage parcel (value
+// retained), the decoded stage input for re-keying, the destination it
+// was shipped to, and the recovery timer. epoch is the current
+// FlowEpoch; completions carrying an older epoch are zombies' and drop.
+type pendingFlow struct {
+	fin      func(serve.Result)
+	p        *Pipeline
+	msg      stageMsg // last parcel this origin shipped (Value retained)
+	v        any      // decoded stage input, for route re-keying
+	dest     parcel.NodeID
+	epoch    uint32
+	attempts int
+	deadline time.Time // the flow's own deadline; zero = none
+	timer    *time.Timer
+}
+
 // SubmitFunc admits one flow, invoking done exactly once with the
 // terminal result. Admission itself is ring-routed: when stage 0's home
 // locale belongs to another node, the whole flow ships there as a stage
@@ -167,8 +185,10 @@ func (p *Pipeline) SubmitFunc(req serve.Request, done func(serve.Result)) error 
 
 // shipStage encodes and sends one stage parcel carrying a flow this
 // node originates, registering its finish callback under a fresh flow
-// id. Returns false (nothing registered, nothing sent) when the value
-// cannot cross the wire or the peer is unreachable.
+// id and arming the recovery timer that guarantees the flow resolves
+// even if the destination dies. Returns false (nothing registered,
+// nothing sent) when the value cannot cross the wire or the peer is
+// unreachable.
 func (n *Node) shipStage(p *Pipeline, dest parcel.NodeID, sp stageMsg, v any, finish func(serve.Result)) bool {
 	body, err := encodeValue(v)
 	if err != nil {
@@ -181,12 +201,21 @@ func (n *Node) shipStage(p *Pipeline, dest parcel.NodeID, sp stageMsg, v any, fi
 	if err != nil {
 		return false
 	}
+	pf := &pendingFlow{fin: finish, p: p, msg: sp, v: v, dest: dest, deadline: nsTime(sp.Deadline)}
 	n.pendingMu.Lock()
-	n.pending[flow] = finish
+	n.pending[flow] = pf
+	if d := n.recoverDelay(pf.deadline); d > 0 {
+		pf.timer = time.AfterFunc(d, func() { n.recoverFlow(flow) })
+	}
 	n.pendingMu.Unlock()
 	if err := n.t.Send(dest, "cluster.stage", pb); err != nil {
 		n.pendingMu.Lock()
-		delete(n.pending, flow)
+		if cur := n.pending[flow]; cur == pf {
+			delete(n.pending, flow)
+			if pf.timer != nil {
+				pf.timer.Stop()
+			}
+		}
 		n.pendingMu.Unlock()
 		return false
 	}
@@ -194,6 +223,88 @@ func (n *Node) shipStage(p *Pipeline, dest parcel.NodeID, sp stageMsg, v any, fi
 	n.traces.record(n.self, flow, trace.KindRemoteHop,
 		fmt.Sprintf("%s/%s stage %d: %s -> %s", sp.Tenant, sp.Pipe, sp.Stage, n.self, dest))
 	return true
+}
+
+// recoverDelay is how long the origin waits for a shipped flow before
+// suspecting its executor: the configured FlowTimeout, clipped to the
+// flow's own deadline so a deadlined flow is resolved (not merely
+// retried) the moment it can no longer make it. 0 means recovery is
+// disabled.
+func (n *Node) recoverDelay(deadline time.Time) time.Duration {
+	d := n.recCfg.FlowTimeout
+	if d <= 0 {
+		return 0
+	}
+	if !deadline.IsZero() {
+		if until := deadline.Sub(n.now()); until < d {
+			d = until
+		}
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// recoverFlow is the recovery timer's body — the reason no Ticket.Wait
+// ever blocks forever. It inspects one still-pending flow: past its
+// deadline it resolves StatusShed; out of attempts it resolves
+// StatusFailed; otherwise it bumps the flow epoch (so any completion
+// from the previous attempt's executor — alive or zombie — is dropped
+// as stale), re-routes the retained stage parcel by the current ring,
+// and re-arms the timer. The flow may execute more than once; the epoch
+// gate keeps its resolution exactly-once.
+func (n *Node) recoverFlow(flow uint64) {
+	n.pendingMu.Lock()
+	pf := n.pending[flow]
+	if pf == nil {
+		n.pendingMu.Unlock()
+		return
+	}
+	if !pf.deadline.IsZero() && n.now().After(pf.deadline) {
+		delete(n.pending, flow)
+		n.pendingMu.Unlock()
+		n.recoveredFlows.Add(1)
+		n.traces.record(n.self, flow, trace.KindAdapt, "recovery: flow deadline passed, shed")
+		pf.fin(serve.Result{Status: serve.StatusShed,
+			Err: fmt.Errorf("cluster: flow %d missed its deadline during recovery from %s", flow, pf.dest)})
+		return
+	}
+	if pf.attempts >= n.recCfg.MaxAttempts {
+		delete(n.pending, flow)
+		n.pendingMu.Unlock()
+		n.recoveredFlows.Add(1)
+		pf.fin(serve.Result{Status: serve.StatusFailed,
+			Err: fmt.Errorf("cluster: flow %d unresolved after %d recovery attempts (last executor %s)",
+				flow, pf.attempts, pf.dest)})
+		return
+	}
+	pf.attempts++
+	pf.epoch++
+	attempt := pf.attempts
+	sp := pf.msg
+	sp.FlowEpoch = pf.epoch
+	pf.msg = sp
+	p, v := pf.p, pf.v
+	skey, _ := p.route(sp.Stage, v, sp.Key)
+	owner, _ := n.ownerOf(p.t.hash, skey)
+	pf.dest = owner
+	if d := n.recoverDelay(pf.deadline); d > 0 {
+		pf.timer = time.AfterFunc(d, func() { n.recoverFlow(flow) })
+	}
+	n.pendingMu.Unlock()
+	n.recoveredFlows.Add(1)
+	n.traces.record(n.self, flow, trace.KindAdapt,
+		fmt.Sprintf("recovery: attempt %d re-routes stage %d to %s (epoch %d)", attempt, sp.Stage, owner, sp.FlowEpoch))
+	if owner != n.self {
+		if pb, err := encode(sp); err == nil && n.t.Send(owner, "cluster.stage", pb) == nil {
+			n.forwardedStages.Add(1)
+			return
+		}
+		// The new owner is unreachable too: run the stage here rather than
+		// burning the remaining attempts against a dead wire.
+	}
+	n.execStage(p, sp, v)
 }
 
 // ForwardStage implements serve.RemoteRouter: the serve layer consults
@@ -237,14 +348,14 @@ func (n *Node) handleStage(_ parcel.NodeID, body []byte) ([]byte, error) {
 	origin := parcel.NodeID(sp.Origin)
 	p := n.pipeline(sp.Tenant, sp.Pipe)
 	if p == nil || sp.Stage < 0 || sp.Stage >= p.Len() {
-		n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusFailed,
+		n.completeFlow(origin, sp.Flow, sp.FlowEpoch, serve.Result{Status: serve.StatusFailed,
 			Err: fmt.Errorf("cluster: node %s has no pipeline %s/%s (stage %d)",
 				n.self, sp.Tenant, sp.Pipe, sp.Stage)})
 		return nil, nil
 	}
 	v, err := decodeValue(sp.Value)
 	if err != nil {
-		n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusFailed,
+		n.completeFlow(origin, sp.Flow, sp.FlowEpoch, serve.Result{Status: serve.StatusFailed,
 			Err: fmt.Errorf("cluster: stage %d value: %w", sp.Stage, err)})
 		return nil, nil
 	}
@@ -253,14 +364,16 @@ func (n *Node) handleStage(_ parcel.NodeID, body []byte) ([]byte, error) {
 }
 
 // execStage runs stage sp.Stage of a forwarded flow on this node:
-// deadline check, percolation, then the single-stage pipeline under
-// local admission. Its completion advances the flow.
+// deadline check (against the node's own clock, so harnesses that
+// inject one steer shedding deterministically), percolation, then the
+// single-stage pipeline under local admission. Its completion advances
+// the flow.
 func (n *Node) execStage(p *Pipeline, sp stageMsg, v any) {
 	origin := parcel.NodeID(sp.Origin)
 	deadline := nsTime(sp.Deadline)
 	if !deadline.IsZero() {
-		if now := time.Now(); now.After(deadline) {
-			n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusShed})
+		if now := n.now(); now.After(deadline) {
+			n.completeFlow(origin, sp.Flow, sp.FlowEpoch, serve.Result{Status: serve.StatusShed})
 			return
 		}
 	}
@@ -278,7 +391,7 @@ func (n *Node) execStage(p *Pipeline, sp stageMsg, v any) {
 		n.advance(p, sp, r)
 	})
 	if err != nil {
-		n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusRejected, Err: err})
+		n.completeFlow(origin, sp.Flow, sp.FlowEpoch, serve.Result{Status: serve.StatusRejected, Err: err})
 	}
 }
 
@@ -290,7 +403,7 @@ func (n *Node) execStage(p *Pipeline, sp stageMsg, v any) {
 func (n *Node) advance(p *Pipeline, sp stageMsg, r serve.Result) {
 	origin := parcel.NodeID(sp.Origin)
 	if r.Status != serve.StatusOK || sp.Stage >= p.Len()-1 {
-		n.completeFlow(origin, sp.Flow, r)
+		n.completeFlow(origin, sp.Flow, sp.FlowEpoch, r)
 		return
 	}
 	next := sp.Stage + 1
@@ -300,7 +413,7 @@ func (n *Node) advance(p *Pipeline, sp stageMsg, r serve.Result) {
 	if owner != n.self {
 		body, err := encodeValue(r.Value)
 		if err != nil {
-			n.completeFlow(origin, sp.Flow, serve.Result{Status: serve.StatusFailed,
+			n.completeFlow(origin, sp.Flow, sp.FlowEpoch, serve.Result{Status: serve.StatusFailed,
 				Err: fmt.Errorf("cluster: stage %d value does not encode: %w (see RegisterType)", next, err)})
 			return
 		}
@@ -320,13 +433,14 @@ func (n *Node) advance(p *Pipeline, sp stageMsg, r serve.Result) {
 
 // completeFlow returns a forwarded flow's terminal result to its
 // origin — directly when the flow ended where it began, else as a
-// completion parcel.
-func (n *Node) completeFlow(origin parcel.NodeID, flow uint64, r serve.Result) {
+// completion parcel. epoch travels with the result: the origin only
+// accepts completions for the attempt it currently has in flight.
+func (n *Node) completeFlow(origin parcel.NodeID, flow uint64, epoch uint32, r serve.Result) {
 	if origin == n.self {
-		n.finishFlow(flow, r)
+		n.finishFlow(flow, epoch, r)
 		return
 	}
-	cm := completeMsg{Flow: flow, Status: uint8(r.Status)}
+	cm := completeMsg{Flow: flow, FlowEpoch: epoch, Status: uint8(r.Status)}
 	if r.Err != nil {
 		cm.Err = r.Err.Error()
 	}
@@ -349,40 +463,62 @@ func (n *Node) completeFlow(origin parcel.NodeID, flow uint64, r serve.Result) {
 }
 
 // handleComplete resolves a completion parcel at the flow's origin.
+// The status byte is wire input and is range-checked before it becomes
+// a serve.Status: a corrupt or out-of-range byte resolves the flow
+// StatusFailed with a descriptive error instead of minting a status the
+// serve layer does not define.
 func (n *Node) handleComplete(from parcel.NodeID, body []byte) ([]byte, error) {
 	var cm completeMsg
 	if err := decode(body, &cm); err != nil {
 		return nil, err
 	}
-	r := serve.Result{Status: serve.Status(cm.Status)}
-	if cm.Err != "" {
-		r.Err = errors.New(cm.Err)
-	}
-	if len(cm.Value) > 0 {
-		v, err := decodeValue(cm.Value)
-		if err != nil {
-			r.Status = serve.StatusFailed
-			r.Err = fmt.Errorf("cluster: completion value: %w", err)
-		} else {
-			r.Value = v
+	var r serve.Result
+	if cm.Status > uint8(serve.StatusFailed) {
+		r = serve.Result{Status: serve.StatusFailed,
+			Err: fmt.Errorf("cluster: completion from %s carried invalid status byte %d (max %d)",
+				from, cm.Status, uint8(serve.StatusFailed))}
+	} else {
+		r = serve.Result{Status: serve.Status(cm.Status)}
+		if cm.Err != "" {
+			r.Err = errors.New(cm.Err)
+		}
+		if len(cm.Value) > 0 {
+			v, err := decodeValue(cm.Value)
+			if err != nil {
+				r.Status = serve.StatusFailed
+				r.Err = fmt.Errorf("cluster: completion value: %w", err)
+			} else {
+				r.Value = v
+			}
 		}
 	}
 	n.traces.record(n.self, cm.Flow, trace.KindComplete,
 		fmt.Sprintf("completion from %s: %s", from, r.Status))
-	n.finishFlow(cm.Flow, r)
+	n.finishFlow(cm.Flow, cm.FlowEpoch, r)
 	return nil, nil
 }
 
 // finishFlow pops the flow's pending finish callback and fires it —
 // the pop is the exactly-once gate: a duplicate or late completion
-// finds no entry and is dropped.
-func (n *Node) finishFlow(flow uint64, r serve.Result) {
+// finds no entry and is dropped. The epoch comparison extends the gate
+// across recovery: a completion from an attempt the origin has already
+// re-routed past (a zombie executor finishing after its eviction) finds
+// the entry at a newer epoch and is dropped the same way.
+func (n *Node) finishFlow(flow uint64, epoch uint32, r serve.Result) {
 	n.pendingMu.Lock()
-	fin := n.pending[flow]
+	pf := n.pending[flow]
+	if pf != nil && pf.epoch != epoch {
+		n.pendingMu.Unlock()
+		n.staleCompletions.Add(1)
+		return
+	}
 	delete(n.pending, flow)
+	if pf != nil && pf.timer != nil {
+		pf.timer.Stop()
+	}
 	n.pendingMu.Unlock()
-	if fin != nil {
-		fin(r)
+	if pf != nil {
+		pf.fin(r)
 	}
 }
 

@@ -89,18 +89,33 @@ type Transport struct {
 	seq     atomic.Uint64
 	pending sync.Map // seq -> pendingCall
 
+	// faults, when set, is consulted before every Send/Call — the same
+	// injector surface the in-process fabric offers, so failure
+	// scenarios run identically on real sockets.
+	faults atomic.Pointer[parcel.Faults]
+
+	// Inbound handler execution runs through a bounded worker pool
+	// (hworkers <= cfg.Window): a burst of frames from one peer queues
+	// here instead of spawning one goroutine per frame.
+	hmu      sync.Mutex
+	hqueue   []htask
+	hworkers int
+
 	bytesSent, bytesRecv     atomic.Int64
 	parcelsSent, parcelsRecv atomic.Int64
 	calls                    atomic.Int64
 }
+
+// htask is one queued inbound handler invocation.
+type htask func()
 
 // peer is the pooled connection state for one remote node.
 type peer struct {
 	id    parcel.NodeID
 	mu    sync.Mutex
 	conns []*wconn
-	next  atomic.Uint64  // round-robin pool index
-	sem   chan struct{}  // outstanding-call window
+	next  atomic.Uint64 // round-robin pool index
+	sem   chan struct{} // outstanding-call window
 }
 
 // wconn is one live connection with its coalescing writer queue.
@@ -268,9 +283,11 @@ func (t *Transport) accept() {
 	}
 }
 
-// readLoop drains one connection: replies resolve pending calls,
-// everything else dispatches to the method handler on its own goroutine
-// so a blocking handler never stalls the wire.
+// readLoop drains one connection: replies resolve pending calls
+// inline (so a reply is never stuck behind handler work — the pool's
+// deadlock guard), everything else dispatches to the method handler
+// through the bounded worker pool so a blocking handler never stalls
+// the wire and a frame burst never explodes the goroutine count.
 func (t *Transport) readLoop(w *wconn, from parcel.NodeID) {
 	defer t.wg.Done()
 	br := bufio.NewReader(w.c)
@@ -290,13 +307,13 @@ func (t *Transport) readLoop(w *wconn, from parcel.NodeID) {
 			t.parcelsRecv.Add(1)
 			if h, ok := t.handler(f.Method); ok {
 				body := f.Body
-				go func() { _, _ = h(from, body) }()
+				t.dispatch(func() { _, _ = h(from, body) })
 			}
 		case kindCall:
 			t.parcelsRecv.Add(1)
 			h, ok := t.handler(f.Method)
 			seq, body := f.Seq, f.Body
-			go func() {
+			t.dispatch(func() {
 				rep := frame{Kind: kindReply, Seq: seq}
 				if !ok {
 					rep.Err = fmt.Sprintf("netparcel: node %s has no handler %q", t.self, f.Method)
@@ -306,8 +323,39 @@ func (t *Transport) readLoop(w *wconn, from parcel.NodeID) {
 					rep.Body = v
 				}
 				w.enqueue(rep)
-			}()
+			})
 		}
+	}
+}
+
+// dispatch queues one handler invocation for the bounded worker pool,
+// growing the pool lazily up to Config.Window workers. Queueing never
+// blocks the read loop — a handler that Calls back over the same
+// connection depends on that loop staying live for its reply.
+func (t *Transport) dispatch(fn htask) {
+	t.hmu.Lock()
+	t.hqueue = append(t.hqueue, fn)
+	if t.hworkers < t.cfg.Window {
+		t.hworkers++
+		go t.handlerWorker()
+	}
+	t.hmu.Unlock()
+}
+
+// handlerWorker drains queued handler invocations and exits when the
+// queue goes dry, so an idle transport holds no pool goroutines.
+func (t *Transport) handlerWorker() {
+	for {
+		t.hmu.Lock()
+		if len(t.hqueue) == 0 {
+			t.hworkers--
+			t.hmu.Unlock()
+			return
+		}
+		fn := t.hqueue[0]
+		t.hqueue = t.hqueue[1:]
+		t.hmu.Unlock()
+		fn()
 	}
 }
 
@@ -341,11 +389,35 @@ func (p *peer) pick() (*wconn, error) {
 	return nil, fmt.Errorf("%w: %s (no live connections)", parcel.ErrUnknownPeer, p.id)
 }
 
-// Send delivers a one-way parcel.
+// InjectFaults attaches a fault injector consulted before every Send
+// and Call (nil detaches) — the same surface parcel.Fabric.Inject gives
+// in-process scenarios, so chaos runs on real sockets too.
+func (t *Transport) InjectFaults(f *parcel.Faults) { t.faults.Store(f) }
+
+// Send delivers a one-way parcel. Injected faults apply: a partition or
+// crash fails the send, a drop loses it silently, a delay postpones the
+// enqueue.
 func (t *Transport) Send(dest parcel.NodeID, method string, body []byte) error {
 	p, err := t.peerFor(dest)
 	if err != nil {
 		return err
+	}
+	if fl := t.faults.Load(); fl != nil {
+		if fl.Blocked(t.self, dest) {
+			return fmt.Errorf("%w: %s", parcel.ErrPartitioned, dest)
+		}
+		if fl.DropSend() {
+			return nil
+		}
+		if d := fl.SendDelay(); d > 0 {
+			t.parcelsSent.Add(1)
+			time.AfterFunc(d, func() {
+				if w, err := p.pick(); err == nil {
+					_ = w.enqueue(frame{Kind: kindSend, Method: method, Body: body})
+				}
+			})
+			return nil
+		}
 	}
 	w, err := p.pick()
 	if err != nil {
@@ -363,6 +435,9 @@ func (t *Transport) Call(dest parcel.NodeID, method string, body []byte) ([]byte
 	p, err := t.peerFor(dest)
 	if err != nil {
 		return nil, err
+	}
+	if fl := t.faults.Load(); fl.Blocked(t.self, dest) {
+		return nil, fmt.Errorf("%w: %s", parcel.ErrPartitioned, dest)
 	}
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()

@@ -213,3 +213,118 @@ func TestCloseUnblocksCallers(t *testing.T) {
 		t.Errorf("send after close: %v, want ErrTransportClosed", err)
 	}
 }
+
+func TestHandlerPoolBoundsGoroutinesUnderBurst(t *testing.T) {
+	const window = 8
+	a, err := Listen("pa", "127.0.0.1:0", Config{Window: window})
+	if err != nil {
+		t.Fatalf("listen a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Listen("pb", "127.0.0.1:0", Config{Window: window})
+	if err != nil {
+		t.Fatalf("listen b: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if _, err := a.Dial(b.Addr()); err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	// The handler parks until released, so every queued frame that got a
+	// worker is visibly "in handler" at once — the pool bound is the max
+	// of that gauge.
+	const burst = 1000
+	var inHandler, maxInHandler, ran atomic.Int64
+	release := make(chan struct{})
+	b.Handle("burst", func(parcel.NodeID, []byte) ([]byte, error) {
+		cur := inHandler.Add(1)
+		for {
+			prev := maxInHandler.Load()
+			if cur <= prev || maxInHandler.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		<-release
+		inHandler.Add(-1)
+		ran.Add(1)
+		return nil, nil
+	})
+	for i := 0; i < burst; i++ {
+		if err := a.Send("pb", "burst", []byte{1}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Let the burst land and the pool saturate.
+	deadline := time.Now().Add(5 * time.Second)
+	for inHandler.Load() < window {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool reached %d concurrent handlers, want %d", inHandler.Load(), window)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // give an unbounded bug time to blow past the window
+	if got := maxInHandler.Load(); got > window {
+		t.Fatalf("burst ran %d handlers concurrently, want <= %d (Config.Window)", got, window)
+	}
+	close(release)
+	deadline = time.Now().Add(10 * time.Second)
+	for ran.Load() != burst {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d burst frames ran after release", ran.Load(), burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := maxInHandler.Load(); got > window {
+		t.Fatalf("pool exceeded its bound after release: %d > %d", got, window)
+	}
+}
+
+func TestHandlerPoolStillAnswersCallsWhileSaturated(t *testing.T) {
+	// With every pool worker parked in a blocked handler, a Call from the
+	// saturated side must still complete: replies resolve inline on the
+	// read loop, never through the pool.
+	a, b := newPair(t) // default window
+	block := make(chan struct{})
+	defer close(block)
+	b.Handle("park", func(parcel.NodeID, []byte) ([]byte, error) { <-block; return nil, nil })
+	a.Handle("echo", func(_ parcel.NodeID, body []byte) ([]byte, error) { return body, nil })
+	for i := 0; i < 256; i++ { // default Window
+		if err := a.Send("b", "park", nil); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		reply, err := b.Call("a", "echo", []byte("hi"))
+		if err == nil && string(reply) != "hi" {
+			err = errors.New("bad echo: " + string(reply))
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("call while saturated: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("call from saturated node never completed — reply stuck behind the pool")
+	}
+}
+
+func TestInjectedPartitionFailsTraffic(t *testing.T) {
+	a, b := newPair(t)
+	b.Handle("m", func(parcel.NodeID, []byte) ([]byte, error) { return []byte("ok"), nil })
+	fl := parcel.NewFaults(5)
+	a.InjectFaults(fl)
+	fl.Partition("a", "b")
+	if _, err := a.Call("b", "m", nil); !errors.Is(err, parcel.ErrUnknownPeer) {
+		t.Fatalf("call across injected partition: %v, want ErrUnknownPeer family", err)
+	}
+	if err := a.Send("b", "m", nil); !errors.Is(err, parcel.ErrPartitioned) {
+		t.Fatalf("send across injected partition: %v, want ErrPartitioned", err)
+	}
+	fl.Heal("a", "b")
+	if reply, err := a.Call("b", "m", nil); err != nil || string(reply) != "ok" {
+		t.Fatalf("call after heal = %q, %v", reply, err)
+	}
+}

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/litlx"
+	"repro/internal/parcel"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// recoveryPair boots two nodes on a faulted fabric with per-node config
+// tweaks, registers a single-stage tenant whose handler the test
+// supplies, and joins them.
+func recoveryPair(t *testing.T, handler serve.Handler, tweak func(i int, cfg *Config)) (*parcel.Faults, []*Node, []*Pipeline) {
+	t.Helper()
+	fabric := parcel.NewFabric()
+	faults := parcel.NewFaults(7)
+	fabric.Inject(faults)
+	nodes := make([]*Node, 2)
+	pipes := make([]*Pipeline, 2)
+	for i := range nodes {
+		cfg := Config{
+			Transport: fabric.Node(parcel.NodeID(fmt.Sprintf("rp%d", i))),
+			System:    litlx.Config{Locales: 8, WorkersPerLocale: 2, Seed: uint64(i) + 1},
+			Serve:     serve.Config{Shards: 8, QueueDepth: 1024},
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		t.Cleanup(node.Close)
+		nodes[i] = node
+		tn, err := node.RegisterTenant(TenantConfig{
+			Serve: serve.TenantConfig{Name: "rt", Handler: handler},
+		})
+		if err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		p, err := tn.NewPipeline(PipelineConfig{
+			Name:   "p",
+			Stages: []serve.Stage{{Name: "s", Handler: handler}},
+		})
+		if err != nil {
+			t.Fatalf("pipeline: %v", err)
+		}
+		pipes[i] = p
+	}
+	if err := nodes[1].Join(nodes[0].Transport().Addr()); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	return faults, nodes, pipes
+}
+
+// keyOwnedBy finds a routing key whose stage-0 owner is the given node.
+func keyOwnedBy(n *Node, p *Pipeline, owner parcel.NodeID) uint64 {
+	for k := uint64(1); ; k++ {
+		if o, _ := n.ownerOf(p.t.hash, k); o == owner {
+			return k
+		}
+	}
+}
+
+// TestRecoveryExecutorDiesMidStage kills the executor while a shipped
+// flow is running on it: the detector evicts it and the recovery timer
+// re-routes, so Ticket.Wait returns instead of hanging.
+func TestRecoveryExecutorDiesMidStage(t *testing.T) {
+	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
+		time.Sleep(30 * time.Millisecond)
+		return req.Payload, nil
+	}
+	faults, nodes, pipes := recoveryPair(t, handler, func(i int, cfg *Config) {
+		cfg.Detect = DetectConfig{Every: 5 * time.Millisecond, Misses: 2}
+		cfg.Recover = RecoverConfig{FlowTimeout: 50 * time.Millisecond, MaxAttempts: 3}
+	})
+	key := keyOwnedBy(nodes[0], pipes[0], nodes[1].Self())
+	tk, err := pipes[0].Submit(serve.Request{Key: key, Payload: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the stage parcel land on the victim
+	faults.Crash(nodes[1].Self())
+
+	done := make(chan serve.Result, 1)
+	go func() { done <- tk.Wait() }()
+	select {
+	case r := <-done:
+		if r.Status != serve.StatusOK {
+			t.Fatalf("recovered flow resolved %v (err %v), want OK via local re-execution", r.Status, r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Ticket.Wait hung after executor death — recovery never resolved the flow")
+	}
+	if rf := nodes[0].Stats().RecoveredFlows; rf == 0 {
+		t.Fatal("flow resolved without a recovery firing — test raced; RecoveredFlows is 0")
+	}
+}
+
+// TestZombieCompletionDroppedByEpoch re-routes a flow away from a slow
+// (but alive) executor, then lets the original attempt finish: its
+// completion carries the old flow epoch and must be dropped, counted in
+// StaleCompletions, while the re-routed attempt resolves the flow
+// exactly once.
+func TestZombieCompletionDroppedByEpoch(t *testing.T) {
+	var calls atomic.Int32
+	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
+		switch calls.Add(1) {
+		case 1:
+			time.Sleep(50 * time.Millisecond) // the zombie attempt
+		case 2:
+			time.Sleep(150 * time.Millisecond) // the winner, after the zombie lands
+		}
+		return req.Payload, nil
+	}
+	_, nodes, pipes := recoveryPair(t, handler, func(i int, cfg *Config) {
+		cfg.Recover = RecoverConfig{FlowTimeout: -1} // timers off: the test fires recovery itself
+	})
+	key := keyOwnedBy(nodes[0], pipes[0], nodes[1].Self())
+	var resolved atomic.Int32
+	var status atomic.Int32
+	if err := pipes[0].SubmitFunc(serve.Request{Key: key, Payload: 1}, func(r serve.Result) {
+		resolved.Add(1)
+		status.Store(int32(r.Status))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond) // attempt 1 is executing on n1
+	nodes[0].recoverFlow(1)           // epoch 1: re-route (still to n1: alive, just slow)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for resolved.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flow never resolved")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let any duplicate land
+	if got := resolved.Load(); got != 1 {
+		t.Fatalf("flow resolved %d times, want exactly 1", got)
+	}
+	if serve.Status(status.Load()) != serve.StatusOK {
+		t.Fatalf("flow resolved %v, want OK from the epoch-1 attempt", serve.Status(status.Load()))
+	}
+	if sc := nodes[0].Stats().StaleCompletions; sc != 1 {
+		t.Fatalf("StaleCompletions = %d, want 1 (the zombie attempt's completion)", sc)
+	}
+}
+
+// TestCompletionRacesRecoveryTimer runs the handler latency right at
+// the recovery timeout so completions and recovery firings race
+// constantly; every flow must still resolve exactly once.
+func TestCompletionRacesRecoveryTimer(t *testing.T) {
+	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
+		time.Sleep(10 * time.Millisecond)
+		return req.Payload, nil
+	}
+	_, nodes, pipes := recoveryPair(t, handler, func(i int, cfg *Config) {
+		cfg.Recover = RecoverConfig{FlowTimeout: 10 * time.Millisecond, MaxAttempts: 8}
+	})
+	_ = nodes
+	const flows = 64
+	resolved := make([]atomic.Int32, flows)
+	done := make(chan int, flows)
+	submitted := 0
+	for i := 0; i < flows; i++ {
+		slot := &resolved[i]
+		i := i
+		if err := pipes[0].SubmitFunc(serve.Request{Key: splitmix64(uint64(i)), Payload: i},
+			func(serve.Result) {
+				if slot.Add(1) == 1 {
+					done <- i
+				}
+			}); err != nil {
+			t.Fatal(err)
+		}
+		submitted++
+	}
+	for got := 0; got < submitted; got++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("only %d/%d flows resolved", got, submitted)
+		}
+	}
+	time.Sleep(100 * time.Millisecond) // let duplicates land before counting
+	for i := range resolved {
+		if c := resolved[i].Load(); c != 1 {
+			t.Fatalf("flow %d resolved %d times, want exactly 1", i, c)
+		}
+	}
+}
+
+// TestTicketWaitReturnsOnPartitionedOrigin cuts the origin off from the
+// executor right after shipping. The completion cannot return; the
+// recovery timer must resolve the flow — by local re-execution within
+// the deadline, or by shedding at the deadline — but Wait never hangs.
+func TestTicketWaitReturnsOnPartitionedOrigin(t *testing.T) {
+	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
+		return req.Payload, nil
+	}
+	run := func(t *testing.T, flowTimeout time.Duration, wantStatus serve.Status) {
+		faults, nodes, pipes := recoveryPair(t, handler, func(i int, cfg *Config) {
+			cfg.Recover = RecoverConfig{FlowTimeout: flowTimeout, MaxAttempts: 2}
+		})
+		key := keyOwnedBy(nodes[0], pipes[0], nodes[1].Self())
+		deadline := time.Now().Add(300 * time.Millisecond)
+		tk, err := pipes[0].Submit(serve.Request{Key: key, Payload: 1, Deadline: deadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults.Partition(nodes[0].Self(), nodes[1].Self())
+		done := make(chan serve.Result, 1)
+		go func() { done <- tk.Wait() }()
+		select {
+		case r := <-done:
+			if r.Status != wantStatus {
+				t.Fatalf("flow resolved %v (err %v), want %v", r.Status, r.Err, wantStatus)
+			}
+			if late := time.Since(deadline); late > time.Second {
+				t.Fatalf("flow resolved %v after its deadline", late)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Ticket.Wait hung across the partition")
+		}
+	}
+	// Recovery fires well before the deadline: the flow re-executes at
+	// the origin and completes OK.
+	t.Run("recovers-locally", func(t *testing.T) { run(t, 50*time.Millisecond, serve.StatusOK) })
+	// Recovery would fire after the deadline, so the timer clips to the
+	// deadline and resolves the flow shed instead of retrying.
+	t.Run("sheds-at-deadline", func(t *testing.T) { run(t, 10*time.Second, serve.StatusShed) })
+}
+
+// TestDetectorEvictsAndTraces crashes one member of three and checks
+// the survivors converge on a two-node ring, count the eviction, and
+// record it as a KindAdapt trace event under flow id 0.
+func TestDetectorEvictsAndTraces(t *testing.T) {
+	fabric := parcel.NewFabric()
+	faults := parcel.NewFaults(11)
+	fabric.Inject(faults)
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		node, err := NewNode(Config{
+			Transport:  fabric.Node(parcel.NodeID(fmt.Sprintf("de%d", i))),
+			System:     litlx.Config{Locales: 8, WorkersPerLocale: 1, Seed: uint64(i) + 1},
+			Serve:      serve.Config{Shards: 8},
+			Detect:     DetectConfig{Every: 5 * time.Millisecond, Misses: 2},
+			TraceFlows: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Close)
+		nodes[i] = node
+	}
+	for i := 1; i < 3; i++ {
+		if err := nodes[i].Join(nodes[0].Transport().Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := waitMembers(nodes, 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	faults.Crash(nodes[2].Self())
+	if err := waitMembers(nodes[:2], 2, 5*time.Second); err != nil {
+		t.Fatalf("survivors never converged after the crash: %v", err)
+	}
+	if ev := nodes[0].Stats().Evictions + nodes[1].Stats().Evictions; ev < 1 {
+		t.Fatalf("no survivor counted an eviction (total %d)", ev)
+	}
+	// At least one survivor self-detected (rather than installing the
+	// other's broadcast) and traced the eviction under flow id 0.
+	adaptTraced := false
+	for _, n := range nodes[:2] {
+		for _, ev := range n.FlowEvents(n.Self(), 0) {
+			if ev.Kind == trace.KindAdapt {
+				adaptTraced = true
+			}
+		}
+	}
+	if !adaptTraced {
+		t.Fatal("eviction left no KindAdapt trace event on any survivor")
+	}
+}
+
+// TestInjectedClockShedsDeadlinedStage pins the executor's clock past
+// every deadline: any stage parcel with a deadline must come back shed,
+// proving the stage-deadline check reads the node's clock, not the wall.
+func TestInjectedClockShedsDeadlinedStage(t *testing.T) {
+	handler := func(_ *serve.Ctx, req serve.Request) (any, error) {
+		return req.Payload, nil
+	}
+	farFuture := time.Now().Add(24 * time.Hour)
+	_, nodes, pipes := recoveryPair(t, handler, func(i int, cfg *Config) {
+		if i == 1 {
+			cfg.Clock = func() time.Time { return farFuture }
+		}
+	})
+	key := keyOwnedBy(nodes[0], pipes[0], nodes[1].Self())
+	tk, err := pipes[0].Submit(serve.Request{Key: key, Payload: 1, Deadline: time.Now().Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tk.Wait(); r.Status != serve.StatusShed {
+		t.Fatalf("stage under a future-pinned clock resolved %v, want StatusShed", r.Status)
+	}
+}
+
+// TestAutoHomeRoundRobinSkipsExplicitHomes is the regression test for
+// the placement bug where AutoHome used the global's slice index — so
+// explicitly-homed entries advanced the round-robin and AutoHome
+// objects skipped locales and piled up unevenly.
+func TestAutoHomeRoundRobinSkipsExplicitHomes(t *testing.T) {
+	fabric := parcel.NewFabric()
+	node, err := NewNode(Config{
+		Transport: fabric.Node("ah0"),
+		System:    litlx.Config{Locales: 4, WorkersPerLocale: 1, Seed: 1},
+		Serve:     serve.Config{Shards: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	tn, err := node.RegisterTenant(TenantConfig{
+		Serve: serve.TenantConfig{Name: "ah", Handler: func(_ *serve.Ctx, req serve.Request) (any, error) { return req.Payload, nil }},
+		Globals: []GlobalObject{
+			{Name: "explicit", Size: 8, Home: 2},
+			{Name: "a0", Size: 8, Home: serve.AutoHome},
+			{Name: "a1", Size: 8, Home: serve.AutoHome},
+			{Name: "a2", Size: 8, Home: serve.AutoHome},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"explicit": 2, "a0": 0, "a1": 1, "a2": 2}
+	for name, home := range want {
+		if got := tn.globals[name].Home; got != home {
+			t.Errorf("global %q homed at %d, want %d (AutoHome must round-robin over AutoHome entries only)",
+				name, got, home)
+		}
+	}
+}
+
+// TestKillNodeScenarioInvariants runs the full chaos scenario at
+// replication factors 1 and 2 and asserts the failure-domain contract.
+func TestKillNodeScenarioInvariants(t *testing.T) {
+	for _, replicas := range []int{1, 2} {
+		replicas := replicas
+		t.Run(fmt.Sprintf("replicas-%d", replicas), func(t *testing.T) {
+			rep, err := KillNodeScenario(KillNodeConfig{Seed: 42, Replicas: replicas})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("report: %+v", rep)
+			if rep.Unresolved != 0 {
+				t.Errorf("%d flows never resolved — a Ticket.Wait hung on node death", rep.Unresolved)
+			}
+			if rep.DoubleResolves != 0 {
+				t.Errorf("%d flows resolved more than once", rep.DoubleResolves)
+			}
+			if rep.MembersAfter != rep.MembersBefore-1 {
+				t.Errorf("members %d -> %d, want the victim evicted exactly", rep.MembersBefore, rep.MembersAfter)
+			}
+			if rep.Evictions < 1 {
+				t.Error("no survivor counted an eviction")
+			}
+			if rep.RehomedObjects == 0 {
+				t.Error("no globals re-homed off the dead arc")
+			}
+			if replicas >= 2 && rep.RehomePromotions == 0 {
+				t.Error("replication factor 2 produced no free replica promotions")
+			}
+		})
+	}
+}

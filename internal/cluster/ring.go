@@ -74,6 +74,30 @@ func (r *Ring) Owner(locale int) (parcel.NodeID, bool) {
 	return r.cuts[i].id, true
 }
 
+// OwnersFor returns the replica set for a locale: its owner plus the
+// next r-1 distinct nodes clockwise around the ring — the classic
+// consistent-hashing successor placement, so a node's death promotes
+// its ring successor to primary for the whole lost arc. Fewer than r
+// members returns them all, primary first.
+func (r *Ring) OwnersFor(locale, n int) []parcel.NodeID {
+	if len(r.cuts) == 0 || n < 1 {
+		return nil
+	}
+	p := r.point(locale % r.locales)
+	i := sort.Search(len(r.cuts), func(i int) bool { return r.cuts[i].pos >= p })
+	if i == len(r.cuts) {
+		i = 0
+	}
+	if n > len(r.cuts) {
+		n = len(r.cuts)
+	}
+	out := make([]parcel.NodeID, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, r.cuts[(i+k)%len(r.cuts)].id)
+	}
+	return out
+}
+
 // Owned returns the locales the node owns, in ascending order — a
 // contiguous range of the locale space (wrapping at the top).
 func (r *Ring) Owned(id parcel.NodeID) []int {

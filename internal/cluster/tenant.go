@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mem"
 	"repro/internal/parcel"
 	"repro/internal/serve"
 )
@@ -40,6 +41,11 @@ type TenantConfig struct {
 	Serve serve.TenantConfig
 	// Globals declares the tenant's cluster-wide objects.
 	Globals []GlobalObject
+	// Replicas is how many nodes hold each global — the primary (the
+	// owner of its home locale) plus Replicas-1 ring successors that
+	// pre-warm a copy, so a primary's death promotes a replica instead
+	// of re-fetching. Default 1 (no replication).
+	Replicas int
 }
 
 // Tenant is the cluster handle for one registered traffic source.
@@ -49,7 +55,12 @@ type Tenant struct {
 	name     string
 	hash     uint64
 	codeSize int
+	replicas int
 	globals  map[string]GlobalObject
+	// objIDs are the globals' entries in the node-local mem.Space
+	// directory, homed at their global locale — the handle replication
+	// and re-homing act on.
+	objIDs map[string]mem.ObjID
 
 	// resident tracks what this node already holds, single-flight: the
 	// first stage needing an image or object fetches it, concurrent
@@ -68,6 +79,7 @@ type fetchState struct {
 func (n *Node) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 	seen := make(map[string]bool, len(cfg.Globals))
 	globals := make(map[string]GlobalObject, len(cfg.Globals))
+	auto := 0 // round-robin counter over AutoHome globals only
 	for i, g := range cfg.Globals {
 		if g.Name == "" {
 			return nil, fmt.Errorf("cluster: tenant %q global %d has no name", cfg.Serve.Name, i)
@@ -77,13 +89,20 @@ func (n *Node) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 		}
 		seen[g.Name] = true
 		if g.Home == serve.AutoHome {
-			g.Home = i % n.locales
+			// Round-robin over the AutoHome entries themselves — counting
+			// explicitly-homed globals into the stride would skip locales
+			// and pile AutoHome objects onto the same ones.
+			g.Home = auto % n.locales
+			auto++
 		}
 		if g.Home < 0 || g.Home >= n.locales {
 			return nil, fmt.Errorf("cluster: tenant %q global %q homed at locale %d, have %d locales",
 				cfg.Serve.Name, g.Name, g.Home, n.locales)
 		}
 		globals[g.Name] = g
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
 	}
 	st, err := n.srv.RegisterTenant(cfg.Serve)
 	if err != nil {
@@ -95,12 +114,18 @@ func (n *Node) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 		name:     cfg.Serve.Name,
 		hash:     fnv64(cfg.Serve.Name),
 		codeSize: cfg.Serve.CodeSize,
+		replicas: cfg.Replicas,
 		globals:  globals,
+		objIDs:   make(map[string]mem.ObjID, len(globals)),
 		resident: make(map[string]*fetchState),
+	}
+	for name, g := range globals {
+		t.objIDs[name] = n.sys.Space.Alloc(mem.Locale(g.Home), g.Size)
 	}
 	n.tenantsMu.Lock()
 	n.tenants[t.name] = t
 	n.tenantsMu.Unlock()
+	t.syncReplicas()
 	return t, nil
 }
 
@@ -200,6 +225,106 @@ func (n *Node) handleFetchCode(_ parcel.NodeID, body []byte) ([]byte, error) {
 		return nil, fmt.Errorf("cluster: node %s has no tenant %q", n.self, fm.Tenant)
 	}
 	return make([]byte, t.codeSize), nil
+}
+
+// syncReplicas re-derives this node's replica duties from the current
+// ring: for every global whose replica set (the home's owner plus the
+// next Replicas-1 ring successors) includes this node, a copy is
+// installed in the local directory and the bytes pre-warmed from the
+// primary — so the primary's death later promotes a valid replica
+// instead of paying a fetch. Runs on every membership change; already-
+// resident entries make it idempotent and cheap.
+func (t *Tenant) syncReplicas() {
+	n := t.n
+	if t.replicas < 2 {
+		return
+	}
+	ring := n.Ring()
+	owned := ring.Owned(n.self)
+	for name, g := range t.globals {
+		owners := ring.OwnersFor(g.Home, t.replicas)
+		self := -1
+		for i, id := range owners {
+			if id == n.self {
+				self = i
+				break
+			}
+		}
+		if self <= 0 {
+			continue // primary (resident by definition) or not in the set
+		}
+		if len(owned) > 0 {
+			n.sys.Space.Replicate(t.objIDs[name], mem.Locale(owned[0]))
+		}
+		body, err := encode(fetchMsg{Tenant: t.name, Object: name})
+		if err != nil {
+			continue
+		}
+		primary := owners[0]
+		_ = t.fetchOnce("obj/"+name, &n.objectFetches, func() (int, error) {
+			reply, err := n.t.Call(primary, "cluster.fetch", body)
+			return len(reply), err
+		})
+	}
+}
+
+// syncReplicas re-syncs every tenant's replica placement (membership
+// changes call this off the protocol goroutine).
+func (n *Node) syncReplicas() {
+	if n.closed.Load() {
+		return
+	}
+	n.tenantsMu.RLock()
+	tenants := make([]*Tenant, 0, len(n.tenants))
+	for _, t := range n.tenants {
+		tenants = append(tenants, t)
+	}
+	n.tenantsMu.RUnlock()
+	for _, t := range tenants {
+		t.syncReplicas()
+	}
+}
+
+// recoverGlobals runs at a member's death: every global whose home
+// locale the dead node owned and this node now owns is taken over —
+// counted as re-homed, its bytes made resident from a pre-warmed
+// replica (free) or fetched from any surviving member (all members
+// register the same tenants, so any of them serves the fetch).
+func (t *Tenant) recoverGlobals(dead parcel.NodeID, oldRing, newRing *Ring) {
+	n := t.n
+	for name, g := range t.globals {
+		was, _ := oldRing.Owner(g.Home)
+		now, _ := newRing.Owner(g.Home)
+		if was != dead || now != n.self {
+			continue
+		}
+		n.rehomedObjects.Add(1)
+		body, err := encode(fetchMsg{Tenant: t.name, Object: name})
+		if err != nil {
+			continue
+		}
+		src := t.anySurvivor(dead)
+		if src == "" {
+			// No peer left to fetch from: resident by fiat (we are the
+			// whole cluster now).
+			_ = t.fetchOnce("obj/"+name, nil, nil)
+			continue
+		}
+		_ = t.fetchOnce("obj/"+name, &n.objectFetches, func() (int, error) {
+			reply, err := n.t.Call(src, "cluster.fetch", body)
+			return len(reply), err
+		})
+	}
+}
+
+// anySurvivor picks a member other than self and the dead node.
+func (t *Tenant) anySurvivor(dead parcel.NodeID) parcel.NodeID {
+	for _, id := range t.n.Members() {
+		if id != t.n.self && id != dead {
+			return id
+		}
+	}
+	return ""
 }
 
 // handleFetch serves one global object to a percolating peer.

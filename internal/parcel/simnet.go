@@ -46,8 +46,8 @@ type SimNet struct {
 // block is one percolatable unit — a handler's code image or a named
 // data working set — with its residency and in-flight transfer state.
 type block struct {
-	home       int // node the block initially lives on
-	size       int // bytes
+	home       int             // node the block initially lives on
+	size       int             // bytes
 	resident   map[int]bool    // nodes holding a copy
 	installing map[int]*c64.WG // in-flight transfers, single-flighted
 	transfers  int             // completed network crossings

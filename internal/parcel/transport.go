@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the node-to-node transport abstraction under the cluster
@@ -71,14 +72,23 @@ type Transport interface {
 // network or the wall clock — the deterministic twin the cluster
 // scenarios replay on.
 type Fabric struct {
-	mu    sync.RWMutex
-	nodes map[NodeID]*InProc
+	mu     sync.RWMutex
+	nodes  map[NodeID]*InProc
+	faults atomic.Pointer[Faults]
 }
 
 // NewFabric creates an empty in-process fabric.
 func NewFabric() *Fabric {
 	return &Fabric{nodes: make(map[NodeID]*InProc)}
 }
+
+// Inject attaches a fault injector consulted by every delivery on the
+// fabric (nil detaches). Failure scenarios install one before killing
+// nodes; the normal path pays one atomic load.
+func (f *Fabric) Inject(fl *Faults) { f.faults.Store(fl) }
+
+// Faults returns the currently attached injector (nil when none).
+func (f *Fabric) Faults() *Faults { return f.faults.Load() }
 
 // Node creates (or returns) the in-process transport for id.
 func (f *Fabric) Node(id NodeID) *InProc {
@@ -165,21 +175,43 @@ func (n *InProc) dest(id NodeID) (*InProc, error) {
 }
 
 // Send delivers a one-way parcel on a fresh goroutine (handler errors
-// are dropped, as on a real wire).
+// are dropped, as on a real wire). Injected faults apply: a partition
+// or crash fails the send, a drop loses it silently after it "left",
+// and a delay postpones delivery.
 func (n *InProc) Send(dest NodeID, method string, body []byte) error {
 	d, err := n.dest(dest)
 	if err != nil {
 		return err
 	}
-	go func() { _, _ = n.deliver(d, method, body) }()
+	fl := n.fabric.Faults()
+	if fl.Blocked(n.id, dest) {
+		return fmt.Errorf("%w: %s", ErrPartitioned, dest)
+	}
+	if fl.DropSend() {
+		return nil // lost on the wire: the sender cannot tell
+	}
+	delay := fl.SendDelay()
+	go func() {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if fl.Blocked(n.id, dest) {
+			return // partitioned mid-flight: the parcel dies on the wire
+		}
+		_, _ = n.deliver(d, method, body)
+	}()
 	return nil
 }
 
 // Call runs the destination handler synchronously and returns its reply.
+// A partition or crash between the endpoints fails the call.
 func (n *InProc) Call(dest NodeID, method string, body []byte) ([]byte, error) {
 	d, err := n.dest(dest)
 	if err != nil {
 		return nil, err
+	}
+	if n.fabric.Faults().Blocked(n.id, dest) {
+		return nil, fmt.Errorf("%w: %s", ErrPartitioned, dest)
 	}
 	n.calls.Add(1)
 	reply, err := n.deliver(d, method, body)
