@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/monitor"
@@ -31,9 +32,18 @@ type Runtime struct {
 	stopped bool
 	wg      sync.WaitGroup
 
-	nextLGT int64
-	nextSGT int64
-	rr      int64 // round-robin cursor for external submissions
+	// Thread ids are atomic, not mutex-guarded: id assignment sits on
+	// every spawn path, including the serve layer's per-batch detached
+	// spawns, and must not contend with the quiescence lock.
+	nextLGT atomic.Int64
+	nextSGT atomic.Int64
+	rr      atomic.Int64 // round-robin cursor for external submissions
+
+	// sgtPool recycles detached SGTs (GoAtDetached): a batch-spawn-heavy
+	// caller reuses activation records instead of allocating one per
+	// spawn. Only detached SGTs enter the pool — joinable SGTs escape to
+	// their Done cells and are never recycled.
+	sgtPool sync.Pool
 }
 
 // NewRuntime builds and starts a runtime.
@@ -159,10 +169,7 @@ func (rt *Runtime) submit(s *SGT, from *worker) {
 	} else {
 		// Round-robin across the home locale's workers.
 		base := s.locale * rt.cfg.WorkersPerLocale
-		rt.mu.Lock()
-		idx := int(rt.rr) % rt.cfg.WorkersPerLocale
-		rt.rr++
-		rt.mu.Unlock()
+		idx := int(uint64(rt.rr.Add(1)-1) % uint64(rt.cfg.WorkersPerLocale))
 		target = rt.workers[base+idx]
 	}
 	target.push(s)

@@ -27,10 +27,7 @@ func (rt *Runtime) SpawnLGT(locale int, fn func(*LGT)) *LGT {
 	if locale < 0 || locale >= rt.cfg.Locales {
 		panic("core: LGT spawn at invalid locale")
 	}
-	rt.mu.Lock()
-	rt.nextLGT++
-	id := rt.nextLGT
-	rt.mu.Unlock()
+	id := rt.nextLGT.Add(1)
 	l := &LGT{
 		rt:     rt,
 		id:     id,
@@ -88,6 +85,13 @@ func (l *LGT) Go(fn func(*SGT)) *SGT {
 // GoFramed spawns an SGT homed at the LGT's locale with frame storage.
 func (l *LGT) GoFramed(frameSize int, fn func(*SGT)) *SGT {
 	return l.rt.GoAt(l.locale, frameSize, fn)
+}
+
+// GoDetached spawns a pooled fire-and-forget SGT homed at the LGT's
+// locale — the allocation-free spawn for callers that never join (see
+// Runtime.GoAtDetached for the retention contract).
+func (l *LGT) GoDetached(fn func(*SGT, any), arg any) {
+	l.rt.GoAtDetached(l.locale, 0, fn, arg)
 }
 
 // Done returns the completion cell of the LGT.

@@ -17,7 +17,15 @@ type SGT struct {
 	id     int64
 	locale int // home locale (used for submission and locality stats)
 	main   func(*SGT)
-	frame  []byte
+	// mainA/arg are the closure-free main form used by detached spawns
+	// (GoAtDetached): a static function plus one argument value, so a
+	// spawn-per-batch caller allocates neither a closure nor an SGT.
+	mainA func(*SGT, any)
+	arg   any
+	frame []byte
+	// detached marks a pooled SGT (GoAtDetached): it has no Done cell
+	// and is recycled into the runtime's pool the moment it completes.
+	detached bool
 
 	mu          sync.Mutex
 	worker      *worker  // executing worker, while running
@@ -28,8 +36,8 @@ type SGT struct {
 	completed   bool
 
 	execLocale int // locale of the worker that last ran it
-	done       *syncx.Cell[struct{}]
-	failure    interface{} // first panic value from main or a fiber
+	done       *syncx.Cell[struct{}] // nil for detached SGTs
+	failure    interface{}           // first panic value from main or a fiber
 }
 
 // newSGT builds an SGT homed at locale with the given frame size.
@@ -37,13 +45,9 @@ func (rt *Runtime) newSGT(locale int, frameSize int, fn func(*SGT)) *SGT {
 	if locale < 0 || locale >= rt.cfg.Locales {
 		panic("core: SGT spawn at invalid locale")
 	}
-	rt.mu.Lock()
-	rt.nextSGT++
-	id := rt.nextSGT
-	rt.mu.Unlock()
 	s := &SGT{
 		rt:         rt,
-		id:         id,
+		id:         rt.nextSGT.Add(1),
 		locale:     locale,
 		main:       fn,
 		execLocale: locale,
@@ -71,6 +75,39 @@ func (rt *Runtime) GoAt(locale, frameSize int, fn func(*SGT)) *SGT {
 	rt.tracer.Emit(locale, trace.Event{Kind: trace.KindThreadSpawn, Locale: locale, Arg: s.id})
 	rt.submit(s, nil)
 	return s
+}
+
+// GoAtDetached spawns a detached SGT at the given locale: fn(s, arg)
+// runs once like a main function, but the activation is fire-and-forget
+// — it has no Done cell (nothing to join on) and its record is recycled
+// through an internal pool the moment it completes. This is the
+// steady-state-allocation-free spawn: a static fn plus a caller-owned
+// arg means no closure, and pooling means no SGT allocation. The
+// contract is strict: the caller must not retain s past fn's return,
+// and fn must not create fibers that outlive the activation.
+func (rt *Runtime) GoAtDetached(locale, frameSize int, fn func(*SGT, any), arg any) {
+	if locale < 0 || locale >= rt.cfg.Locales {
+		panic("core: SGT spawn at invalid locale")
+	}
+	s, _ := rt.sgtPool.Get().(*SGT)
+	if s == nil {
+		s = &SGT{}
+	}
+	s.rt = rt
+	s.id = rt.nextSGT.Add(1)
+	s.locale = locale
+	s.execLocale = locale
+	s.mainA = fn
+	s.arg = arg
+	s.detached = true
+	s.scheduled = true
+	if frameSize > 0 {
+		s.frame = rt.arena.Get(frameSize)
+	}
+	rt.taskStarted()
+	rt.mon.Counter("core.sgt.spawn").Inc()
+	rt.tracer.Emit(locale, trace.Event{Kind: trace.KindThreadSpawn, Locale: locale, Arg: s.id})
+	rt.submit(s, nil)
 }
 
 // Spawn creates a child SGT at the same locale, submitted to the
@@ -122,7 +159,8 @@ func (s *SGT) Frame() []byte { return s.frame }
 func (s *SGT) Runtime() *Runtime { return s.rt }
 
 // Done returns a cell filled when the SGT (including all its fibers)
-// has completed; Join on it with Wait or chain with OnFull.
+// has completed; Join on it with Wait or chain with OnFull. Nil for
+// detached SGTs (GoAtDetached), which cannot be joined.
 func (s *SGT) Done() *syncx.Cell[struct{}] { return s.done }
 
 // Join blocks the calling goroutine until other completes. Calling it
@@ -144,6 +182,8 @@ func (s *SGT) execute(w *worker) {
 		s.rt.tracer.Emit(w.id, trace.Event{Kind: trace.KindThreadStart, Locale: w.locale, Arg: s.id})
 		if s.main != nil {
 			s.runGuarded(func() { s.main(s) })
+		} else if s.mainA != nil {
+			s.runGuarded(func() { s.mainA(s, s.arg) })
 		}
 	}
 	for {
@@ -202,14 +242,44 @@ func (s *SGT) Failure() interface{} {
 
 // finish releases resources and signals completion.
 func (s *SGT) finish() {
+	rt := s.rt
 	if s.frame != nil {
-		s.rt.arena.Put(s.frame)
+		rt.arena.Put(s.frame)
 		s.frame = nil
 	}
-	s.rt.mon.Counter("core.sgt.done").Inc()
-	s.rt.tracer.Emit(s.locale, trace.Event{Kind: trace.KindThreadEnd, Locale: s.locale, Arg: s.id})
-	s.done.Put(struct{}{})
-	s.rt.taskFinished()
+	rt.mon.Counter("core.sgt.done").Inc()
+	rt.tracer.Emit(s.locale, trace.Event{Kind: trace.KindThreadEnd, Locale: s.locale, Arg: s.id})
+	if s.done != nil {
+		s.done.Put(struct{}{})
+	}
+	if s.detached {
+		// Detached SGTs recycle immediately: nothing can hold a reference
+		// past completion (no Done cell, and the spawn contract forbids
+		// retaining s), so the record is safe to reuse.
+		s.recycle(rt)
+	}
+	rt.taskFinished()
+}
+
+// recycle zeroes a detached SGT and returns it to the runtime pool.
+// Every field resets so no tenant of one generation leaks into the next.
+func (s *SGT) recycle(rt *Runtime) {
+	s.rt = nil
+	s.id = 0
+	s.locale = 0
+	s.main = nil
+	s.mainA = nil
+	s.arg = nil
+	s.detached = false
+	s.worker = nil
+	s.ready = s.ready[:0]
+	s.outstanding = 0
+	s.mainDone = false
+	s.scheduled = false
+	s.completed = false
+	s.execLocale = 0
+	s.failure = nil
+	rt.sgtPool.Put(s)
 }
 
 // enqueueFiber is called when a fiber's sync slot fires: the fiber

@@ -33,7 +33,10 @@ type outcome[T any] struct {
 // Future is a placeholder for a value of type T being computed
 // elsewhere, or for the error that computation failed with.
 type Future[T any] struct {
-	cell *syncx.Cell[outcome[T]]
+	// cell is embedded by value (a Cell's zero value is an empty cell),
+	// so creating a future is one allocation, not two — the difference
+	// shows on paths that mint futures per request, like SubmitFlow.
+	cell syncx.Cell[outcome[T]]
 	rt   *core.Runtime
 	// home is the locale the value is produced at. It is atomic because
 	// All re-homes its combined future at resolution time (to the
@@ -43,10 +46,21 @@ type Future[T any] struct {
 }
 
 func newFuture[T any](rt *core.Runtime, home int) *Future[T] {
-	f := &Future[T]{cell: syncx.NewCell[outcome[T]](), rt: rt}
+	f := &Future[T]{rt: rt}
 	f.home.Store(int32(home))
 	return f
 }
+
+// Pending returns an empty future resolved later with Resolve — the
+// allocation-light Promise form for callers that manage resolution
+// themselves (one allocation; Promise/PromiseErr add a resolver
+// closure).
+func Pending[T any](rt *core.Runtime) *Future[T] { return newFuture[T](rt, 0) }
+
+// Resolve fills the future with v, or fails it when err is non-nil.
+// Exactly one resolution (Resolve or a Promise resolver) may ever
+// happen; a second panics, preserving the cell's write-once semantics.
+func (f *Future[T]) Resolve(v T, err error) { f.cell.Put(outcome[T]{val: v, err: err}) }
 
 // Spawn eagerly starts fn as an SGT at the given locale and returns the
 // future of its result.

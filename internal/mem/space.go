@@ -107,6 +107,11 @@ type Space struct {
 	ReplicateAfter int64
 	remoteReads    map[ObjID]map[Locale]int64
 
+	// homeScratch is MajorityHome's count buffer for machines past its
+	// stack buffer (32 locales). Guarded by mu; touched entries are
+	// re-zeroed after each use so the read path never allocates.
+	homeScratch []int32
+
 	stats SpaceStats
 }
 
@@ -220,11 +225,17 @@ func (s *Space) MajorityHome(ids []ObjID) (home Locale, ok bool) {
 	}
 	var buf [32]int32
 	counts := buf[:]
-	if s.locales > len(buf) {
-		counts = make([]int32, s.locales)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	big := s.locales > len(buf)
+	if big {
+		// Wide machines count in a lock-guarded scratch slice instead of
+		// allocating per call; only the touched entries are cleared after.
+		if cap(s.homeScratch) < s.locales {
+			s.homeScratch = make([]int32, s.locales)
+		}
+		counts = s.homeScratch[:s.locales]
+	}
 	best, bestN := Locale(0), int32(0)
 	for _, id := range ids {
 		h := s.get(id).home
@@ -233,7 +244,35 @@ func (s *Space) MajorityHome(ids []ObjID) (home Locale, ok bool) {
 			best, bestN = h, counts[h]
 		}
 	}
+	if big {
+		for _, id := range ids {
+			counts[s.get(id).home] = 0
+		}
+	}
 	return best, true
+}
+
+// AllValidAt reports whether every id has a valid copy (or its home) at
+// loc, under one lock acquisition — the batch form of HasValidReplica
+// for read paths that must not pay a lock round trip per object, like
+// the rebalancer's data-residency gate. Allocation-free. True for an
+// empty set.
+func (s *Space) AllValidAt(ids []ObjID, loc Locale) bool {
+	if len(ids) == 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		o := s.get(id)
+		if o.home == loc {
+			continue
+		}
+		if v, ok := o.replicas[loc]; !ok || v != o.version {
+			return false
+		}
+	}
+	return true
 }
 
 // HasValidReplica reports whether loc holds a current copy of id

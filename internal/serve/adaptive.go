@@ -308,7 +308,13 @@ func (s *Server) adaptOnce() {
 		s.obs.adapt(ctl, 0,
 			fmt.Sprintf("overload shed level %d -> %d (wait ewma %.0fus)", prevLevel, cur, wait))
 	}
-	pending := make([]int, len(s.shards))
+	// The pending snapshot and steal scratch are hoisted onto the server
+	// (adaptOnce runs only on the control loop): the common nothing-to-do
+	// tick allocates nothing.
+	if cap(s.pendingBuf) < len(s.shards) {
+		s.pendingBuf = make([]int, len(s.shards))
+	}
+	pending := s.pendingBuf[:len(s.shards)]
 	for i, sh := range s.shards {
 		pending[i] = sh.pending()
 	}
@@ -319,7 +325,7 @@ func (s *Server) adaptOnce() {
 	}
 	moved := 0
 	for _, p := range s.load.Plan(pending) {
-		n := stealJobs(s.shards[p.From], s.shards[p.To], p.Count)
+		n := stealJobsInto(s.shards[p.From], s.shards[p.To], p.Count, &s.stealSc)
 		moved += n
 		if n > 0 && s.obs != nil {
 			s.obs.adapt(ctl, s.shards[p.To].locale,

@@ -97,11 +97,17 @@ func stealTenant(hash uint64, shards int, resident bool) *Tenant {
 }
 
 func queueKeys(sh *shard) []uint64 {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	keys := make([]uint64, len(sh.q))
-	for i, j := range sh.q {
-		keys[i] = j.req.Key
+	r := &sh.ring
+	r.consMu.Lock()
+	defer r.consMu.Unlock()
+	var keys []uint64
+	h, t := r.head.Load(), r.tail.Load()
+	for p := h; p < t; p++ {
+		c := &r.cells[p&r.mask]
+		if c.seq.Load() != p+1 {
+			break // unpublished gap: prefix ends here
+		}
+		keys = append(keys, c.job.req.Key)
 	}
 	return keys
 }

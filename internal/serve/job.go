@@ -125,12 +125,25 @@ type Result struct {
 }
 
 // Job is one admitted unit of work, queued on a shard until a
-// dispatcher drains it.
+// dispatcher drains it. Job records are pooled (shard.newJob /
+// Server.releaseJob): finishJob routes the Result through exactly one
+// of the completion forms below, then zeroes the record and recycles
+// it, so the steady-state request path allocates no Job and leaks no
+// field between generations.
 type Job struct {
 	tenant   *Tenant
 	req      Request // Deadline already defaulted; zero means none
 	enqueued time.Time
-	done     func(Result) // invoked exactly once, on the executing SGT
+	// Exactly one completion form is set per job; finishJob dispatches
+	// on it. done is the plain single-submit callback; doneMany+doneIdx
+	// carry a burst's shared indexed callback (so a SubmitMany needs no
+	// closure per request); elemFut is a fan-out element's result future
+	// (resolved directly, no closure). Flow stage jobs with none of
+	// these route through flow/stage to Pipeline.complete.
+	done     func(Result)
+	doneMany func(int, Result)
+	doneIdx  int32
+	elemFut  *future.Future[Result]
 	// stage is the compiled pipeline stage this job executes — the
 	// tenant's solo stage for plain submits, a Pipeline stage for flow
 	// jobs. It carries the handler and the per-stage instruments. Nil
@@ -182,18 +195,17 @@ func (j *Job) dataResidentAt(loc mem.Locale) bool {
 	if s == nil || s.space == nil {
 		return true
 	}
-	for _, id := range j.req.WorkingSet {
-		if !s.space.HasValidReplica(id, loc) {
-			return false
-		}
-	}
-	return true
+	// One lock acquisition for the whole set, no allocation — this sits
+	// inside the rebalancer's per-candidate loop.
+	return s.space.AllValidAt(j.req.WorkingSet, loc)
 }
 
 // Ticket follows a submitted request — or a submitted flow — to
 // completion.
 type Ticket struct {
-	cell *syncx.Cell[Result]
+	// cell is embedded by value (a Cell's zero value is an empty cell):
+	// a ticket is one allocation, not two.
+	cell syncx.Cell[Result]
 	// stages holds the per-stage result futures of a flow ticket
 	// (Tenant.SubmitFlow); nil for single submits, whose one "stage" is
 	// the final result itself.

@@ -25,6 +25,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,7 +33,6 @@ import (
 	"repro/internal/future"
 	"repro/internal/mem"
 	"repro/internal/monitor"
-	"repro/internal/syncx"
 	"repro/internal/trace"
 )
 
@@ -221,6 +221,14 @@ func (p *Pipeline) StageStats() []StageStats {
 // flowState is one in-flight flow: the pipeline-scoped routing key,
 // deadline, and priority every stage inherits, the per-stage result
 // futures, and the done-exactly-once terminal guard.
+//
+// Flow states are pooled. Reclamation is refcounted: the count starts
+// at 1 (the terminal reference, dropped by finish/finishOK/finishRemote
+// after the done callback) and each live stage job holds one more
+// (taken at job creation, dropped by releaseJob). The state recycles
+// only when both are gone, so a straggling shed element of an
+// already-failed fan-out can never touch a reused flow. The futs slice
+// is NOT pooled — it escapes to the submitter (Ticket.StageFuture).
 type flowState struct {
 	p        *Pipeline
 	key      uint64
@@ -229,11 +237,66 @@ type flowState struct {
 	enqueued time.Time
 	done     func(Result)
 	finished atomic.Bool
+	refs     atomic.Int32
 	futs     []*future.Future[Result]
-	resolve  []func(Result, error)
 	// ft is the flow's sampled trace context (nil when unsampled);
 	// every stage job of the flow shares it.
 	ft *FlowTrace
+}
+
+var flowPool sync.Pool
+
+func newFlowState() *flowState {
+	fl, _ := flowPool.Get().(*flowState)
+	if fl == nil {
+		fl = &flowState{}
+	}
+	fl.refs.Store(1) // the terminal reference
+	return fl
+}
+
+func (fl *flowState) ref() { fl.refs.Add(1) }
+
+// unref drops one reference; the last one zeroes the state field by
+// field (the atomics forbid a struct assignment) and recycles it.
+func (fl *flowState) unref() {
+	if fl.refs.Add(-1) != 0 {
+		return
+	}
+	fl.p = nil
+	fl.key = 0
+	fl.deadline = time.Time{}
+	fl.priority = 0
+	fl.enqueued = time.Time{}
+	fl.done = nil
+	fl.finished.Store(false)
+	fl.futs = nil
+	fl.ft = nil
+	flowPool.Put(fl)
+}
+
+// stageHop carries one scalar stage hand-off to its destination locale:
+// the pooled argument of the detached hop SGT, so advancing a flow
+// spawns without a closure or activation allocation.
+type stageHop struct {
+	p   *Pipeline
+	fl  *flowState
+	st  *pipeStage
+	sh  *shard
+	req Request
+}
+
+var hopPool sync.Pool
+
+// runStageHop is the detached hop SGT's main. The flow cannot have
+// finished before the hop lands (a scalar flow's only live path is this
+// one, and the terminal reference is still held), so fl is valid here.
+func runStageHop(_ *core.SGT, a any) {
+	h := a.(*stageHop)
+	p, fl, st, sh, req := h.p, h.fl, h.st, h.sh, h.req
+	*h = stageHop{}
+	hopPool.Put(h)
+	p.submitStage(fl, st, sh, req)
 }
 
 // SubmitFlow admits one flow through the pipeline and returns a ticket
@@ -246,12 +309,13 @@ type flowState struct {
 // partially admitted fan-out cannot be unwound — surface as a
 // StatusRejected final result instead.
 func (t *Tenant) SubmitFlow(p *Pipeline, req Request) (*Ticket, error) {
-	cell := syncx.NewCell[Result]()
-	futs, err := t.SubmitFlowFunc(p, req, func(r Result) { cell.Put(r) })
+	tk := &Ticket{}
+	futs, err := t.SubmitFlowFunc(p, req, func(r Result) { tk.cell.Put(r) })
 	if err != nil {
 		return nil, err
 	}
-	return &Ticket{cell: cell, stages: futs}, nil
+	tk.stages = futs
+	return tk, nil
 }
 
 // SubmitFlowFunc is SubmitFlow with a callback instead of a ticket:
@@ -269,28 +333,32 @@ func (t *Tenant) SubmitFlowFunc(p *Pipeline, req Request, done func(Result)) ([]
 	if req.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
 		req.Deadline = now.Add(s.cfg.DefaultDeadline)
 	}
-	fl := &flowState{
-		p: p, key: req.Key, deadline: req.Deadline, priority: req.Priority,
-		enqueued: now, done: done,
-	}
+	fl := newFlowState()
+	fl.p, fl.key, fl.deadline, fl.priority = p, req.Key, req.Deadline, req.Priority
+	fl.enqueued, fl.done = now, done
 	fl.ft = s.obs.sample(t, p, req.Key)
 	n := len(p.stages)
-	fl.futs = make([]*future.Future[Result], n)
-	fl.resolve = make([]func(Result, error), n)
 	rt := s.sys.RT
+	// The futures (and their slice) escape to the caller, so they are
+	// allocated fresh per flow; everything else on this path recycles.
+	// futs is captured locally because the flow may complete — and fl
+	// recycle — before this function returns.
+	futs := make([]*future.Future[Result], n)
 	for i := 0; i < n; i++ {
-		fl.futs[i], fl.resolve[i] = future.PromiseErr[Result](rt)
+		futs[i] = future.Pending[Result](rt)
 	}
+	fl.futs = futs
 	st := p.stages[0]
 	if st.fanout {
 		parts, ok := req.Payload.([]any)
 		if !ok {
+			fl.unref() // the flow never existed
 			return nil, fmt.Errorf("serve: pipeline %q stage %q fans out over []any, payload is %T",
 				p.name, st.name, req.Payload)
 		}
 		s.flowSub.Inc()
 		p.fanOut(fl, st, parts, &req)
-		return fl.futs, nil
+		return futs, nil
 	}
 	sreq := p.stageRequest(fl, st, req.Payload)
 	// Stage 0 has no previous output: the submitted request's own set
@@ -302,18 +370,21 @@ func (t *Tenant) SubmitFlowFunc(p *Pipeline, req Request, done func(Result)) ([]
 	if st.writes == nil {
 		sreq.WriteSet = req.WriteSet
 	}
-	j := &Job{tenant: t, req: sreq, enqueued: now, stage: st, flow: fl, ft: fl.ft,
-		done: func(r Result) { p.complete(fl, st, r) }}
+	sh := s.routeShard(t, &sreq)
+	j := sh.newJob()
+	j.tenant, j.req, j.enqueued, j.stage, j.flow, j.ft = t, sreq, now, st, fl, fl.ft
+	fl.ref()
 	// Count the flow before it can possibly complete; a refused stage 0
 	// means the flow never existed, so the count rolls back.
 	s.flowSub.Inc()
 	s.flowStages.Inc()
-	if err := s.admit(t, s.routeShard(t, &j.req), j); err != nil {
+	if err := s.admit(t, sh, j); err != nil {
 		s.flowSub.Add(-1)
 		s.flowStages.Add(-1)
-		return nil, err // nothing ran; the flow was never admitted
+		fl.unref() // terminal reference: nothing ran, the flow was never admitted
+		return nil, err
 	}
-	return fl.futs, nil
+	return futs, nil
 }
 
 // stageRequest derives one stage's admission request from its input
@@ -385,7 +456,7 @@ func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 	s := p.t.srv
 	next := p.stages[st.idx+1]
 	if next.fanout {
-		fl.resolve[st.idx](r, nil)
+		fl.futs[st.idx].Resolve(r, nil)
 		parts, ok := r.Value.([]any)
 		if !ok {
 			p.finish(fl, next.idx, Result{Status: StatusFailed,
@@ -399,15 +470,24 @@ func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 	// Resolve the producing stage before routing onward: a remote
 	// hand-off's completion parcel may race this shard, and the remote
 	// finisher only touches futures from next onward.
-	fl.resolve[st.idx](r, nil)
-	if rr := s.cfg.Remote; rr != nil &&
-		rr.ForwardStage(p.t, p, next.idx, r.Value, fl.key, fl.deadline, fl.priority,
+	fl.futs[st.idx].Resolve(r, nil)
+	if rr := s.cfg.Remote; rr != nil {
+		// Pin the flow before handing its finisher to the router: a
+		// remote completion parcel can arrive late, or twice (retry), so
+		// the closure must keep the state out of the pool forever — a
+		// flow that went remote is reclaimed by the GC, never recycled,
+		// and a duplicate finish lands on the finished guard, not on a
+		// reused record.
+		fl.ref()
+		if rr.ForwardStage(p.t, p, next.idx, r.Value, fl.key, fl.deadline, fl.priority,
 			func(final Result) { p.finishRemote(fl, next.idx, final) }) {
-		if fl.ft != nil {
-			fl.ft.add(trace.KindRemoteHop, 0, 0, spanArg(next.idx, 0),
-				fmt.Sprintf("%s -> %s (remote)", st.name, next.name))
+			if fl.ft != nil {
+				fl.ft.add(trace.KindRemoteHop, 0, 0, spanArg(next.idx, 0),
+					fmt.Sprintf("%s -> %s (remote)", st.name, next.name))
+			}
+			return
 		}
-		return
+		fl.unref() // declined: the router holds no finisher
 	}
 	req := p.stageRequest(fl, next, r.Value)
 	sh := s.routeShard(p.t, &req)
@@ -417,9 +497,18 @@ func (p *Pipeline) chain(fl *flowState, st *pipeStage, r Result) {
 		fl.ft.add(trace.KindStageHop, sh.id, sh.locale, spanArg(next.idx, 0),
 			fmt.Sprintf("%s -> %s", st.name, next.name))
 	}
-	fl.futs[st.idx].ThenSpawn(int(sh.locale), func(_ *core.SGT, _ Result) {
-		p.submitStage(fl, next, sh, req)
-	})
+	// The value just resolved right here, so there is nothing to wait
+	// on: ship the hand-off straight to the next stage's locale as a
+	// detached SGT with a pooled argument — no continuation buffering,
+	// no closure, no activation allocation. The terminal reference keeps
+	// fl alive across the hop (no other path can finish a scalar flow
+	// while its only hand-off is in flight).
+	h, _ := hopPool.Get().(*stageHop)
+	if h == nil {
+		h = &stageHop{}
+	}
+	h.p, h.fl, h.st, h.sh, h.req = p, fl, next, sh, req
+	s.sys.RT.GoAtDetached(int(sh.locale), 0, runStageHop, h)
 }
 
 // finishRemote terminates a flow whose remaining stages ran on another
@@ -439,7 +528,7 @@ func (p *Pipeline) finishRemote(fl *flowState, from int, r Result) {
 		ferr = r.Err
 	}
 	for i := from; i < len(p.stages); i++ {
-		fl.resolve[i](r, ferr)
+		fl.futs[i].Resolve(r, ferr)
 	}
 	switch r.Status {
 	case StatusOK:
@@ -453,6 +542,7 @@ func (p *Pipeline) finishRemote(fl *flowState, from int, r Result) {
 	}
 	s.obs.finishFlow(fl.ft, r.Status)
 	fl.done(r)
+	fl.unref() // terminal reference
 }
 
 // submitStage admits one scalar stage job at its routed shard; an
@@ -461,10 +551,13 @@ func (p *Pipeline) finishRemote(fl *flowState, from int, r Result) {
 // surface is the only honest one).
 func (p *Pipeline) submitStage(fl *flowState, st *pipeStage, sh *shard, req Request) {
 	s := p.t.srv
-	j := &Job{tenant: p.t, req: req, enqueued: time.Now(), stage: st, flow: fl, ft: fl.ft,
-		done: func(r Result) { p.complete(fl, st, r) }}
+	j := sh.newJob()
+	j.tenant, j.req, j.enqueued, j.stage, j.flow, j.ft = p.t, req, time.Now(), st, fl, fl.ft
+	fl.ref()
 	s.flowStages.Inc()
 	if err := s.admit(p.t, sh, j); err != nil {
+		// admit released the job (dropping its flow reference); the
+		// terminal reference still pins fl for the finish below.
 		s.flowStages.Add(-1)
 		p.finish(fl, st.idx, Result{Status: StatusRejected, Err: err})
 	}
@@ -488,10 +581,14 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 	}
 	rt := s.sys.RT
 	elems := make([]*future.Future[Result], len(parts))
-	resolvers := make([]func(Result, error), len(parts))
 	for i := range parts {
-		elems[i], resolvers[i] = future.PromiseErr[Result](rt)
+		elems[i] = future.Pending[Result](rt)
 	}
+	// Loop guard: the last element can resolve (and the join finish the
+	// flow) while this loop is still routing later rejections — hold a
+	// reference so fl cannot recycle under the loop's feet.
+	fl.ref()
+	defer fl.unref()
 	future.All(elems...).ThenErr(func(rs []Result, err error) { p.join(fl, st, rs, err) })
 	now := time.Now()
 	for i, part := range parts {
@@ -504,7 +601,6 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 				req.WriteSet = inherit.WriteSet
 			}
 		}
-		resolve := resolvers[i]
 		sh := s.routeShard(p.t, &req)
 		if fl.ft != nil {
 			// Per-element hop: each fan-out element routes independently,
@@ -512,29 +608,14 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 			fl.ft.add(trace.KindStageHop, sh.id, sh.locale, spanArg(st.idx, int32(i+1)),
 				fmt.Sprintf("%s fan-out [%d/%d]", st.name, i, len(parts)))
 		}
-		j := &Job{tenant: p.t, req: req, enqueued: now, stage: st, flow: fl,
-			ft: fl.ft, elem: int32(i + 1),
-			done: func(r Result) {
-				switch r.Status {
-				case StatusOK:
-					if st.done != nil {
-						st.done.Inc()
-					}
-					resolve(r, nil)
-				case StatusShed:
-					if st.shed != nil {
-						st.shed.Inc()
-					}
-					resolve(r, nil)
-				default:
-					if st.failed != nil {
-						st.failed.Inc()
-					}
-					// A failed element fails its future: the error rides
-					// the future error channel through All to the join.
-					resolve(r, r.Err)
-				}
-			}}
+		// The element's future rides on the job itself (finishJob
+		// resolves it — a failed element's error rides the future error
+		// channel through All to the join), so the fan-out admits N
+		// elements with zero closures.
+		j := sh.newJob()
+		j.tenant, j.req, j.enqueued, j.stage, j.flow = p.t, req, now, st, fl
+		j.ft, j.elem, j.elemFut = fl.ft, int32(i+1), elems[i]
+		fl.ref()
 		s.flowStages.Inc()
 		s.flowFan.Inc()
 		if err := s.admit(p.t, sh, j); err != nil {
@@ -543,7 +624,7 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 			if st.fanouts != nil {
 				st.fanouts.Add(-1)
 			}
-			resolve(Result{Status: StatusRejected, Err: err}, nil)
+			elems[i].Resolve(Result{Status: StatusRejected, Err: err}, nil)
 		}
 	}
 }
@@ -597,7 +678,7 @@ func (p *Pipeline) finish(fl *flowState, from int, r Result) {
 		ferr = r.Err
 	}
 	for i := from; i < len(p.stages); i++ {
-		fl.resolve[i](r, ferr)
+		fl.futs[i].Resolve(r, ferr)
 	}
 	switch r.Status {
 	case StatusShed:
@@ -609,6 +690,7 @@ func (p *Pipeline) finish(fl *flowState, from int, r Result) {
 	}
 	s.obs.finishFlow(fl.ft, r.Status)
 	fl.done(r)
+	fl.unref() // terminal reference
 }
 
 // finishOK completes a flow whose last stage succeeded: the final
@@ -619,11 +701,12 @@ func (p *Pipeline) finishOK(fl *flowState, r Result) {
 		return
 	}
 	s := p.t.srv
-	fl.resolve[len(p.stages)-1](r, nil)
+	fl.futs[len(p.stages)-1].Resolve(r, nil)
 	final := r
 	final.Priority = fl.priority
 	final.Total = time.Since(fl.enqueued)
 	s.flowDone.Inc()
 	s.obs.finishFlow(fl.ft, StatusOK)
 	fl.done(final)
+	fl.unref() // terminal reference
 }

@@ -12,6 +12,16 @@
 //     way parcels amortize round trips; Tenant.SubmitMany extends the
 //     same amortization up to admission, taking each destination shard
 //     lock once per burst;
+//   - allocation-free steady state — each shard's queue is a bounded
+//     MPSC ring (producers admit with one tail CAS and one slot
+//     publish, no lock; the dispatcher parks on a wakeup coalesced to
+//     the empty→non-empty transition and drains in batches), Job
+//     records and flow state recycle through pools at completion, a
+//     Ticket is one allocation with its result cell embedded, and
+//     dispatchers reuse their drain/batch buffers and take one coarse
+//     timestamp per batch — so a steady-state Submit allocates nothing
+//     (BENCH_serve.json pins the trajectory; scripts/bench_serve.sh
+//     -check gates it in CI);
 //   - backpressure and load shedding — full queues reject at admission
 //     and dispatchers shed requests whose deadline has already passed,
 //     so overload degrades by dropping rather than by collapsing;
@@ -74,7 +84,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/percolate"
-	"repro/internal/syncx"
 	"repro/internal/trace"
 )
 
@@ -206,6 +215,12 @@ type Server struct {
 	migrations, replications *monitor.Counter
 	quit                     chan struct{}
 	control                  sync.WaitGroup
+
+	// Rebalancer scratch: the control loop serializes adaptOnce, so its
+	// pending snapshot and the steal working memory are hoisted here —
+	// a tick that moves nothing allocates nothing.
+	pendingBuf []int
+	stealSc    stealScratch
 }
 
 // Tenant is the handle for one registered traffic source: its resolved
@@ -366,11 +381,11 @@ func (s *Server) Tenant(name string) (*Tenant, bool) {
 // (backpressure) and a closed server ErrClosed; the request never
 // queues in either case.
 func (t *Tenant) Submit(req Request) (*Ticket, error) {
-	cell := syncx.NewCell[Result]()
-	if err := t.SubmitFunc(req, func(r Result) { cell.Put(r) }); err != nil {
+	tk := &Ticket{}
+	if err := t.SubmitFunc(req, func(r Result) { tk.cell.Put(r) }); err != nil {
 		return nil, err
 	}
-	return &Ticket{cell: cell}, nil
+	return tk, nil
 }
 
 // SubmitFunc admits one request, invoking done exactly once — on the
@@ -389,19 +404,28 @@ func (t *Tenant) SubmitFunc(req Request, done func(Result)) error {
 	if req.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
 		req.Deadline = now.Add(s.cfg.DefaultDeadline)
 	}
-	j := &Job{tenant: t, req: req, enqueued: now, done: done, stage: t.solo.stages[0]}
+	sh := s.routeShard(t, &req)
+	j := sh.newJob()
+	j.tenant, j.req, j.enqueued, j.done, j.stage = t, req, now, done, t.solo.stages[0]
 	j.ft = s.obs.sample(t, t.solo, req.Key)
-	return s.admit(t, s.routeShard(t, &req), j)
+	return s.admit(t, sh, j)
 }
 
 // admit enqueues one prepared job at its routed shard, keeping the
 // admission accounting in one place for every submission surface —
-// single submits, bursts, and pipeline stage jobs alike.
+// single submits, bursts, and pipeline stage jobs alike. On refusal
+// the job record is released back to the shard's pool (no completion
+// form fires); the caller owns any flow-level rollback.
 func (s *Server) admit(t *Tenant, sh *shard, j *Job) error {
+	// Capture what the success bookkeeping needs BEFORE enqueue: the
+	// moment the job enters the ring it is drainable, and by the time
+	// enqueue returns it may already have executed and been recycled.
+	ft, arg := j.ft, j.spanArg()
 	if !sh.enqueue(j) {
 		// Shards only refuse when full or shut; Close sets s.closed
 		// before shutting shards, so the flag distinguishes the two.
 		if s.closed.Load() {
+			s.releaseJob(sh, j)
 			return ErrClosed
 		}
 		t.rej.Inc()
@@ -412,13 +436,12 @@ func (s *Server) admit(t *Tenant, sh *shard, j *Job) error {
 				s.obs.finishFlow(j.ft, StatusRejected)
 			}
 		}
+		s.releaseJob(sh, j)
 		return ErrOverload
 	}
 	t.acc.Inc()
 	s.accepted.Inc()
-	if j.ft != nil {
-		j.ft.add(trace.KindAdmit, sh.id, sh.locale, j.spanArg(), "")
-	}
+	ft.add(trace.KindAdmit, sh.id, sh.locale, arg, "") // nil-safe
 	return nil
 }
 
@@ -431,10 +454,73 @@ func (s *Server) admit(t *Tenant, sh *shard, j *Job) error {
 func (t *Tenant) SubmitMany(reqs []Request) []*Ticket {
 	tickets := make([]*Ticket, len(reqs))
 	for i := range tickets {
-		tickets[i] = &Ticket{cell: syncx.NewCell[Result]()}
+		tickets[i] = &Ticket{}
 	}
 	t.SubmitManyFunc(reqs, func(i int, r Result) { tickets[i].cell.Put(r) })
 	return tickets
+}
+
+// manyScratch is SubmitManyFunc's reusable working memory: the routed
+// jobs, their destination shards, and the counting-sort scaffolding
+// that groups a burst into per-shard contiguous runs. Pooled package-
+// wide (submitters are arbitrary goroutines), so a steady stream of
+// bursts allocates nothing once the pool is warm.
+type manyScratch struct {
+	jobs    []*Job
+	home    []int32
+	counts  []int32
+	next    []int32
+	grouped []*Job
+	// fts/args mirror grouped: the trace context and span argument of
+	// each grouped job, captured BEFORE enqueueMany — an admitted job may
+	// execute and be recycled before the call returns, so the admit
+	// events must never read the Job again.
+	fts  []*FlowTrace
+	args []int64
+}
+
+var manyPool sync.Pool
+
+// release clears the job pointers (so the pool never pins a recycled
+// Job's next life) and returns the scratch.
+func (m *manyScratch) release() {
+	for i := range m.jobs {
+		m.jobs[i] = nil
+	}
+	for i := range m.grouped {
+		m.grouped[i] = nil
+		m.fts[i] = nil
+	}
+	manyPool.Put(m)
+}
+
+func getManyScratch(nreqs, nshards int) *manyScratch {
+	m, _ := manyPool.Get().(*manyScratch)
+	if m == nil {
+		m = &manyScratch{}
+	}
+	if cap(m.jobs) < nreqs {
+		m.jobs = make([]*Job, nreqs)
+		m.home = make([]int32, nreqs)
+		m.grouped = make([]*Job, nreqs)
+		m.fts = make([]*FlowTrace, nreqs)
+		m.args = make([]int64, nreqs)
+	}
+	m.jobs = m.jobs[:nreqs]
+	m.home = m.home[:nreqs]
+	m.grouped = m.grouped[:nreqs]
+	m.fts = m.fts[:nreqs]
+	m.args = m.args[:nreqs]
+	if cap(m.counts) < nshards {
+		m.counts = make([]int32, nshards)
+		m.next = make([]int32, nshards)
+	}
+	m.counts = m.counts[:nshards]
+	m.next = m.next[:nshards]
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	return m
 }
 
 // SubmitManyFunc is SubmitMany without the ticket allocations: done is
@@ -460,38 +546,41 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 	}
 	now := time.Now()
 	nshards := len(s.shards)
-	jobs := make([]*Job, len(reqs))
-	home := make([]int, len(reqs))
-	counts := make([]int, nshards)
+	m := getManyScratch(len(reqs), nshards)
+	defer m.release()
 	for i, r := range reqs {
 		if r.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
 			r.Deadline = now.Add(s.cfg.DefaultDeadline)
 		}
-		jobs[i] = &Job{tenant: t, req: r, enqueued: now, done: func(res Result) { done(i, res) }, stage: t.solo.stages[0]}
-		jobs[i].ft = s.obs.sample(t, t.solo, r.Key)
-		si := s.routeShard(t, &r).id
-		home[i] = si
-		counts[si]++
+		sh := s.routeShard(t, &r)
+		j := sh.newJob()
+		j.tenant, j.req, j.enqueued, j.stage = t, r, now, t.solo.stages[0]
+		j.doneMany, j.doneIdx = done, int32(i)
+		j.ft = s.obs.sample(t, t.solo, r.Key)
+		m.jobs[i] = j
+		m.home[i] = int32(sh.id)
+		m.counts[sh.id]++
 	}
 	// Scatter jobs into per-shard contiguous groups of one backing array.
-	offs := make([]int, nshards)
-	sum := 0
-	for si, c := range counts {
-		offs[si] = sum
+	sum := int32(0)
+	for si, c := range m.counts {
+		m.next[si] = sum
 		sum += c
 	}
-	grouped := make([]*Job, len(jobs))
-	next := append([]int(nil), offs...)
-	for i, j := range jobs {
-		grouped[next[home[i]]] = j
-		next[home[i]]++
+	for i, j := range m.jobs {
+		gi := m.next[m.home[i]]
+		m.grouped[gi] = j
+		m.fts[gi] = j.ft
+		m.args[gi] = j.spanArg()
+		m.next[m.home[i]]++
 	}
 	accepted := 0
 	for si := 0; si < nshards; si++ {
-		if counts[si] == 0 {
+		if m.counts[si] == 0 {
 			continue
 		}
-		g := grouped[offs[si] : offs[si]+counts[si]]
+		// After the scatter pass next[si] is one past the group's end.
+		g := m.grouped[m.next[si]-m.counts[si] : m.next[si]]
 		var acc int
 		if !s.closed.Load() {
 			acc = s.shards[si].enqueueMany(g)
@@ -501,11 +590,12 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 			t.acc.Add(int64(acc))
 			s.accepted.Add(int64(acc))
 			if s.obs != nil {
+				// Captured contexts, not the jobs: the admitted prefix may
+				// already be executing (or recycled) on its shard.
 				sh := s.shards[si]
-				for _, j := range g[:acc] {
-					if j.ft != nil {
-						j.ft.add(trace.KindAdmit, sh.id, sh.locale, j.spanArg(), "")
-					}
+				lo := int(m.next[si] - m.counts[si])
+				for gi := lo; gi < lo+acc; gi++ {
+					m.fts[gi].add(trace.KindAdmit, sh.id, sh.locale, m.args[gi], "") // nil-safe
 				}
 			}
 		}
@@ -522,13 +612,15 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 			t.rej.Add(int64(len(g) - acc))
 			s.rejected.Add(int64(len(g) - acc))
 		}
+		sh := s.shards[si]
 		for _, j := range g[acc:] {
 			if j.ft != nil {
-				sh := s.shards[si]
 				j.ft.add(trace.KindFail, sh.id, sh.locale, j.spanArg(), "admission refused: "+errv.Error())
 				s.obs.finishFlow(j.ft, StatusRejected)
 			}
-			j.done(Result{Status: StatusRejected, Err: errv, Priority: j.req.Priority})
+			idx, pri := int(j.doneIdx), j.req.Priority
+			s.releaseJob(sh, j)
+			done(idx, Result{Status: StatusRejected, Err: errv, Priority: pri})
 		}
 	}
 	return accepted
@@ -566,12 +658,16 @@ func (s *Server) SubmitFunc(tenantName string, key uint64, payload any, deadline
 // expired after draining — waiting for a batch slot, or behind a slow
 // sibling in the same batch — are shed here rather than run uselessly
 // late.
-func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
-	if !j.req.Deadline.IsZero() {
-		if now := time.Now(); now.After(j.req.Deadline) {
-			s.shed(sh, j, now, "deadline expired before execution")
-			return
-		}
+// now is the batch's coarse start timestamp: the deadline recheck and
+// the wait measurement share it, so a batch pays one clock read up
+// front plus one per job after its handler, instead of three per job.
+// ctx is the batch's reused execution context (per-job fields are
+// overwritten each call; handlers must not retain it past their return,
+// which was always the contract).
+func (s *Server) execute(sg *core.SGT, sh *shard, j *Job, ctx *Ctx, now time.Time) {
+	if !j.req.Deadline.IsZero() && now.After(j.req.Deadline) {
+		s.shed(sh, j, now, "deadline expired before execution")
+		return
 	}
 	t := j.tenant
 	if !t.resident[sh.id].Load() {
@@ -608,15 +704,15 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 	if j.stage != nil {
 		handler = j.stage.handler
 	}
-	start := time.Now()
-	res := Result{Wait: start.Sub(j.enqueued), Priority: j.req.Priority}
+	res := Result{Wait: now.Sub(j.enqueued), Priority: j.req.Priority}
 	waitUS := float64(res.Wait) / float64(time.Microsecond)
 	s.waitUS.Observe(waitUS)
 	t.waitUS.Observe(waitUS)
 	if j.ft != nil {
 		j.ft.add(trace.KindDispatch, sh.id, sh.locale, j.spanArg(), "")
 	}
-	ctx := &Ctx{sgt: sg, shard: sh.id, locale: sh.locale, tenant: t, deadline: j.req.Deadline}
+	ctx.tenant = t
+	ctx.deadline = j.req.Deadline
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -665,7 +761,71 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job) {
 			s.obs.finishFlow(j.ft, res.Status)
 		}
 	}
-	j.done(res)
+	s.finishJob(sh, j, res)
+}
+
+// finishJob delivers a job's Result through whichever completion form
+// the job carries, then recycles the record. Exactly one invocation per
+// job — the done-exactly-once guarantee now has a single exit point.
+// The record is released before user callbacks run where possible so a
+// callback that resubmits can reuse it immediately; flow paths release
+// after, because the flow's refcount (held per live job) must outlast
+// Pipeline.complete / the element resolution.
+func (s *Server) finishJob(sh *shard, j *Job, res Result) {
+	switch {
+	case j.elemFut != nil:
+		// Fan-out element: per-stage outcome counters, then resolve the
+		// element future — a failed element carries its error onto the
+		// future's error channel, riding future.All to the join.
+		st := j.stage
+		var ferr error
+		switch res.Status {
+		case StatusOK:
+			if st != nil && st.done != nil {
+				st.done.Inc()
+			}
+		case StatusShed:
+			if st != nil && st.shed != nil {
+				st.shed.Inc()
+			}
+		default:
+			if st != nil && st.failed != nil {
+				st.failed.Inc()
+			}
+			ferr = res.Err
+		}
+		fut := j.elemFut
+		fut.Resolve(res, ferr)
+		s.releaseJob(sh, j)
+	case j.flow != nil:
+		// Scalar stage job: the pipeline decides what happens next. The
+		// job's flow reference is dropped by releaseJob afterwards, so
+		// the flow state is pinned for the whole of complete.
+		fl, st := j.flow, j.stage
+		fl.p.complete(fl, st, res)
+		s.releaseJob(sh, j)
+	case j.doneMany != nil:
+		dm, idx := j.doneMany, int(j.doneIdx)
+		s.releaseJob(sh, j)
+		dm(idx, res)
+	default:
+		d := j.done
+		s.releaseJob(sh, j)
+		d(res)
+	}
+}
+
+// releaseJob zeroes a job record and returns it to the shard's pool
+// (the executing shard's — a stolen job recycles where it ran). The
+// flow reference is dropped only after the record is cleared, so a
+// recycled job can never resolve a stale ticket or pin a dead flow.
+func (s *Server) releaseJob(sh *shard, j *Job) {
+	fl := j.flow
+	*j = Job{}
+	sh.jobs.Put(j)
+	if fl != nil {
+		fl.unref()
+	}
 }
 
 // shed completes an expired job without running its handler. cause is
@@ -684,7 +844,7 @@ func (s *Server) shed(sh *shard, j *Job, now time.Time, cause string) {
 		}
 	}
 	age := now.Sub(j.enqueued)
-	j.done(Result{Status: StatusShed, Wait: age, Total: age, Priority: j.req.Priority})
+	s.finishJob(sh, j, Result{Status: StatusShed, Wait: age, Total: age, Priority: j.req.Priority})
 }
 
 // shedLow sheds a job the overload controller dropped for its priority:

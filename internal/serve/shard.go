@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -11,21 +12,22 @@ import (
 	"repro/internal/trace"
 )
 
-// shard is one admission queue: a bounded FIFO guarded by its own lock,
+// shard is one admission queue: a bounded MPSC ring (see ring.go)
 // drained by one dedicated dispatcher LGT pinned to the shard's locale.
 // Jobs hash onto shards by (tenant, key) — or, for requests declaring a
 // working set under locality routing, onto a shard at the set's
 // majority home locale — so the admission hot path touches exactly one
-// shard lock and never anything global.
+// shard ring and never anything global, and never a lock at all on the
+// producer side.
 type shard struct {
 	id     int
 	locale mem.Locale // where the dispatcher LGT and its batch SGTs run
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []*Job
-	cap    int
-	shut   bool
+	ring   jobRing
 	ctrl   *batchController // nil unless Config.Adapt is enabled
+	// jobs recycles this shard's Job records: admission takes one from
+	// here, finishJob zeroes and returns it, so the steady-state submit
+	// path allocates nothing.
+	jobs sync.Pool
 	// Always-on drain instruments (atomic, alloc-free): the queue depth
 	// seen at each drain and the size of each dispatched batch. They
 	// feed Server.Snapshot's per-shard histograms.
@@ -33,98 +35,94 @@ type shard struct {
 }
 
 func newShard(id, depth int) *shard {
-	sh := &shard{id: id, cap: depth, q: make([]*Job, 0, depth)}
-	sh.cond = sync.NewCond(&sh.mu)
+	sh := &shard{id: id}
+	sh.ring.init(depth)
 	return sh
+}
+
+// newJob takes a recycled Job record (or a fresh one while the pool
+// warms up). Fields are zero on return — releaseJob clears them.
+func (sh *shard) newJob() *Job {
+	j, _ := sh.jobs.Get().(*Job)
+	if j == nil {
+		j = &Job{}
+	}
+	return j
 }
 
 // enqueue admits j, or refuses when the queue is at capacity or the
 // server is closing (backpressure: the caller sheds at admission rather
 // than queueing unboundedly).
-func (sh *shard) enqueue(j *Job) bool {
-	sh.mu.Lock()
-	if sh.shut || len(sh.q) >= sh.cap {
-		sh.mu.Unlock()
-		return false
-	}
-	sh.q = append(sh.q, j)
-	if len(sh.q) == 1 {
-		sh.cond.Signal()
-	}
-	sh.mu.Unlock()
-	return true
-}
+func (sh *shard) enqueue(j *Job) bool { return sh.ring.push(j) }
+
+// enqueueMany admits as many of jobs as fit in one ring reservation and
+// returns the accepted prefix length (0 when shut). This is the burst
+// analogue of enqueue: a SubmitMany call pays each destination shard's
+// tail CAS once, not once per request, and wakes its dispatcher at most
+// once — exactly on the empty→non-empty transition.
+func (sh *shard) enqueueMany(jobs []*Job) int { return sh.ring.pushMany(jobs) }
 
 // drain blocks until at least one job is queued, then removes and
 // returns up to max jobs in admission order, along with the queue depth
 // observed before the cut (the batch controller's feedback signal). It
-// returns ok=false once the shard is shut and empty.
+// returns ok=false once the shard is shut and empty. Only the
+// dispatcher calls drain.
 func (sh *shard) drain(max int, buf []*Job) (batch []*Job, depth int, ok bool) {
-	sh.mu.Lock()
-	for len(sh.q) == 0 && !sh.shut {
-		sh.cond.Wait()
+	r := &sh.ring
+	for {
+		r.consMu.Lock()
+		batch, depth = r.popMany(max, buf)
+		r.consMu.Unlock()
+		if len(batch) > 0 {
+			return batch, depth, true
+		}
+		h := r.head.Load()
+		if h != r.tail.Load() {
+			// Reserved but unpublished head slot: its producer is between
+			// CAS and publish and saw a non-empty ring, so it will not
+			// signal. Parking here would sleep forever on a ready job —
+			// spin through the gap instead (publish is two stores away).
+			runtime.Gosched()
+			continue
+		}
+		if r.shut.Load() {
+			if r.inflight.Load() != 0 {
+				runtime.Gosched() // a last producer may still publish
+				continue
+			}
+			if r.head.Load() == r.tail.Load() {
+				return buf, 0, false
+			}
+			continue
+		}
+		r.park()
 	}
-	if len(sh.q) == 0 {
-		sh.mu.Unlock()
-		return buf, 0, false
-	}
-	depth = len(sh.q)
-	n := depth
-	if n > max {
-		n = max
-	}
-	buf = append(buf, sh.q[:n]...)
-	rest := copy(sh.q, sh.q[n:])
-	for i := rest; i < len(sh.q); i++ {
-		sh.q[i] = nil
-	}
-	sh.q = sh.q[:rest]
-	sh.mu.Unlock()
-	return buf, depth, true
 }
 
 // pending returns the current queue depth — the rebalancer's per-shard
 // load signal.
-func (sh *shard) pending() int {
-	sh.mu.Lock()
-	n := len(sh.q)
-	sh.mu.Unlock()
-	return n
+func (sh *shard) pending() int { return sh.ring.pending() }
+
+// shutdown stops admission and wakes the dispatcher so it can drain the
+// tail and exit.
+func (sh *shard) shutdown() { sh.ring.shutdown() }
+
+// stealScratch is the rebalancer's reusable working memory for
+// stealJobsInto: sibling counts and candidate positions. The control
+// loop serializes rebalance ticks, so one instance per server suffices
+// and a tick that moves nothing allocates nothing.
+type stealScratch struct {
+	siblings map[uint64]int
+	pos      []uint64
 }
 
-// enqueueMany admits as many of jobs as fit under one lock acquisition
-// and returns the accepted prefix length (0 when shut). This is the
-// burst analogue of enqueue: a SubmitMany call pays each destination
-// shard's lock once, not once per request.
-func (sh *shard) enqueueMany(jobs []*Job) int {
-	sh.mu.Lock()
-	if sh.shut {
-		sh.mu.Unlock()
-		return 0
-	}
-	n := sh.cap - len(sh.q)
-	if n > len(jobs) {
-		n = len(jobs)
-	}
-	if n > 0 {
-		if len(sh.q) == 0 {
-			sh.cond.Signal()
-		}
-		sh.q = append(sh.q, jobs[:n]...)
-	}
-	sh.mu.Unlock()
-	return n
+// stealJobs is the scratch-less form for tests and one-off callers.
+func stealJobs(src, dst *shard, want int) int {
+	var sc stealScratch
+	return stealJobsInto(src, dst, want, &sc)
 }
 
-// shutdown wakes the dispatcher so it can drain the tail and exit.
-func (sh *shard) shutdown() {
-	sh.mu.Lock()
-	sh.shut = true
-	sh.cond.Broadcast()
-	sh.mu.Unlock()
-}
-
-// stealJobs moves up to want queued jobs from src's queue onto dst —
+// stealJobsInto moves up to want queued jobs from src's ring onto dst —
 // the rebalancer's work-migration primitive (the serving analogue of
 // the paper's dynamic load adaptation). Two invariants bound what may
 // move:
@@ -144,86 +142,187 @@ func (sh *shard) shutdown() {
 //     remote data accesses.
 //
 // Among candidates the newest move first: the oldest jobs keep their
-// head-of-queue position on their home shard. Locks are taken in shard-
-// id order, so concurrent steals cannot deadlock. Returns the number of
-// jobs moved.
-func stealJobs(src, dst *shard, want int) int {
+// head-of-queue position on their home shard.
+//
+// Locking: only src's consumer lock is held. Insertion into dst rides
+// the ordinary producer protocol (reserve, publish), and it happens
+// BEFORE removal from src — the two-phase order under src.consMu means
+// a job is never in two rings at once and never lost: dst slots are
+// reserved first, and only the jobs that got slots leave src. Removal
+// compacts the surviving jobs toward the newer end of src's consumed
+// window (descending copy, preserving relative order) and frees the
+// oldest positions. Returns the number of jobs moved.
+func stealJobsInto(src, dst *shard, want int, sc *stealScratch) int {
 	if src == dst || want <= 0 {
 		return 0
 	}
-	a, b := src, dst
-	if b.id < a.id {
-		a, b = b, a
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if src.shut || dst.shut || len(src.q) == 0 {
+	// Early-outs before any scratch work: an idle source, a full or shut
+	// destination — the common no-op tick must not touch the maps.
+	if src.ring.pending() == 0 || dst.ring.pending() >= int(dst.ring.limit) ||
+		src.ring.shut.Load() || dst.ring.shut.Load() {
 		return 0
 	}
-	if room := dst.cap - len(dst.q); want > room {
-		want = room
+	src.ring.consMu.Lock()
+	defer src.ring.consMu.Unlock()
+	r := &src.ring
+	h := r.head.Load()
+	t := r.tail.Load()
+	// Only the published contiguous prefix is stealable; a gap means a
+	// producer is mid-publish and everything past it stays put this tick.
+	n := uint64(0)
+	for h+n < t {
+		if r.cells[(h+n)&r.mask].seq.Load() != h+n+1 {
+			break
+		}
+		n++
 	}
-	if want <= 0 {
+	if n == 0 {
 		return 0
 	}
-	siblings := make(map[uint64]int, len(src.q))
-	for _, j := range src.q {
-		siblings[j.routeHash()]++
+	if sc.siblings == nil {
+		sc.siblings = make(map[uint64]int, n)
+	} else {
+		clear(sc.siblings)
 	}
-	idx := make([]int, 0, len(src.q))
-	for i, j := range src.q {
-		if siblings[j.routeHash()] == 1 && j.tenant.residentAt(dst.id) && j.dataResidentAt(dst.locale) {
-			idx = append(idx, i)
+	for p := h; p < h+n; p++ {
+		sc.siblings[r.cells[p&r.mask].job.routeHash()]++
+	}
+	sc.pos = sc.pos[:0]
+	for p := h; p < h+n; p++ {
+		j := r.cells[p&r.mask].job
+		if sc.siblings[j.routeHash()] == 1 && j.tenant.residentAt(dst.id) && j.dataResidentAt(dst.locale) {
+			sc.pos = append(sc.pos, p)
 		}
 	}
-	if len(idx) > want {
-		idx = idx[len(idx)-want:]
+	if len(sc.pos) > want {
+		sc.pos = sc.pos[len(sc.pos)-want:]
 	}
-	if len(idx) == 0 {
+	if len(sc.pos) == 0 {
 		return 0
 	}
-	if len(dst.q) == 0 {
-		dst.cond.Signal()
+	// Phase 1: reserve destination slots. Only as many jobs leave src as
+	// dst actually granted — the newest among the candidates win, same
+	// as the want clamp.
+	if !dst.ring.begin() {
+		return 0
 	}
-	take := make(map[int]bool, len(idx))
-	for _, i := range idx {
-		take[i] = true
+	k, dpos, wasEmpty := dst.ring.reserve(len(sc.pos))
+	if k == 0 {
+		dst.ring.end()
+		return 0
 	}
-	kept := src.q[:0]
-	for i, j := range src.q {
-		if take[i] {
-			dst.q = append(dst.q, j)
-			// Per-stage steal accounting: pipeline stage jobs record the
-			// move on their stage and in the server's flow aggregate.
-			if j.stage != nil && j.stage.steals != nil {
-				j.stage.steals.Inc()
-			}
-			if j.flow != nil {
-				j.tenant.srv.flowSteals.Inc()
-			}
-			if j.ft != nil {
-				j.ft.add(trace.KindSteal, dst.id, dst.locale, j.spanArg(),
-					fmt.Sprintf("stolen: shard %d -> %d", src.id, dst.id))
-			}
+	taken := sc.pos[len(sc.pos)-k:]
+	for i, p := range taken {
+		j := r.cells[p&r.mask].job
+		// Steal accounting strictly BEFORE publish: the instant the job
+		// is published to dst it is drainable there, and the destination
+		// dispatcher may execute and recycle it while this loop is still
+		// running — after publish the job must never be touched again.
+		if j.stage != nil && j.stage.steals != nil {
+			j.stage.steals.Inc()
+		}
+		if j.flow != nil {
+			j.tenant.srv.flowSteals.Inc()
+		}
+		if j.ft != nil {
+			j.ft.add(trace.KindSteal, dst.id, dst.locale, j.spanArg(),
+				fmt.Sprintf("stolen: shard %d -> %d", src.id, dst.id))
+		}
+		dst.ring.publish(dpos+uint64(i), j)
+	}
+	dst.ring.end()
+	// Phase 2: compact src. Walk the window newest-first, sliding every
+	// kept job toward the newer end; the slots are all published, so
+	// moving payloads between them under consMu is invisible to
+	// producers (which never touch published slots) and to the
+	// dispatcher (excluded by consMu). Relative order of kept jobs is
+	// preserved.
+	ti := len(taken) - 1
+	w := h + n - 1
+	for p := h + n; p > h; p-- {
+		cur := p - 1
+		if ti >= 0 && taken[ti] == cur {
+			ti--
 			continue
 		}
-		kept = append(kept, j)
+		if w != cur {
+			r.cells[w&r.mask].job = r.cells[cur&r.mask].job
+		}
+		w--
 	}
-	for i := len(kept); i < len(src.q); i++ {
-		src.q[i] = nil
+	// Free the k oldest positions and advance head past them.
+	size := r.mask + 1
+	for p := h; p < h+uint64(k); p++ {
+		c := &r.cells[p&r.mask]
+		c.job = nil
+		c.seq.Store(p + size)
 	}
-	src.q = kept
-	return len(idx)
+	r.head.Store(h + uint64(k))
+	if wasEmpty {
+		dst.ring.signal()
+	}
+	return k
+}
+
+// batchRun is one in-flight batch: the job set, the reused per-batch
+// execution context, and the route back to its dispatcher's pool. The
+// pool channel holds exactly InflightBatches of these per shard, so
+// acquiring one doubles as the in-flight token the old dispatch took —
+// execution falling behind still backs jobs up into the bounded ring
+// rather than an unbounded SGT pile.
+type batchRun struct {
+	srv  *Server
+	sh   *shard
+	jobs []*Job
+	ctx  Ctx
+	pool chan *batchRun
+}
+
+// runBatch is the batch SGT main — a static function with its argument
+// carried by the detached-SGT arg slot, so dispatching a batch spawns
+// without a closure allocation.
+func runBatch(sg *core.SGT, a any) {
+	br := a.(*batchRun)
+	s, sh := br.srv, br.sh
+	// Service time starts when the batch SGT runs, not at drain:
+	// including the wait for a batch buffer would inflate the histogram
+	// under saturation and gate batch growth exactly when a deep backlog
+	// calls for it. This is also the batch's one coarse timestamp: every
+	// job's deadline recheck and wait measurement reuses it instead of
+	// paying a clock read per job.
+	start := time.Now()
+	defer func() {
+		s.inflight.Done()
+		br.ctx.sgt = nil
+		br.ctx.tenant = nil
+		br.ctx.deadline = time.Time{}
+		for i := range br.jobs {
+			br.jobs[i] = nil
+		}
+		br.jobs = br.jobs[:0]
+		br.pool <- br
+	}()
+	br.ctx.sgt = sg
+	// Stage the batch's working set into this locale before any job
+	// runs: one transfer per object per batch, amortized the same way
+	// the batch amortizes spawns.
+	s.stageBatch(sh, br.jobs)
+	for _, j := range br.jobs {
+		s.execute(sg, sh, j, &br.ctx, start)
+	}
+	if sh.ctrl != nil {
+		sh.ctrl.observeLatency(float64(time.Since(start)) / float64(time.Microsecond))
+	}
 }
 
 // dispatch is the dispatcher body, run on a dedicated LGT. Each wakeup
 // drains up to Batch queued jobs (or the batch controller's current
 // bound when the adaptivity loop is on), sheds the expired and — under
 // overload — the low-priority ones, and submits the survivors as a
-// single SGT fan-out: one spawn per batch, not per job, amortizing
-// spawn and scheduling overhead across the batch.
+// single detached SGT fan-out: one pooled spawn per batch, not per job,
+// amortizing spawn and scheduling overhead across the batch. The drain
+// buffer and the batchRun buffers are reused for the dispatcher's
+// lifetime — steady-state dispatch allocates nothing.
 func (s *Server) dispatch(l *core.LGT, sh *shard) {
 	defer s.dispatchers.Done()
 	bufCap := s.cfg.Batch
@@ -231,7 +330,14 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		bufCap = sh.ctrl.max
 	}
 	buf := make([]*Job, 0, bufCap)
-	tokens := make(chan struct{}, s.cfg.InflightBatches)
+	pool := make(chan *batchRun, s.cfg.InflightBatches)
+	for i := 0; i < s.cfg.InflightBatches; i++ {
+		pool <- &batchRun{
+			srv: s, sh: sh, pool: pool,
+			jobs: make([]*Job, 0, bufCap),
+			ctx:  Ctx{shard: sh.id, locale: sh.locale},
+		}
+	}
 	for {
 		limit := s.cfg.Batch
 		if sh.ctrl != nil {
@@ -241,6 +347,7 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		if !ok {
 			return
 		}
+		buf = batch // keep any capacity growth for the next drain
 		sh.qdepth.Observe(float64(depth))
 		if sh.ctrl != nil {
 			sh.ctrl.observeDepth(depth)
@@ -264,44 +371,26 @@ func (s *Server) dispatch(l *core.LGT, sh *shard) {
 		if len(live) == 0 {
 			continue
 		}
-		jobs := make([]*Job, len(live))
-		copy(jobs, live)
-		sh.bsize.Observe(float64(len(jobs)))
+		sh.bsize.Observe(float64(len(live)))
 		if s.obs != nil {
 			// One batch-formation event per traced job; the label (shared
 			// across the batch) is built once and only when some job in
 			// the batch is traced.
 			lbl := ""
-			for _, j := range jobs {
+			for _, j := range live {
 				if j.ft == nil {
 					continue
 				}
 				if lbl == "" {
-					lbl = fmt.Sprintf("batch of %d (depth %d)", len(jobs), depth)
+					lbl = fmt.Sprintf("batch of %d (depth %d)", len(live), depth)
 				}
 				j.ft.add(trace.KindBatch, sh.id, sh.locale, j.spanArg(), lbl)
 			}
 		}
-		tokens <- struct{}{} // bound in-flight batches for this shard
+		br := <-pool // bound in-flight batches for this shard
+		br.jobs = append(br.jobs[:0], live...)
 		s.batches.Inc()
 		s.inflight.Add(1)
-		l.Go(func(sg *core.SGT) {
-			// Service time starts when the batch SGT runs, not at drain:
-			// including the wait for an in-flight token would inflate the
-			// histogram under saturation and gate batch growth exactly
-			// when a deep backlog calls for it.
-			start := time.Now()
-			defer func() { s.inflight.Done(); <-tokens }()
-			// Stage the batch's working set into this locale before any
-			// job runs: one transfer per object per batch, amortized the
-			// same way the batch amortizes spawns.
-			s.stageBatch(sh, jobs)
-			for _, j := range jobs {
-				s.execute(sg, sh, j)
-			}
-			if sh.ctrl != nil {
-				sh.ctrl.observeLatency(float64(time.Since(start)) / float64(time.Microsecond))
-			}
-		})
+		l.GoDetached(runBatch, br)
 	}
 }

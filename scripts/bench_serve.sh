@@ -17,6 +17,21 @@
 # candidate fails when it allocates more than baseline + 10% + 1
 # (the slack absorbs batch-boundary jitter at short benchtimes).
 #
+# -check also gates a same-machine throughput ratio: absolute ns/op
+# drifts with hardware, but the ratio between two benchmarks of the
+# same run does not, so it catches order-of-magnitude collapses (a
+# contended ring, a lost batch amortization) that an allocs-only gate
+# would miss. SubmitManyBurst/64 vs SubmitHandle: the per-request cost
+# of a burst must stay within 6x of a single submit. The bound is
+# deliberately loose — CI runs at -benchtime 100x where per-run noise
+# is large, and the burst cycle is closed-loop (execution included).
+# RunParallel ratios are NOT gated: at 100 iterations they measure
+# goroutine setup, not throughput.
+#
+# Set BENCH_RAW_OUT to keep the raw `go test -bench` output at that
+# path (CI uploads it as an artifact); otherwise it goes to a temp
+# file.
+#
 # The file this writes is the reference the observability work is held
 # to: allocs/op on Submit* must not grow while Observe is off. Compare
 # a candidate change by hand with:
@@ -27,8 +42,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "-check" ]; then
-    raw=$(mktemp)
-    trap 'rm -f "$raw"' EXIT
+    if [ -n "${BENCH_RAW_OUT:-}" ]; then
+        raw="$BENCH_RAW_OUT"
+    else
+        raw=$(mktemp)
+        trap 'rm -f "$raw"' EXIT
+    fi
     # shellcheck disable=SC2086 # BENCH_ARGS is deliberately word-split
     go test ./internal/serve/ -bench . -run '^$' -count 1 ${BENCH_ARGS:-} | tee "$raw" >&2
     awk '
@@ -44,7 +63,20 @@ if [ "${1:-}" = "-check" ]; then
         name = $1
         sub(/^Benchmark/, "", name)
         sub(/-[0-9]+$/, "", name)
-        for (i = 4; i <= NF; i++) if ($(i) == "allocs/op") cand[name] = $(i - 1)
+        for (i = 3; i <= NF; i++) {
+            if ($(i) == "allocs/op") cand[name] = $(i - 1)
+            if ($(i) == "ns/op")     cns[name]  = $(i - 1)
+        }
+    }
+    function ratio_gate(label, num, den, bound,    r, status) {
+        if (!(num in cns) || !(den in cns) || cns[den] + 0 == 0) {
+            printf "bench-check: MISSING ratio %s (needs %s and %s in run)\n", label, num, den
+            return 1
+        }
+        r = (cns[num] / cns[den])
+        status = (r > bound) ? "FAIL" : "ok"
+        printf "bench-check: %-4s ratio %-28s %.2f (bound %.1f)\n", status, label, r, bound
+        return status == "FAIL"
     }
     END {
         failed = 0; checked = 0
@@ -57,7 +89,11 @@ if [ "${1:-}" = "-check" ]; then
             printf "bench-check: %-4s %-24s allocs/op %s (baseline %s, limit %.1f)\n", status, name, cand[name], base[name], limit
         }
         if (checked == 0) { print "bench-check: no benchmarks compared"; failed = 1 }
-        exit failed
+        # Same-machine throughput ratios (see header comment). The burst
+        # benchmark admits 64 requests per op.
+        if ("SubmitManyBurst" in cns) cns["SubmitManyBurstPerReq"] = cns["SubmitManyBurst"] / 64
+        failed += ratio_gate("burst-per-req/single", "SubmitManyBurstPerReq", "SubmitHandle", 6.0)
+        exit (failed > 0 ? 1 : 0)
     }' BENCH_serve.json "$raw"
     exit $?
 fi
