@@ -21,6 +21,16 @@
 // and replicating hot objects; the localhot scenario concentrates
 // traffic on the locale-0 objects to show it off.
 //
+// -compile (requires -adapt) engages the continuous-compilation
+// controller: per-tenant key sketches on the admission path, hot-key
+// fast paths (each tenant's specialized handler form, a quarter of the
+// general handler's cost), and learned fan-out scatter plans. The
+// shift scenario — a hot-key regime change at the midpoint — is the
+// drift traffic it exists for. -hints-file persists the learned policy
+// as a hints script at exit and loads it at startup when present, so a
+// second run starts warm (the paper's knowledge database surviving
+// recompilation).
+//
 // -pipeline swaps the single-request generators for open-loop dataflow
 // flows: a dedicated tenant compiles a 3-stage fan-out pipeline (parse
 // a hot locale-0 document, enrich -fan parts against element blocks on
@@ -54,6 +64,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/hints"
 	"repro/internal/litlx"
 	"repro/internal/mem"
 	"repro/internal/serve"
@@ -82,9 +93,11 @@ func main() {
 		burst    = flag.Bool("burst", false, "admit each wakeup's arrivals as shard-grouped bursts (SubmitMany)")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		adapt    = flag.Bool("adapt", false, "enable the adaptivity loop (adaptive batching, shard stealing, overload shedding)")
-		scenario = flag.String("scenario", "", "play a deterministic scenario script instead of the open-loop generator: bursty | ramp | hotkey | sameshard | localhot")
+		scenario = flag.String("scenario", "", "play a deterministic scenario script instead of the open-loop generator: bursty | ramp | hotkey | sameshard | localhot | shift")
 		hotFrac  = flag.Float64("hotfrac", 0.8, "hot-key fraction for -scenario hotkey, hot-object fraction for -scenario localhot and open-loop -locality")
 		locality = flag.Bool("locality", false, "engage the data plane: working-set routing, batch staging, and the locality loop (requires -adapt)")
+		compile  = flag.Bool("compile", false, "engage the continuous-compilation controller: key sketches, hot-key fast paths, learned scatter plans (requires -adapt)")
+		hintsF   = flag.String("hints-file", "", "persist the learned policy to this hints script at exit, loading it first when it exists (requires -compile)")
 		objects  = flag.Int("objects", 16, "data objects per tenant for -locality / -scenario localhot")
 		pipeline = flag.Bool("pipeline", false, "drive 3-stage fan-out dataflow flows (parse -> enrich -> aggregate) through Tenant.SubmitFlow; stages route by their declared working sets")
 		fan      = flag.Int("fan", 4, "fan-out width for -pipeline flows")
@@ -137,6 +150,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "htserved: -locality requires -adapt (the locality loop is an adaptivity controller)")
 		os.Exit(2)
 	}
+	if *compile && !*adapt {
+		fmt.Fprintln(os.Stderr, "htserved: -compile requires -adapt (continuous compilation shares the adaptivity control loop)")
+		os.Exit(2)
+	}
+	if *hintsF != "" && !*compile {
+		fmt.Fprintln(os.Stderr, "htserved: -hints-file requires -compile (there is no learned policy to persist otherwise)")
+		os.Exit(2)
+	}
 	if (*locality || *scenario == "localhot") && *objects < 2 {
 		fmt.Fprintln(os.Stderr, "htserved: -objects must be >= 2 for the data plane")
 		os.Exit(2)
@@ -182,6 +203,24 @@ func main() {
 	}
 	if *locality {
 		cfg.Data = serve.DataConfig{LocalityRoute: true, Stage: true}
+	}
+	if *compile {
+		ccfg := serve.CompileConfig{Enabled: true}
+		if *hintsF != "" {
+			db := hints.NewDB()
+			if data, err := os.ReadFile(*hintsF); err == nil {
+				if perr := hints.ParseScriptString(string(data), db); perr != nil {
+					fmt.Fprintf(os.Stderr, "htserved: -hints-file %s: %v\n", *hintsF, perr)
+					os.Exit(1)
+				}
+				fmt.Printf("loaded hints script %s: warm start\n", *hintsF)
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "htserved:", err)
+				os.Exit(1)
+			}
+			ccfg.DB = db
+		}
+		cfg.Compile = ccfg
 	}
 	if *pipeline {
 		// Pipeline flows exist to route each stage at its data; -locality
@@ -248,13 +287,25 @@ func main() {
 		if warm {
 			warmed++
 		}
-		tn, err := srv.RegisterTenant(serve.TenantConfig{
+		tc := serve.TenantConfig{
 			Name:     names[i],
 			Handler:  handler,
 			CodeSize: *imgKB << 10,
 			Warm:     warm,
 			Objects:  specs,
-		})
+		}
+		if *compile {
+			// The tenant's specialized handler form: a promoted hot key
+			// runs at a quarter of the general handler's cost, the gain
+			// the fast-path table exists to bank.
+			tc.Specialize = func(uint64) serve.Handler {
+				return func(_ *serve.Ctx, req serve.Request) (any, error) {
+					spinwork.Work(*work / 4)
+					return req.Key, nil
+				}
+			}
+		}
+		tn, err := srv.RegisterTenant(tc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "htserved:", err)
 			os.Exit(1)
@@ -291,6 +342,8 @@ func main() {
 			sc = serve.SameShardScenario(*seed, ticks, perTick, *shards, names[0])
 		case "localhot":
 			sc = serve.LocalHotScenario(*seed, *tenants, ticks, perTick, *objects, hotObjs, *hotFrac, 0.3, *keys)
+		case "shift":
+			sc = serve.ShiftScenario(*seed, *tenants, ticks, perTick, *keys, *hotFrac)
 		default:
 			fmt.Fprintf(os.Stderr, "htserved: unknown -scenario %q\n", *scenario)
 			os.Exit(2)
@@ -368,6 +421,27 @@ func main() {
 			"%d low-priority sheds at level %d, wait EWMA %.0fus, imbalance %.2f\n",
 			as.Steals, as.Rebalances, as.BatchSizes, as.BatchGrows, as.BatchShrinks,
 			as.ShedLowPriority, as.ShedLevel, as.WaitEWMAus, as.Imbalance)
+	}
+	if *compile {
+		as := srv.AdaptStats()
+		fmt.Printf("compile: %d plans (%d swaps), %d hot-key promotions / %d demotions, "+
+			"%d fast-path hits, %d scattered elements\n",
+			as.CompilePlans, as.CompileSwaps, as.HotPromotions, as.HotDemotions,
+			as.FastPathHits, as.ScatteredElems)
+		if *hintsF != "" {
+			f, err := os.Create(*hintsF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "htserved:", err)
+				os.Exit(1)
+			}
+			if err := srv.HintsDB().WriteScript(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "htserved:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote learned policy to %s\n", *hintsF)
+		}
 	}
 	if sp := sys.Space.Stats(); sp.Reads+sp.Writes > 0 {
 		fmt.Printf("data: %d accesses (%.1f%% remote), modeled cost %d, %d staged, "+

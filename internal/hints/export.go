@@ -1,0 +1,101 @@
+package hints
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteScript serializes the database in the script language ParseScript
+// reads, so a DB round-trips through the on-disk format: facts first,
+// then hints, then rules, each group sorted by name so the output is
+// deterministic. Names and parameter values must not contain whitespace
+// (the grammar is whitespace-split); WriteScript rejects them rather
+// than emitting a script that would parse into something else.
+func (db *DB) WriteScript(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	factNames := make([]string, 0, len(db.facts))
+	for name := range db.facts {
+		factNames = append(factNames, name)
+	}
+	sort.Strings(factNames)
+	for _, name := range factNames {
+		if err := checkToken("fact name", name); err != nil {
+			return err
+		}
+		v := strconv.FormatFloat(db.facts[name], 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "fact %s %s\n", name, v); err != nil {
+			return err
+		}
+	}
+
+	hintNames := make([]string, 0, len(db.hints))
+	for name := range db.hints {
+		hintNames = append(hintNames, name)
+	}
+	sort.Strings(hintNames)
+	for _, name := range hintNames {
+		h := db.hints[name]
+		if err := checkToken("hint name", name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "hint %s target=%s category=%s priority=%d",
+			h.Name, h.Target, h.Category, h.Priority); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(h.Params))
+		for k := range h.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := checkToken("hint param", k+"="+h.Params[k]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, " %s=%s", k, h.Params[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	// Rules after all hints: a rule line references its hint by name.
+	for _, name := range hintNames {
+		h := db.hints[name]
+		for _, r := range h.Rules {
+			if err := checkToken("rule fact", r.Fact); err != nil {
+				return err
+			}
+			if err := checkToken("rule set", r.Key+"="+r.Set); err != nil {
+				return err
+			}
+			v := strconv.FormatFloat(r.Value, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "rule %s when %s %s %s set %s=%s\n",
+				h.Name, r.Fact, r.Op, v, r.Key, r.Set); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ScriptString is WriteScript into a string.
+func (db *DB) ScriptString() (string, error) {
+	var sb strings.Builder
+	if err := db.WriteScript(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func checkToken(what, tok string) error {
+	if tok == "" || strings.ContainsAny(tok, " \t\n\r#") {
+		return fmt.Errorf("hints: %s %q is not representable in the script grammar", what, tok)
+	}
+	return nil
+}

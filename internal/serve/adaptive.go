@@ -244,16 +244,31 @@ func (o *overloadController) shedLevel() int {
 // until Close.
 func (s *Server) controlLoop() {
 	defer s.control.Done()
-	t := time.NewTicker(s.cfg.Adapt.RebalanceEvery)
+	// The base period is the adaptivity cadence; with adaptivity off the
+	// loop exists only for the continuous compiler, so its cadence is
+	// the period.
+	period := s.cfg.Adapt.RebalanceEvery
+	if period <= 0 {
+		period = s.cfg.Compile.Every
+	}
+	t := time.NewTicker(period)
 	defer t.Stop()
-	// The locality loop shares the control ticker: it fires once per
-	// localityTicks rebalance ticks rather than on its own timer, so
-	// Close has exactly one loop to stop.
+	// The locality and continuous-compilation loops share the control
+	// ticker: each fires once per its own multiple of the base period
+	// rather than on its own timer, so Close has exactly one loop to
+	// stop.
 	localityTicks := 0
 	if s.locality != nil {
-		localityTicks = int(s.cfg.Adapt.LocalityEvery / s.cfg.Adapt.RebalanceEvery)
+		localityTicks = int(s.cfg.Adapt.LocalityEvery / period)
 		if localityTicks < 1 {
 			localityTicks = 1
+		}
+	}
+	compileTicks := 0
+	if s.comp != nil {
+		compileTicks = int(s.cfg.Compile.Every / period)
+		if compileTicks < 1 {
+			compileTicks = 1
 		}
 	}
 	tick := 0
@@ -263,9 +278,15 @@ func (s *Server) controlLoop() {
 			return
 		case <-t.C:
 		}
-		s.adaptOnce()
-		if tick++; localityTicks > 0 && tick%localityTicks == 0 {
+		if s.load != nil {
+			s.adaptOnce()
+		}
+		tick++
+		if localityTicks > 0 && tick%localityTicks == 0 {
 			s.localityOnce()
+		}
+		if compileTicks > 0 && tick%compileTicks == 0 {
+			s.compileOnce()
 		}
 	}
 }
@@ -365,6 +386,17 @@ type AdaptStats struct {
 	// overload controller steers by; Imbalance is the smoothed max/mean
 	// pending ratio the rebalancer steers by.
 	WaitEWMAus, Imbalance float64
+	// Continuous-compilation loop (all zero when Config.Compile is
+	// off). CompilePlans counts installed scatter plans (warm restores
+	// included), CompileSwaps the subset that replaced a live plan after
+	// drift; HotPromotions / HotDemotions count fast-path slot moves;
+	// FastPathHits counts dispatches served by a promoted handler;
+	// ScatteredElems counts fan-out elements placed by a learned plan
+	// instead of the default key route.
+	CompileEnabled               bool
+	CompilePlans, CompileSwaps   int64
+	HotPromotions, HotDemotions  int64
+	FastPathHits, ScatteredElems int64
 }
 
 // AdaptStats snapshots the adaptivity loop's inputs and outputs.
@@ -383,6 +415,13 @@ func (s *Server) AdaptStats() AdaptStats {
 		ShedLevel:       s.overload.shedLevel(),
 		ShedLowPriority: s.shedLowPri.Value(),
 		WaitEWMAus:      s.waitUS.Value(),
+		CompileEnabled:  s.cfg.Compile.Enabled,
+		CompilePlans:    s.compPlans.Value(),
+		CompileSwaps:    s.compSwaps.Value(),
+		HotPromotions:   s.compPromote.Value(),
+		HotDemotions:    s.compDemote.Value(),
+		FastPathHits:    s.compFastHits.Value(),
+		ScatteredElems:  s.compScatter.Value(),
 	}
 	if s.imbalance != nil {
 		st.Imbalance = s.imbalance.Value()

@@ -95,6 +95,48 @@ func BenchmarkSubmitHandle(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitHandleSketch is BenchmarkSubmitHandle with continuous
+// compilation enabled: every admission additionally folds its key into
+// the tenant's count-min/top-K sketch and every dispatch probes the
+// fast-path slot table. The controller itself never fires mid-run
+// (Every is an hour — allocs/op charges every goroutine, so a live
+// controller would poison the zero-alloc gate); what this measures is
+// the steady per-request tax of the observation plane, which the CI
+// ratio gate bounds against the plain path.
+func BenchmarkSubmitHandleSketch(b *testing.B) {
+	sys, err := litlx.New(litlx.Config{Locales: 2, WorkersPerLocale: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	s := New(sys, Config{Shards: 8, QueueDepth: 1 << 16, Batch: 64,
+		Compile: CompileConfig{Enabled: true, Every: time.Hour}})
+	b.Cleanup(func() { s.Close() })
+	tn, err := s.RegisterTenant(TenantConfig{
+		Name:    "bench",
+		Handler: func(_ *Ctx, _ Request) (any, error) { return nil, nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const warmN = 4096
+	var wg sync.WaitGroup
+	wg.Add(warmN)
+	wdone := func(Result) { wg.Done() }
+	for i := 0; i < warmN; i++ {
+		for tn.SubmitFunc(Request{Key: uint64(i)}, wdone) == ErrOverload {
+		}
+	}
+	wg.Wait()
+	done := func(Result) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tn.SubmitFunc(Request{Key: uint64(i)}, done) == ErrOverload {
+		}
+	}
+}
+
 func BenchmarkSubmitLegacyString(b *testing.B) {
 	s, _ := newBenchServer(b)
 	done := func(Result) {}

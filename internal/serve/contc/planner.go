@@ -1,0 +1,240 @@
+package contc
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/hints"
+	"repro/internal/loopir"
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Plan is a compiled scatter policy for one pipeline stage's Map
+// fan-out: the sched.Factory that partitions fan-out elements across
+// shards, plus the cost statistics it was planned against so the
+// controller can detect drift.
+type Plan struct {
+	Strategy string // sched name, e.g. "static-block", "gss", "chunked/4"
+	Factory  sched.Factory
+	Fan      int // fan-out width the plan was built for
+	Workers  int
+	MeanUS   float64 // observed mean element cost at plan time
+	CV       float64 // observed coefficient of variation at plan time
+	// PredictedCycles is the compiler's model makespan for the nest
+	// (compiler.FinalPlan.PredictedCycles), kept so decisions can be
+	// audited against what the model believed.
+	PredictedCycles int64
+	// PredictedMakespanUS is the sched.Evaluate makespan of the chosen
+	// strategy under the synthesized cost vector.
+	PredictedMakespanUS float64
+}
+
+// Assign fills targets[0:n] with the worker each element goes to under
+// the plan's scheduler, by replaying dispatches round-robin across
+// workers. Deterministic for the deterministic schedulers used here.
+func (p *Plan) Assign(n, workers int, targets []int) {
+	if workers < 1 {
+		workers = 1
+	}
+	targets = targets[:n]
+	for i := range targets {
+		targets[i] = -1
+	}
+	s := p.Factory(n, workers)
+	remaining := n
+	for remaining > 0 {
+		progress := false
+		for w := 0; w < workers && remaining > 0; w++ {
+			c, ok := s.Next(w)
+			if !ok {
+				continue
+			}
+			progress = true
+			for i := c.Begin; i < c.End && i < n; i++ {
+				if targets[i] < 0 {
+					targets[i] = w
+					remaining--
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for i := range targets { // backstop: a scheduler bug must not strand elements
+		if targets[i] < 0 {
+			targets[i] = i % workers
+		}
+	}
+}
+
+// Planner turns observed fan-out statistics into Plans. It models the
+// stage as a one-level loopir.Nest, runs it through compiler.Compiler
+// (so an expert hint `strategy=<s>` on the compiler target forces the
+// choice, and the SSP model prices the nest), and — when the compiler
+// leaves the strategy adaptive — scores the candidate sched factories
+// with sched.Evaluate over a cost vector synthesized from the observed
+// mean and coefficient of variation. Everything is deterministic: the
+// synthetic cost shape comes from a fixed-seed RNG cached per fan-out
+// width.
+type Planner struct {
+	Comp *compiler.Compiler
+	// Overhead is the per-dispatch overhead fed to sched.Evaluate, as a
+	// fraction of the mean element cost (default 0.05).
+	Overhead float64
+
+	mu     sync.Mutex
+	shapes map[int][]float64 // standard-normal shape vectors by fan
+}
+
+// NewPlanner builds a planner over the knowledge database.
+func NewPlanner(db *hints.DB, mon *monitor.Monitor) *Planner {
+	return &Planner{
+		Comp:     compiler.New(db, loopir.DefaultResources(), mon),
+		Overhead: 0.05,
+		shapes:   make(map[int][]float64),
+	}
+}
+
+type candidate struct {
+	name    string
+	factory sched.Factory
+}
+
+// candidates returns the strategy menu for a fan of n over p workers.
+func candidates(n, p int) []candidate {
+	chunk := n / (4 * p)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return []candidate{
+		{"static-block", sched.StaticBlock()},
+		{"static-cyclic/1", sched.StaticCyclic(1)},
+		{fmt.Sprintf("chunked/%d", chunk), sched.SelfSched(chunk)},
+		{"gss", sched.GSS(1)},
+		{"factoring", sched.Factoring(1)},
+		{"affinity", sched.Affinity(0)},
+	}
+}
+
+// FactoryFor maps a strategy name (as recorded in a hint, i.e. the
+// sched.Scheduler.Name() vocabulary) back to its factory, for warm
+// restarts from a persisted hints DB.
+func FactoryFor(name string) (sched.Factory, bool) {
+	base, arg := name, 0
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		base = name[:i]
+		if v, err := strconv.Atoi(name[i+1:]); err == nil {
+			arg = v
+		}
+	}
+	if arg < 1 {
+		arg = 1
+	}
+	switch base {
+	case "static-block":
+		return sched.StaticBlock(), true
+	case "static-cyclic":
+		return sched.StaticCyclic(arg), true
+	case "self-sched":
+		return sched.SelfSched(1), true
+	case "chunked":
+		return sched.SelfSched(arg), true
+	case "gss":
+		return sched.GSS(arg), true
+	case "factoring":
+		return sched.Factoring(arg), true
+	case "trapezoid":
+		return sched.Trapezoid(arg, 1), true
+	case "affinity":
+		return sched.Affinity(0), true
+	}
+	return nil, false
+}
+
+// shape returns n cached standard normals from a fixed seed, so every
+// Plan call for the same fan sees the same cost shape and the planner
+// is a pure function of (fan, workers, mean, cv).
+func (pl *Planner) shape(n int) []float64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if z, ok := pl.shapes[n]; ok {
+		return z
+	}
+	rng := stats.NewRNG(0xC0117C)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	pl.shapes[n] = z
+	return z
+}
+
+// Plan builds a scatter plan for a fan-out of fan elements over workers
+// shards, given the observed mean element cost (µs) and coefficient of
+// variation.
+func (pl *Planner) Plan(name string, fan, workers int, meanUS, cv float64) *Plan {
+	if fan < 1 {
+		fan = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if meanUS <= 0 {
+		meanUS = 1
+	}
+	if cv < 0 {
+		cv = 0
+	}
+	lat := int64(meanUS)
+	if lat < 1 {
+		lat = 1
+	}
+	nest := &loopir.Nest{
+		Name:  name,
+		Trips: []int{fan},
+		Ops:   []loopir.Op{{ID: 0, Name: "element", Latency: lat, Resource: loopir.ALU}},
+	}
+	strategy := "adaptive"
+	var predicted int64
+	if fps, err := pl.Comp.Compile(&compiler.Program{Name: name, Nests: []*loopir.Nest{nest}}, workers); err == nil && len(fps) == 1 {
+		strategy = fps[0].Strategy
+		predicted = fps[0].PredictedCycles
+	}
+	p := &Plan{Fan: fan, Workers: workers, MeanUS: meanUS, CV: cv, PredictedCycles: predicted}
+	if strategy != "" && strategy != "adaptive" {
+		if f, ok := FactoryFor(strategy); ok {
+			p.Strategy, p.Factory = strategy, f
+			return p
+		}
+	}
+	// Synthesize a lognormal cost vector matching (meanUS, cv):
+	// sigma² = ln(1+cv²), and the -sigma²/2 shift keeps the mean at
+	// meanUS regardless of spread.
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	z := pl.shape(fan)
+	costs := make([]float64, fan)
+	for i := range costs {
+		costs[i] = meanUS * math.Exp(sigma*z[i]-sigma*sigma/2)
+	}
+	overhead := pl.Overhead * meanUS
+	best := -1
+	bestMakespan := math.Inf(1)
+	cands := candidates(fan, workers)
+	for i, c := range cands {
+		r := sched.Evaluate(costs, workers, c.factory, overhead)
+		if r.Makespan < bestMakespan {
+			best, bestMakespan = i, r.Makespan
+		}
+	}
+	p.Strategy = cands[best].name
+	p.Factory = cands[best].factory
+	p.PredictedMakespanUS = bestMakespan
+	return p
+}

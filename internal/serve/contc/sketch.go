@@ -1,0 +1,166 @@
+// Package contc holds the mechanism of the continuous-compilation
+// controller (Config.Compile in internal/serve): the admission-path
+// key-distribution sketch, the fan-out planner that turns observed
+// chunk-cost statistics into a loopir.Nest and a sched.Factory via
+// compiler.Compiler, and the bounded decision log. The serve package
+// wires these into its control loop; contc itself never imports serve.
+package contc
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+const sketchRows = 2
+
+// KeyCount is one hot-key candidate from the sketch's top-K table.
+type KeyCount struct {
+	Key   uint64
+	Count int64
+}
+
+// KeySketch is a count-min sketch over request keys plus a small
+// top-K candidate table, both updated on the admission path. Update is
+// wait-free and allocation-free: the count-min rows give a biased-high
+// frequency estimate with no eviction problem, and the candidate table
+// turns "frequent" into "which keys", maintained with CAS claims whose
+// races are benign (a lost race loses one increment of an estimate,
+// never a key's existence in the count-min rows).
+type KeySketch struct {
+	mask  uint64
+	rows  []atomic.Int64 // sketchRows * (mask+1) counters
+	slots []sketchSlot
+	total atomic.Int64
+}
+
+type sketchSlot struct {
+	key   atomic.Uint64 // stored as key+1 so zero means empty (key 0 is a real key)
+	count atomic.Int64
+}
+
+// NewKeySketch returns a sketch with count-min rows of the given width
+// (rounded up to a power of two, minimum 64) and topk candidate slots.
+func NewKeySketch(width, topk int) *KeySketch {
+	w := uint64(64)
+	for int(w) < width {
+		w <<= 1
+	}
+	if topk < 1 {
+		topk = 1
+	}
+	return &KeySketch{
+		mask:  w - 1,
+		rows:  make([]atomic.Int64, sketchRows*int(w)),
+		slots: make([]sketchSlot, topk),
+	}
+}
+
+func mix(x uint64) uint64 {
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// Update records one occurrence of key. Zero allocations.
+func (s *KeySketch) Update(key uint64) {
+	s.total.Add(1)
+	h := mix(key)
+	est := s.rows[h&s.mask].Add(1)
+	if c := s.rows[(s.mask+1)+((h>>32)&s.mask)].Add(1); c < est {
+		est = c
+	}
+	k := key + 1
+	minIdx, minCount := -1, int64(math.MaxInt64)
+	for i := range s.slots {
+		sk := s.slots[i].key.Load()
+		if sk == k {
+			s.slots[i].count.Store(est)
+			return
+		}
+		if sk == 0 {
+			if s.slots[i].key.CompareAndSwap(0, k) || s.slots[i].key.Load() == k {
+				s.slots[i].count.Store(est)
+				return
+			}
+			sk = s.slots[i].key.Load()
+		}
+		if c := s.slots[i].count.Load(); c < minCount {
+			minCount, minIdx = c, i
+		}
+	}
+	// Replace the coldest candidate only once this key clearly exceeds
+	// it; the factor-of-two hysteresis stops near-ties from thrashing.
+	if minIdx >= 0 && est > 2*minCount {
+		s.slots[minIdx].key.Store(k)
+		s.slots[minIdx].count.Store(est)
+	}
+}
+
+// Estimate returns the count-min frequency estimate for key (biased
+// high, never low modulo decay). Zero allocations.
+func (s *KeySketch) Estimate(key uint64) int64 {
+	h := mix(key)
+	est := s.rows[h&s.mask].Load()
+	if c := s.rows[(s.mask+1)+((h>>32)&s.mask)].Load(); c < est {
+		est = c
+	}
+	return est
+}
+
+// Total returns the number of Update calls since the last decay halved
+// it.
+func (s *KeySketch) Total() int64 { return s.total.Load() }
+
+// Top returns up to k hot-key candidates, hottest first; ties break by
+// key so the order is deterministic for a deterministic update
+// sequence. Controller-side: allocates, runs off the admission path.
+func (s *KeySketch) Top(k int) []KeyCount {
+	out := make([]KeyCount, 0, len(s.slots))
+	for i := range s.slots {
+		sk := s.slots[i].key.Load()
+		if sk == 0 {
+			continue
+		}
+		out = append(out, KeyCount{Key: sk - 1, Count: s.slots[i].count.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Decay halves every counter, aging out cold keys so a formerly hot
+// key's estimate falls below the demotion threshold. Controller-side.
+func (s *KeySketch) Decay() {
+	for i := range s.rows {
+		for {
+			v := s.rows[i].Load()
+			if s.rows[i].CompareAndSwap(v, v/2) {
+				break
+			}
+		}
+	}
+	for i := range s.slots {
+		for {
+			v := s.slots[i].count.Load()
+			if s.slots[i].count.CompareAndSwap(v, v/2) {
+				break
+			}
+		}
+	}
+	for {
+		v := s.total.Load()
+		if s.total.CompareAndSwap(v, v/2) {
+			break
+		}
+	}
+}

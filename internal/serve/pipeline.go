@@ -86,6 +86,15 @@ type pipeStage struct {
 	fanouts               *monitor.Counter
 	localExec, remoteExec *monitor.Counter
 	steals                *monitor.Counter
+
+	// Continuous-compilation instrumentation, set only for Map stages of
+	// a compile-enabled server (all nil/zero otherwise): element-cost
+	// estimators fed by finishJob, the width of the last fan-out, and
+	// the learned scatter plan fanOut consults.
+	costUS, costSq *monitor.EWMA
+	costN          *monitor.Counter
+	lastFan        atomic.Int64
+	scatter        atomic.Pointer[scatterPlan]
 }
 
 // Pipeline is a compiled multi-stage dataflow plan for one tenant.
@@ -141,7 +150,7 @@ func (t *Tenant) NewPipeline(name string, stages ...Stage) (*Pipeline, error) {
 		}
 		seen[sname] = true
 		prefix := "serve.pipe." + t.name + "." + name + "." + sname + "."
-		p.stages = append(p.stages, &pipeStage{
+		ps := &pipeStage{
 			idx: i, name: sname, handler: h,
 			fanout: st.Map, last: i == len(stages)-1,
 			key: st.Key, reads: st.WorkingSet, writes: st.WriteSet,
@@ -152,12 +161,28 @@ func (t *Tenant) NewPipeline(name string, stages ...Stage) (*Pipeline, error) {
 			localExec:  mon.Counter(prefix + "local"),
 			remoteExec: mon.Counter(prefix + "remote"),
 			steals:     mon.Counter(prefix + "steals"),
-		})
+		}
+		// The controller only instruments Map stages with no routing
+		// derivations of their own: those inherit the flow key, so the
+		// whole fan-out lands on one shard — exactly the serialization a
+		// learned scatter plan exists to break. A stage that derives keys
+		// or working sets already declares where its elements belong.
+		if t.srv.comp != nil && st.Map && st.Key == nil && st.WorkingSet == nil {
+			ps.costUS = mon.EWMA(prefix+"elem_us", 0.2)
+			ps.costSq = mon.EWMA(prefix+"elem_us_sq", 0.2)
+			ps.costN = mon.Counter(prefix + "elems")
+		}
+		p.stages = append(p.stages, ps)
 	}
 	if t.pipes == nil {
 		t.pipes = make(map[string]bool)
 	}
 	t.pipes[name] = true
+	if t.srv.comp != nil {
+		// The continuous-compilation controller walks this list each
+		// tick; only a compile-enabled server maintains it.
+		t.pipeList = append(t.pipeList, p)
+	}
 	return p, nil
 }
 
@@ -590,6 +615,21 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 	fl.ref()
 	defer fl.unref()
 	future.All(elems...).ThenErr(func(rs []Result, err error) { p.join(fl, st, rs, err) })
+	// Continuous compilation: record the fan width for the planner and,
+	// when a learned plan is installed, scatter the elements across
+	// shards by its sched.Factory instead of the inherited-key route
+	// (which lands the whole fan-out on one shard). An element that
+	// declares a working set keeps its locality route — data placement
+	// outranks load spreading.
+	if st.costN != nil {
+		st.lastFan.Store(int64(len(parts)))
+	}
+	var targets *[]int
+	if sp := st.scatter.Load(); sp != nil {
+		targets = scatterTargets(sp, len(parts), len(s.shards))
+		s.compScatter.Add(int64(len(parts)))
+		defer targetPool.Put(targets)
+	}
 	now := time.Now()
 	for i, part := range parts {
 		req := p.stageRequest(fl, st, part)
@@ -601,7 +641,12 @@ func (p *Pipeline) fanOut(fl *flowState, st *pipeStage, parts []any, inherit *Re
 				req.WriteSet = inherit.WriteSet
 			}
 		}
-		sh := s.routeShard(p.t, &req)
+		var sh *shard
+		if targets != nil && len(req.WorkingSet) == 0 {
+			sh = s.shards[(*targets)[i]]
+		} else {
+			sh = s.routeShard(p.t, &req)
+		}
 		if fl.ft != nil {
 			// Per-element hop: each fan-out element routes independently,
 			// so each records its own destination shard and locale.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/percolate"
+	"repro/internal/serve/contc"
 	"repro/internal/trace"
 )
 
@@ -60,6 +61,15 @@ type TenantConfig struct {
 	// until per-batch staging (Config.Data.Stage) or the locality loop
 	// moves them.
 	PercolateData bool
+	// Specialize, with Config.Compile enabled, returns a handler
+	// specialized for one hot key. The continuous-compilation controller
+	// calls it off the hot path when the tenant's key sketch promotes a
+	// key, composes the result with the tenant and server middleware, and
+	// installs it in the tenant's fast-path table; dispatch then runs it
+	// for that key until demotion. Nil tenants still get fast-path slots
+	// — they cache the composed general handler, saving nothing but
+	// proving out the plumbing.
+	Specialize func(key uint64) Handler
 }
 
 // residency memoizes the deterministic SimNet transfer simulations by
@@ -201,6 +211,14 @@ func (s *Server) RegisterTenant(cfg TenantConfig) (*Tenant, error) {
 	t.solo = &Pipeline{t: t, name: "solo", stages: []*pipeStage{
 		{idx: 0, name: "handler", handler: h, last: true},
 	}}
+	if s.comp != nil {
+		// Continuous compilation watches this tenant: a per-tenant key
+		// sketch fed on admission, and a fast-path table the controller
+		// populates with specialized handlers for promoted keys.
+		t.sketch = contc.NewKeySketch(s.cfg.Compile.SketchWidth, 2*s.cfg.Compile.MaxHot)
+		t.fast = newFastTable(s.cfg.Compile.MaxHot)
+		t.specialize = cfg.Specialize
+	}
 	if cfg.CodeSize > 0 {
 		t.model = s.res.codeModel(cfg.CodeSize)
 		t.transferUnits = spinUnitsForCycles(t.model.TransferCycles())

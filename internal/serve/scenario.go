@@ -151,6 +151,43 @@ func SameShardScenario(seed uint64, ticks, perTick, shards int, name string) Sce
 	return sc
 }
 
+// ShiftScenario scripts a key-popularity regime change at the midpoint:
+// for the first half the hot key is 0 and the background draws uniform
+// keys below keys; for the second half the hot key is keys itself and
+// the background draws from [keys, 2*keys). Every key of phase two is
+// >= keys, so a handler can derive its cost regime (and a test its
+// expectations) from the key alone. Hot arrivals carry Priority 1 and
+// tenant 0, like HotKeyScenario. This is the drift the continuous-
+// compilation controller exists for: a sketch and plan learned in phase
+// one are exactly wrong in phase two, and the script is deterministic,
+// so the controller's re-planning decisions replay identically.
+func ShiftScenario(seed uint64, tenants, ticks, perTick int, keys uint64, hotFrac float64) Scenario {
+	if keys == 0 {
+		keys = 1024
+	}
+	rng := stats.NewRNG(seed | 1)
+	sc := Scenario{Name: "shift", Ticks: ticks}
+	half := ticks / 2
+	for t := 0; t < ticks; t++ {
+		hot, lo := uint64(0), uint64(0)
+		if t >= half {
+			hot, lo = keys, keys
+		}
+		for i := 0; i < perTick; i++ {
+			if rng.Float64() < hotFrac {
+				sc.Arrivals = append(sc.Arrivals, Arrival{Tick: t, Tenant: 0, Key: hot, Priority: 1})
+				continue
+			}
+			sc.Arrivals = append(sc.Arrivals, Arrival{
+				Tick:   t,
+				Tenant: rng.Intn(tenants),
+				Key:    lo + rng.Uint64()%keys,
+			})
+		}
+	}
+	return sc
+}
+
 // LocalHotScenario is the data-plane script: every arrival declares a
 // working set over the tenant's registered objects, and the traffic
 // concentrates on the first hot object indices — the caller homes those

@@ -55,6 +55,20 @@
 //     back in, and the flow's deadline and priority propagate to every
 //     stage. Plain Submit is the degenerate one-stage pipeline
 //     (Tenant.Solo). See pipeline.go.
+//   - continuous compilation (Config.Compile) — the paper's other loop,
+//     the fifth adaptivity controller: admission folds every key into a
+//     per-tenant count-min/top-K sketch (wait-free, zero allocations),
+//     and the controller re-optimizes running tenants from that feedback
+//     — Map fan-outs are modeled as loopir nests, run through
+//     internal/compiler, and scattered across shards by the winning
+//     sched.Factory (re-planned when the observed element-cost regime
+//     drifts); hot (tenant, key) pairs are promoted to compiled
+//     fast-path slots consulted at dispatch (TenantConfig.Specialize)
+//     and demoted when they cool. Every decision lands in a hints.DB as
+//     facts and hints, so a server fed the persisted script
+//     (htserved -hints-file) restarts with the learned policy installed
+//     before any traffic. Mechanism in internal/serve/contc; wiring in
+//     compile.go.
 //
 // The v2 surface is handle-based: RegisterTenant returns a *Tenant
 // whose Submit/SubmitFunc/SubmitMany methods carry the resolved
@@ -84,6 +98,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/percolate"
+	"repro/internal/serve/contc"
 	"repro/internal/trace"
 )
 
@@ -129,6 +144,12 @@ type Config struct {
 	// export (see ObserveConfig). Zero value: off — the hot path pays a
 	// single nil check and no extra allocations.
 	Observe ObserveConfig
+	// Compile configures the continuous-compilation controller (the
+	// fifth adaptivity controller, see CompileConfig): per-tenant key
+	// sketching at admission, learned scatter plans for Map fan-outs,
+	// hot-key fast paths at dispatch, decisions persisted as hints.
+	// Zero value: off — each touch point is one nil check.
+	Compile CompileConfig
 	// Remote, when non-nil, lets a cluster layer (internal/cluster) take
 	// over a flow at a scalar stage boundary: before chaining the next
 	// stage locally, the pipeline asks the router whether the stage's
@@ -171,6 +192,7 @@ func (c Config) withDefaults() Config {
 		c.InflightBatches = 2
 	}
 	c.Adapt = c.Adapt.withDefaults(c)
+	c.Compile = c.Compile.withDefaults(c)
 	return c
 }
 
@@ -216,6 +238,12 @@ type Server struct {
 	quit                     chan struct{}
 	control                  sync.WaitGroup
 
+	// Continuous compilation (comp nil when Config.Compile is off; the
+	// counters resolve unconditionally so Stats never branches).
+	comp                                          *compileController
+	compPlans, compSwaps, compPromote, compDemote *monitor.Counter
+	compFastHits, compScatter                     *monitor.Counter
+
 	// Rebalancer scratch: the control loop serializes adaptOnce, so its
 	// pending snapshot and the steal working memory are hoisted here —
 	// a tick that moves nothing allocates nothing.
@@ -244,6 +272,22 @@ type Tenant struct {
 
 	acc, rej, shed, ok *monitor.Counter
 	waitUS, latUS      *monitor.EWMA
+
+	// Continuous-compilation state (all nil when Config.Compile is off):
+	// the admission-path key sketch, the dispatch-side fast-path slots,
+	// the Specialize hook, and the pipeline list the controller walks.
+	sketch     *contc.KeySketch
+	fast       *fastTable
+	specialize func(key uint64) Handler
+	pipeList   []*Pipeline // guarded by pipeMu; controller snapshots via pipelines()
+}
+
+// pipelines snapshots the tenant's registered pipelines (nil when the
+// continuous-compilation controller is off — only it maintains the list).
+func (t *Tenant) pipelines() []*Pipeline {
+	t.pipeMu.Lock()
+	defer t.pipeMu.Unlock()
+	return append([]*Pipeline(nil), t.pipeList...)
 }
 
 // Name returns the tenant's registered name.
@@ -308,6 +352,13 @@ func New(sys *litlx.System, cfg Config) *Server {
 		shedLowPri:   sys.Mon.Counter("serve.adapt.shed_lowpri"),
 		migrations:   sys.Mon.Counter("serve.adapt.migrations"),
 		replications: sys.Mon.Counter("serve.adapt.replications"),
+
+		compPlans:    sys.Mon.Counter("serve.contc.plans"),
+		compSwaps:    sys.Mon.Counter("serve.contc.swaps"),
+		compPromote:  sys.Mon.Counter("serve.contc.promotions"),
+		compDemote:   sys.Mon.Counter("serve.contc.demotions"),
+		compFastHits: sys.Mon.Counter("serve.contc.fast_hits"),
+		compScatter:  sys.Mon.Counter("serve.contc.scattered"),
 	}
 	s.res = newResidency()
 	if cfg.Observe.enabled() {
@@ -321,13 +372,18 @@ func New(sys *litlx.System, cfg Config) *Server {
 		s.load.ImbalanceThreshold = cfg.Adapt.StealThreshold
 		s.overload = newOverloadController(cfg.Adapt)
 		s.imbalance = sys.Mon.EWMA("serve.adapt.imbalance", 0.2)
-		s.quit = make(chan struct{})
 		if cfg.Adapt.Locality {
 			// Drive the system's own locality controller: the serve
 			// layer is one of possibly many feeders of the shared space,
 			// and the decision policy lives in internal/adapt.
 			s.locality = sys.Locality
 		}
+	}
+	if cfg.Compile.Enabled {
+		s.comp = newCompileController(cfg.Compile, s)
+	}
+	if cfg.Adapt.Enabled || cfg.Compile.Enabled {
+		s.quit = make(chan struct{})
 	}
 	locales := sys.Locales()
 	s.byLocale = make([][]*shard, locales)
@@ -344,7 +400,7 @@ func New(sys *litlx.System, cfg Config) *Server {
 		s.dispatchers.Add(1)
 		sys.SpawnLGT(int(sh.locale), func(l *core.LGT) { s.dispatch(l, sh) })
 	}
-	if cfg.Adapt.Enabled {
+	if s.quit != nil {
 		s.control.Add(1)
 		go s.controlLoop()
 	}
@@ -403,6 +459,11 @@ func (t *Tenant) SubmitFunc(req Request, done func(Result)) error {
 	now := time.Now()
 	if req.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
 		req.Deadline = now.Add(s.cfg.DefaultDeadline)
+	}
+	if t.sketch != nil {
+		// Continuous compilation: fold the key into the tenant's
+		// distribution sketch. Wait-free, zero allocations.
+		t.sketch.Update(req.Key)
 	}
 	sh := s.routeShard(t, &req)
 	j := sh.newJob()
@@ -551,6 +612,9 @@ func (t *Tenant) SubmitManyFunc(reqs []Request, done func(i int, r Result)) int 
 	for i, r := range reqs {
 		if r.Deadline.IsZero() && s.cfg.DefaultDeadline != 0 {
 			r.Deadline = now.Add(s.cfg.DefaultDeadline)
+		}
+		if t.sketch != nil {
+			t.sketch.Update(r.Key)
 		}
 		sh := s.routeShard(t, &r)
 		j := sh.newJob()
@@ -704,6 +768,15 @@ func (s *Server) execute(sg *core.SGT, sh *shard, j *Job, ctx *Ctx, now time.Tim
 	if j.stage != nil {
 		handler = j.stage.handler
 	}
+	if j.flow == nil && t.fast != nil {
+		// Continuous compilation: a promoted (tenant, key) runs its
+		// compiled fast-path handler — one slot load, guarded by the
+		// table's epoch (see fastTable.lookup).
+		if fh := t.fast.lookup(j.req.Key); fh != nil {
+			handler = fh
+			s.compFastHits.Inc()
+		}
+	}
 	res := Result{Wait: now.Sub(j.enqueued), Priority: j.req.Priority}
 	waitUS := float64(res.Wait) / float64(time.Microsecond)
 	s.waitUS.Observe(waitUS)
@@ -783,6 +856,12 @@ func (s *Server) finishJob(sh *shard, j *Job, res Result) {
 		case StatusOK:
 			if st != nil && st.done != nil {
 				st.done.Inc()
+			}
+			if st != nil {
+				// Continuous compilation: the element's service time is
+				// the chunk-cost observation the scatter planner learns
+				// from (no-op unless the controller instrumented the stage).
+				st.observeElem(res)
 			}
 		case StatusShed:
 			if st != nil && st.shed != nil {
@@ -904,6 +983,10 @@ type Stats struct {
 	// Migrations / Replications count the locality loop's data
 	// movements (zero unless Config.Adapt.Locality is on).
 	Migrations, Replications int64
+	// CompilePlans / FastPathHits summarize the continuous-compilation
+	// controller (zero when Config.Compile is off); AdaptStats breaks
+	// the loop down further.
+	CompilePlans, FastPathHits int64
 	// Flow aggregates the dataflow-pipeline path (Tenant.SubmitFlow).
 	// Stage jobs also count in the per-job fields above (Accepted, Done,
 	// Shed, ...): a flow is bookkept as one flow plus its stage jobs.
@@ -955,6 +1038,8 @@ func (s *Server) Stats() Stats {
 		ShedLowPriority: s.shedLowPri.Value(),
 		Migrations:      s.migrations.Value(),
 		Replications:    s.replications.Value(),
+		CompilePlans:    s.compPlans.Value(),
+		FastPathHits:    s.compFastHits.Value(),
 		LatencyEWMAus:   s.latencyUS.Value(),
 		WaitEWMAus:      s.waitUS.Value(),
 		Flow: FlowStats{

@@ -25,6 +25,10 @@
 # of a burst must stay within 6x of a single submit. The bound is
 # deliberately loose — CI runs at -benchtime 100x where per-run noise
 # is large, and the burst cycle is closed-loop (execution included).
+# SubmitHandleSketch vs SubmitHandle bounds the continuous-compilation
+# observation tax (key sketch on admission, fast-table probe at
+# dispatch) to 3x a plain submit — steady-state it is ~15%, and the
+# sketch path shares the zero-allocs/op gate with the plain path.
 # RunParallel ratios are NOT gated: at 100 iterations they measure
 # goroutine setup, not throughput.
 #
@@ -93,6 +97,7 @@ if [ "${1:-}" = "-check" ]; then
         # benchmark admits 64 requests per op.
         if ("SubmitManyBurst" in cns) cns["SubmitManyBurstPerReq"] = cns["SubmitManyBurst"] / 64
         failed += ratio_gate("burst-per-req/single", "SubmitManyBurstPerReq", "SubmitHandle", 6.0)
+        failed += ratio_gate("sketch/handle", "SubmitHandleSketch", "SubmitHandle", 3.0)
         exit (failed > 0 ? 1 : 0)
     }' BENCH_serve.json "$raw"
     exit $?
